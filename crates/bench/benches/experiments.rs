@@ -1,0 +1,135 @@
+//! One bench per paper table/figure: measures the regeneration work itself
+//! (sized down to bench-friendly volumes; the experiment binaries produce
+//! the full-size outputs).
+
+use av_experiments::characterize::characterize_detector;
+use av_experiments::report::render_table1;
+use av_experiments::runner::{run_once, AttackerSpec, OracleSpec, RunConfig};
+use av_experiments::stats::{fit_exponential, fit_normal};
+use av_simkit::scenario::ScenarioId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use robotack::vector::AttackVector;
+
+/// Table I: the scenario-matching map (pure rule evaluation + rendering).
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_scenario_matcher", |b| b.iter(|| black_box(render_table1())));
+}
+
+/// Table II (one cell): a full attacked simulation run, end to end.
+fn bench_table2_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("run_ds1_golden", |b| {
+        b.iter(|| black_box(run_once(&RunConfig::new(ScenarioId::Ds1, 3), &AttackerSpec::None)))
+    });
+    group.bench_function("run_ds2_robotack_kinematic", |b| {
+        b.iter(|| {
+            black_box(run_once(
+                &RunConfig::new(ScenarioId::Ds2, 3),
+                &AttackerSpec::RoboTack {
+                    vector: Some(AttackVector::MoveOut),
+                    oracle: OracleSpec::Kinematic,
+                },
+            ))
+        })
+    });
+    group.bench_function("run_ds5_random_baseline", |b| {
+        b.iter(|| {
+            black_box(run_once(&RunConfig::new(ScenarioId::Ds5, 3), &AttackerSpec::Random))
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 5: detector characterization + distribution fitting.
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("characterize_1500_frames", |b| {
+        b.iter(|| black_box(characterize_detector(1500, 7)))
+    });
+    let data = characterize_detector(3000, 7);
+    group.bench_function("fit_distributions", |b| {
+        b.iter(|| {
+            black_box(fit_exponential(&data.veh_streaks));
+            black_box(fit_normal(&data.veh_dx));
+            black_box(fit_normal(&data.ped_dx));
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 6: an R vs R-w/o-SH pair on one seed (min-δ extraction included).
+fn bench_fig6_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("r_vs_nosh_pair", |b| {
+        b.iter(|| {
+            let r = run_once(
+                &RunConfig::new(ScenarioId::Ds1, 5),
+                &AttackerSpec::RoboTack {
+                    vector: Some(AttackVector::Disappear),
+                    oracle: OracleSpec::Kinematic,
+                },
+            );
+            let nosh = run_once(
+                &RunConfig::new(ScenarioId::Ds1, 5),
+                &AttackerSpec::RoboTackNoSh { vector: Some(AttackVector::Disappear) },
+            );
+            black_box((r.min_delta_post_attack, nosh.min_delta_post_attack))
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 7: a K′ measurement run (timed attack with ADS-side K′ tracking).
+fn bench_fig7_kprime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("kprime_measurement_run", |b| {
+        b.iter(|| {
+            let out = run_once(
+                &RunConfig::new(ScenarioId::Ds3, 0),
+                &AttackerSpec::AtDelta {
+                    vector: Some(AttackVector::MoveIn),
+                    delta_inject: 8.0,
+                    k: 40,
+                },
+            );
+            black_box(out.k_prime_ads)
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 8: a δ_inject/k sweep cell (the NN-quality ground-truth generator).
+fn bench_fig8_sweep_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("sweep_cell_run", |b| {
+        b.iter(|| {
+            let out = run_once(
+                &RunConfig::new(ScenarioId::Ds1, 9),
+                &AttackerSpec::AtDelta {
+                    vector: Some(AttackVector::MoveOut),
+                    delta_inject: 30.0,
+                    k: 50,
+                },
+            );
+            black_box(out.min_delta_attack_window)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2_cell,
+    bench_fig5,
+    bench_fig6_pair,
+    bench_fig7_kprime,
+    bench_fig8_sweep_cell
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Pipeline-level benches: perception step, ADS cycle, and the malware's
+//! per-frame overhead (§IV-D stresses the malware's small footprint — here
+//! we measure it directly).
+
+use av_perception::pipeline::{Perception, PerceptionConfig};
+use av_planning::ads::{Ads, AdsConfig};
+use av_sensing::camera::Camera;
+use av_sensing::frame::capture;
+use av_sensing::lidar::Lidar;
+use av_simkit::math::Vec2;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use robotack::malware::{Attacker, RoboTack, RoboTackConfig};
+use robotack::safety_hijacker::KinematicOracle;
+use robotack_bench::bench_world;
+
+fn bench_perception_step(c: &mut Criterion) {
+    let world = bench_world();
+    let camera = Camera::default();
+    let frame = capture(&camera, &world, 0, false);
+    c.bench_function("perception_camera_step", |b| {
+        let mut p = Perception::new(PerceptionConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| p.on_camera_frame(black_box(&frame), Vec2::ZERO, &mut rng))
+    });
+    let lidar = Lidar::default();
+    c.bench_function("perception_lidar_step", |b| {
+        let mut p = Perception::new(PerceptionConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let scan = lidar.scan(&world, &mut rng);
+        b.iter(|| p.on_lidar(black_box(&scan)))
+    });
+}
+
+fn bench_ads_cycle(c: &mut Criterion) {
+    let world = bench_world();
+    let camera = Camera::default();
+    let frame = capture(&camera, &world, 0, false);
+    c.bench_function("ads_camera_plan_control", |b| {
+        let mut ads = Ads::new(AdsConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            ads.on_camera_frame(black_box(&frame), &mut rng);
+            ads.plan_tick();
+            black_box(ads.control_tick(1.0 / 30.0))
+        })
+    });
+}
+
+/// The malware's monitoring cost per tapped frame — the quantity that must
+/// stay negligible to evade resource-usage monitors (§IV-D).
+fn bench_malware_overhead(c: &mut Criterion) {
+    let world = bench_world();
+    let camera = Camera::default();
+    c.bench_function("robotack_process_frame_monitoring", |b| {
+        let mut rt = RoboTack::new(RoboTackConfig::default(), KinematicOracle::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seq = 0;
+        b.iter(|| {
+            let mut frame = capture(&camera, &world, seq, false);
+            seq += 1;
+            rt.process_frame(black_box(&mut frame), 12.5, &mut rng);
+        })
+    });
+}
+
+/// Ablation: binary-search K (Eq. 2) vs the exhaustive linear scan.
+fn bench_k_search(c: &mut Criterion) {
+    use robotack::safety_hijacker::{
+        AttackFeatures, KinematicOracle, SafetyHijacker, SafetyHijackerConfig,
+    };
+    let sh = SafetyHijacker::new(KinematicOracle::default(), SafetyHijackerConfig::default());
+    let f = AttackFeatures { delta: 25.0, v_rel_lon: -5.0, v_rel_lat: 0.0, a_rel_lon: 0.0 };
+    c.bench_function("sh_decide_binary_search", |b| b.iter(|| black_box(sh.decide(&f))));
+    c.bench_function("sh_decide_linear_scan", |b| b.iter(|| black_box(sh.decide_linear(&f))));
+}
+
+criterion_group!(
+    benches,
+    bench_perception_step,
+    bench_ads_cycle,
+    bench_malware_overhead,
+    bench_k_search
+);
+criterion_main!(benches);

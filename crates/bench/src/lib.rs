@@ -1,0 +1,49 @@
+//! # robotack-bench — benchmark fixtures
+//!
+//! Shared world/pipeline builders for the Criterion benches. The benches
+//! themselves live in `benches/`:
+//!
+//! - `micro` — component microbenchmarks (Hungarian, Kalman, detector, NN,
+//!   patch, camera projection).
+//! - `pipeline` — perception/ADS step latency and the malware's per-frame
+//!   overhead (the paper stresses the malware's small footprint, §IV-D).
+//! - `experiments` — one bench per paper table/figure: the regeneration
+//!   work for Table I/II and Figs. 5–8, sized down to bench-friendly runs.
+
+#![warn(missing_docs)]
+
+use av_simkit::actor::{Actor, ActorId, ActorKind};
+use av_simkit::behavior::Behavior;
+use av_simkit::math::Vec2;
+use av_simkit::road::Road;
+use av_simkit::world::World;
+
+/// A representative mixed scene: two cars, a truck, and two pedestrians.
+pub fn bench_world() -> World {
+    let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 12.5, Behavior::Ego);
+    let mut world = World::new(Road::default(), ego);
+    let actors = [
+        (1, ActorKind::Car, 30.0, 0.0, 7.0),
+        (2, ActorKind::Car, 55.0, 3.5, 9.0),
+        (3, ActorKind::Truck, 75.0, -3.5, 0.0),
+        (4, ActorKind::Pedestrian, 25.0, -4.5, 0.0),
+        (5, ActorKind::Pedestrian, 45.0, 4.5, 0.0),
+    ];
+    for (id, kind, x, y, v) in actors {
+        let behavior =
+            if v > 0.0 { Behavior::CruiseStraight { speed: v } } else { Behavior::Parked };
+        world
+            .add_actor(Actor::new(ActorId(id), kind, Vec2::new(x, y), v, behavior))
+            .expect("unique ids");
+    }
+    world
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_world_builds() {
+        let w = super::bench_world();
+        assert_eq!(w.actors().len(), 6);
+    }
+}

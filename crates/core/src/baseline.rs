@@ -1,0 +1,205 @@
+//! Baseline attackers for the comparison campaigns (§VI-B).
+//!
+//! - [`RandomAttacker`] — the paper's most general baseline
+//!   ("Baseline-Random"): hijack a *random* object's trajectory with a
+//!   *random* vector at a *random* time for a *random* duration
+//!   K ∈ [15, 85]. No scenario matcher, no safety hijacker; only the
+//!   trajectory hijacker machinery is reused.
+//! - [`NoAttacker`] — golden (attack-free) runs.
+//!
+//! The "R w/o SH" arm (scenario matcher + trajectory hijacker, random
+//! timing) is [`crate::malware::TimingPolicy::RandomAfterMatch`] on the main
+//! [`crate::malware::RoboTack`] runtime.
+
+use crate::malware::{AttackStats, Attacker};
+use crate::trajectory_hijacker::{ThConfig, TrajectoryHijacker};
+use crate::vector::AttackVector;
+use av_sensing::frame::CameraFrame;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The do-nothing attacker (golden runs).
+#[derive(Debug, Clone, Default)]
+pub struct NoAttacker {
+    stats: AttackStats,
+}
+
+impl NoAttacker {
+    /// Creates the no-op attacker.
+    pub fn new() -> Self {
+        NoAttacker::default()
+    }
+}
+
+impl Attacker for NoAttacker {
+    fn process_frame(&mut self, _frame: &mut CameraFrame, _ego_speed: f64, _rng: &mut StdRng) {}
+
+    fn stats(&self) -> &AttackStats {
+        &self.stats
+    }
+}
+
+/// The random baseline attacker.
+#[derive(Debug, Clone)]
+pub struct RandomAttacker {
+    th_config: ThConfig,
+    start_frame: u32,
+    k: u32,
+    vector: AttackVector,
+    frames_seen: u32,
+    th: Option<TrajectoryHijacker>,
+    fired: bool,
+    stats: AttackStats,
+}
+
+impl RandomAttacker {
+    /// Samples a random attack plan: start frame within `horizon_frames`,
+    /// duration K ∈ [15, 85], uniformly random vector, target chosen at
+    /// launch among whatever is visible.
+    pub fn new(th_config: ThConfig, horizon_frames: u32, rng: &mut StdRng) -> Self {
+        let start_frame = rng.random_range(0..horizon_frames.max(1));
+        let k = rng.random_range(15..=85);
+        let vector = AttackVector::ALL[rng.random_range(0..AttackVector::ALL.len())];
+        RandomAttacker {
+            th_config,
+            start_frame,
+            k,
+            vector,
+            frames_seen: 0,
+            th: None,
+            fired: false,
+            stats: AttackStats::default(),
+        }
+    }
+
+    /// The sampled plan (for tests / reporting).
+    pub fn plan(&self) -> (u32, u32, AttackVector) {
+        (self.start_frame, self.k, self.vector)
+    }
+}
+
+impl Attacker for RandomAttacker {
+    fn process_frame(&mut self, frame: &mut CameraFrame, _ego_speed: f64, rng: &mut StdRng) {
+        self.frames_seen += 1;
+        if let Some(th) = self.th.as_mut() {
+            let active = th.apply(frame);
+            self.stats.frames_perturbed += u32::from(active);
+            self.stats.k_prime = th.shift_frames().or(self.stats.k_prime);
+            if th.is_done() {
+                self.th = None;
+                self.fired = true;
+            }
+            return;
+        }
+        if self.fired || self.frames_seen < self.start_frame {
+            return;
+        }
+        // Launch at the sampled frame on a uniformly random visible object
+        // (retry next frame when nothing is visible).
+        let visible: Vec<_> = frame.visible().collect();
+        if visible.is_empty() {
+            return;
+        }
+        let victim = visible[rng.random_range(0..visible.len())].actor;
+        self.stats = AttackStats {
+            launched_at: Some(frame.t),
+            vector: Some(self.vector),
+            k: self.k,
+            k_prime: None,
+            predicted_delta: None,
+            frames_perturbed: 0,
+            target: Some(victim),
+            features_at_launch: None,
+        };
+        let mut th = TrajectoryHijacker::launch(self.vector, victim, self.k, self.th_config);
+        let active = th.apply(frame);
+        self.stats.frames_perturbed += u32::from(active);
+        self.th = Some(th);
+    }
+
+    fn stats(&self) -> &AttackStats {
+        &self.stats
+    }
+
+    fn attacking(&self) -> bool {
+        self.th.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_sensing::frame::capture;
+    use av_simkit::actor::{Actor, ActorId, ActorKind};
+    use av_simkit::behavior::Behavior;
+    use av_simkit::math::Vec2;
+    use av_simkit::road::Road;
+    use av_simkit::world::World;
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 12.5, Behavior::Ego);
+        let mut w = World::new(Road::default(), ego);
+        w.add_actor(Actor::new(
+            ActorId(1),
+            ActorKind::Car,
+            Vec2::new(40.0, 0.0),
+            6.9,
+            Behavior::CruiseStraight { speed: 6.9 },
+        ))
+        .unwrap();
+        w
+    }
+
+    #[test]
+    fn no_attacker_never_touches_frames() {
+        let w = world();
+        let mut a = NoAttacker::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut frame = capture(&ThConfig::default().camera, &w, 0, false);
+        let before = frame.clone();
+        a.process_frame(&mut frame, 12.5, &mut rng);
+        assert_eq!(frame, before);
+        assert!(a.stats().launched_at.is_none());
+    }
+
+    #[test]
+    fn plan_is_seed_reproducible_and_in_range() {
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = RandomAttacker::new(ThConfig::default(), 300, &mut r1);
+        let b = RandomAttacker::new(ThConfig::default(), 300, &mut r2);
+        assert_eq!(a.plan(), b.plan());
+        let (start, k, _) = a.plan();
+        assert!(start < 300);
+        assert!((15..=85).contains(&k));
+    }
+
+    #[test]
+    fn attacks_at_sampled_frame_for_k_frames() {
+        let mut w = world();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a = RandomAttacker::new(ThConfig::default(), 30, &mut rng);
+        let (start, k, _) = a.plan();
+        for seq in 0..200 {
+            let mut frame = capture(&ThConfig::default().camera, &w, seq, false);
+            a.process_frame(&mut frame, w.ego().speed, &mut rng);
+            w.step(1.0 / 15.0, 0.0);
+        }
+        let stats = a.stats();
+        assert!(stats.launched_at.is_some());
+        assert_eq!(stats.k, k);
+        assert_eq!(stats.frames_perturbed, k, "perturbed exactly K frames");
+        assert!(stats.launched_at.unwrap() >= f64::from(start.saturating_sub(1)) / 15.0);
+    }
+
+    #[test]
+    fn different_seeds_give_different_plans() {
+        let mut plans = std::collections::HashSet::new();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            plans.insert(RandomAttacker::new(ThConfig::default(), 300, &mut rng).plan());
+        }
+        assert!(plans.len() > 10, "plans vary across seeds: {}", plans.len());
+    }
+}

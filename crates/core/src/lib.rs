@@ -1,0 +1,56 @@
+//! # robotack — ML-driven malware that targets AV safety
+//!
+//! Reproduction of the attack stack from *"ML-driven Malware that Targets AV
+//! Safety"* (Jha et al., DSN 2020). RoboTack is a man-in-the-middle camera
+//! attack that answers the paper's three questions:
+//!
+//! - **What to attack** — [`scenario_matcher`]: a rule-based map (Table I)
+//!   from the target object's lane occupancy and lateral trajectory to an
+//!   [`vector::AttackVector`] (Move_Out / Move_In / Disappear).
+//! - **When to attack** — [`safety_hijacker`]: a shallow neural network
+//!   (3 hidden layers, §IV-B) predicting the safety potential `δ_{t+k}` the
+//!   attack would achieve after `k` perturbed frames; a binary search (Eq. 2)
+//!   yields the minimal attack length `K` that drives `δ` under the crash
+//!   threshold.
+//! - **How to attack** — [`trajectory_hijacker`]: per-frame bounding-box
+//!   translations `ω_t` constrained to the Kalman noise gate (Eq. 4) so the
+//!   multi-object tracker follows a *fake* trajectory while the perturbation
+//!   stays statistically indistinguishable from detector noise; and
+//!   [`patch`]: a pixel-space demonstration that those translations are
+//!   realizable as a small adversarial patch on the raster.
+//!
+//! [`malware::RoboTack`] wires it all together as Algorithm 1: it taps the
+//! camera feed, reconstructs the world with its own camera-only perception
+//! replica, waits for the opportune moment, then perturbs `K` frames.
+//! [`baseline`] implements the paper's comparison attackers (random attack,
+//! RoboTack without the safety hijacker).
+//!
+//! # Example
+//!
+//! ```
+//! use robotack::scenario_matcher::{ScenarioMatcher, TrajectoryClass};
+//! use robotack::vector::AttackVector;
+//! use av_simkit::actor::ActorKind;
+//!
+//! let sm = ScenarioMatcher::default();
+//! // A vehicle keeping its lane inside the EV lane → hijack it out.
+//! let alpha = sm.select(true, TrajectoryClass::Keep, ActorKind::Car, None);
+//! assert_eq!(alpha, Some(AttackVector::MoveOut));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod malware;
+pub mod patch;
+pub mod safety_hijacker;
+pub mod scenario_matcher;
+pub mod trajectory_hijacker;
+pub mod vector;
+
+pub use baseline::{NoAttacker, RandomAttacker};
+pub use malware::{AttackStats, Attacker, RoboTack, RoboTackConfig};
+pub use safety_hijacker::{AttackFeatures, KinematicOracle, NnOracle, SafetyHijacker, SafetyOracle};
+pub use scenario_matcher::{ScenarioMatcher, TrajectoryClass};
+pub use trajectory_hijacker::{ThConfig, TrajectoryHijacker};
+pub use vector::AttackVector;

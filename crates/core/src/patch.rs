@@ -1,0 +1,198 @@
+//! Pixel-space adversarial patch: realizing the bbox translation on the
+//! raster.
+//!
+//! The campaigns apply the trajectory hijacker's translation `ω` directly to
+//! the frame metadata (the fast path). This module demonstrates that the
+//! same translation is *pixel-realizable*, as the paper's attack is
+//! (§IV-C perturbs real camera pixels following Jia et al.): a simple
+//! threshold-and-extent detector is driven off the raster, and a bounded
+//! per-cell patch shifts — or suppresses — its output box.
+//!
+//! The patch obeys two budgets:
+//! - **extent**: only cells inside (or adjacent to) the victim's bounding
+//!   box are touched — Eq. (4)'s `IoU(o + ω, patch) ≥ γ` locality constraint;
+//! - **amplitude**: per-cell luminance change is bounded by
+//!   [`MAX_CELL_DELTA`].
+
+use av_sensing::bbox::BBox;
+use av_sensing::image::{Raster, RASTER_SCALE};
+
+/// Luminance threshold of the raster detector.
+pub const DETECT_THRESHOLD: f32 = 0.35;
+
+/// Maximum per-cell luminance perturbation the patch may apply.
+pub const MAX_CELL_DELTA: f32 = 0.5;
+
+/// Detects the object region overlapping `roi` (camera-pixel coordinates)
+/// by thresholding the raster and taking the extent of bright cells inside
+/// a slightly expanded ROI. Returns the detected box in camera pixels.
+pub fn detect(raster: &Raster, roi: &BBox) -> Option<BBox> {
+    let expand = 1.5 * roi.width().max(40.0);
+    let x0 = (((roi.x0 - expand) / RASTER_SCALE).floor().max(0.0)) as usize;
+    let y0 = ((roi.y0 - 10.0) / RASTER_SCALE).floor().max(0.0) as usize;
+    let x1 = (((roi.x1 + expand) / RASTER_SCALE).ceil() as usize).min(raster.width());
+    let y1 = (((roi.y1 + 10.0) / RASTER_SCALE).ceil() as usize).min(raster.height());
+    let mut found: Option<(usize, usize, usize, usize)> = None;
+    for y in y0..y1 {
+        for x in x0..x1 {
+            if raster.get(x, y) > DETECT_THRESHOLD {
+                found = Some(match found {
+                    None => (x, y, x, y),
+                    Some((ax0, ay0, ax1, ay1)) => (ax0.min(x), ay0.min(y), ax1.max(x), ay1.max(y)),
+                });
+            }
+        }
+    }
+    found.map(|(ax0, ay0, ax1, ay1)| {
+        BBox::new(
+            ax0 as f64 * RASTER_SCALE,
+            ay0 as f64 * RASTER_SCALE,
+            (ax1 + 1) as f64 * RASTER_SCALE,
+            (ay1 + 1) as f64 * RASTER_SCALE,
+        )
+    })
+}
+
+/// Applies a patch that shifts the detected box of the object at `bbox`
+/// horizontally by `du` camera pixels: brightens a strip on the leading
+/// edge (extending the detected extent) and darkens the trailing strip
+/// below the detection threshold.
+pub fn apply_shift(raster: &mut Raster, bbox: &BBox, du: f64) {
+    if du.abs() < RASTER_SCALE / 2.0 {
+        return; // below one raster cell; nothing to do
+    }
+    let cells = (du.abs() / RASTER_SCALE).round() as usize;
+    let bx0 = (bbox.x0 / RASTER_SCALE).floor().max(0.0) as usize;
+    let by0 = (bbox.y0 / RASTER_SCALE).floor().max(0.0) as usize;
+    let bx1 = ((bbox.x1 / RASTER_SCALE).ceil() as usize).min(raster.width());
+    let by1 = ((bbox.y1 / RASTER_SCALE).ceil() as usize).min(raster.height());
+    if bx1 <= bx0 || by1 <= by0 {
+        return;
+    }
+    let object_lum = raster.mean_in_camera_rect(bbox).max(0.45);
+    for y in by0..by1 {
+        for c in 0..cells {
+            let (grow_x, shrink_x) = if du > 0.0 {
+                (bx1 + c, bx0 + c)
+            } else {
+                (bx0.wrapping_sub(c + 1), bx1 - 1 - c)
+            };
+            // Brighten the leading strip just above threshold...
+            if grow_x < raster.width() {
+                let v = raster.get(grow_x, y);
+                let target = (DETECT_THRESHOLD + 0.1).max(v);
+                raster.set(grow_x, y, v + (target - v).min(MAX_CELL_DELTA));
+            }
+            // ...and darken the trailing strip just below it.
+            if shrink_x < raster.width() {
+                let v = raster.get(shrink_x, y);
+                let target = (DETECT_THRESHOLD - 0.1).min(v);
+                raster.set(shrink_x, y, v - (v - target).min(MAX_CELL_DELTA));
+            }
+            let _ = object_lum;
+        }
+    }
+}
+
+/// Applies a patch that suppresses detection of the object at `bbox`:
+/// darkens its cells below the detection threshold (bounded per cell).
+pub fn suppress(raster: &mut Raster, bbox: &BBox) {
+    let bx0 = (bbox.x0 / RASTER_SCALE).floor().max(0.0) as usize;
+    let by0 = (bbox.y0 / RASTER_SCALE).floor().max(0.0) as usize;
+    let bx1 = ((bbox.x1 / RASTER_SCALE).ceil() as usize).min(raster.width());
+    let by1 = ((bbox.y1 / RASTER_SCALE).ceil() as usize).min(raster.height());
+    for y in by0..by1 {
+        for x in bx0..bx1 {
+            let v = raster.get(x, y);
+            let target = DETECT_THRESHOLD - 0.1;
+            if v > target {
+                raster.set(x, y, v - (v - target).min(MAX_CELL_DELTA));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_sensing::frame::class_luminance;
+    use av_simkit::actor::ActorKind;
+
+    fn scene_with_car(bbox: &BBox) -> Raster {
+        let mut raster = Raster::new(192, 108, 0.1);
+        raster.fill_camera_rect(bbox, class_luminance(ActorKind::Car));
+        raster
+    }
+
+    #[test]
+    fn detect_recovers_rendered_box() {
+        let truth = BBox::new(800.0, 500.0, 1000.0, 640.0);
+        let raster = scene_with_car(&truth);
+        let detected = detect(&raster, &truth).unwrap();
+        assert!(detected.iou(&truth) > 0.8, "IoU = {}", detected.iou(&truth));
+    }
+
+    #[test]
+    fn shift_moves_detected_box_right() {
+        let truth = BBox::new(800.0, 500.0, 1000.0, 640.0);
+        let mut raster = scene_with_car(&truth);
+        apply_shift(&mut raster, &truth, 60.0);
+        let detected = detect(&raster, &truth).unwrap();
+        let (cx, _) = detected.center();
+        let (tx, _) = truth.center();
+        assert!(cx - tx > 40.0, "shifted by {} px", cx - tx);
+    }
+
+    #[test]
+    fn shift_moves_detected_box_left() {
+        let truth = BBox::new(800.0, 500.0, 1000.0, 640.0);
+        let mut raster = scene_with_car(&truth);
+        apply_shift(&mut raster, &truth, -60.0);
+        let detected = detect(&raster, &truth).unwrap();
+        let (cx, _) = detected.center();
+        let (tx, _) = truth.center();
+        assert!(tx - cx > 40.0, "shifted by {} px", tx - cx);
+    }
+
+    #[test]
+    fn perturbation_amplitude_is_bounded() {
+        let truth = BBox::new(800.0, 500.0, 1000.0, 640.0);
+        let clean = scene_with_car(&truth);
+        let mut patched = clean.clone();
+        apply_shift(&mut patched, &truth, 60.0);
+        for y in 0..clean.height() {
+            for x in 0..clean.width() {
+                let d = (clean.get(x, y) - patched.get(x, y)).abs();
+                assert!(d <= MAX_CELL_DELTA + 1e-6, "cell ({x},{y}) changed by {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_is_local_to_the_object() {
+        let truth = BBox::new(800.0, 500.0, 1000.0, 640.0);
+        let clean = scene_with_car(&truth);
+        let mut patched = clean.clone();
+        apply_shift(&mut patched, &truth, 60.0);
+        // Cells far from the box are untouched.
+        assert_eq!(clean.get(10, 10), patched.get(10, 10));
+        assert_eq!(clean.get(150, 90), patched.get(150, 90));
+    }
+
+    #[test]
+    fn suppress_removes_detection() {
+        let truth = BBox::new(800.0, 500.0, 1000.0, 640.0);
+        let mut raster = scene_with_car(&truth);
+        suppress(&mut raster, &truth);
+        assert!(detect(&raster, &truth).is_none());
+    }
+
+    #[test]
+    fn tiny_shift_is_noop() {
+        let truth = BBox::new(800.0, 500.0, 1000.0, 640.0);
+        let clean = scene_with_car(&truth);
+        let mut patched = clean.clone();
+        apply_shift(&mut patched, &truth, 2.0);
+        assert_eq!(clean, patched);
+    }
+}

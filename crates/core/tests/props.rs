@@ -1,0 +1,136 @@
+//! Property-based tests for the attack stack.
+
+use av_simkit::actor::ActorKind;
+use proptest::prelude::*;
+use robotack::safety_hijacker::{
+    AttackFeatures, SafetyHijacker, SafetyHijackerConfig, SafetyOracle,
+};
+use robotack::scenario_matcher::{ScenarioMatcher, TrajectoryClass};
+use robotack::vector::AttackVector;
+
+/// A parameterized monotone oracle: δ decreases by `rate` per frame.
+struct RateOracle(f64);
+impl SafetyOracle for RateOracle {
+    fn predict_delta(&self, f: &AttackFeatures, k: u32) -> f64 {
+        f.delta - self.0 * f64::from(k)
+    }
+}
+
+fn features(delta: f64) -> AttackFeatures {
+    AttackFeatures { delta, v_rel_lon: -5.0, v_rel_lat: 0.0, a_rel_lon: 0.0 }
+}
+
+fn arb_kind() -> impl Strategy<Value = ActorKind> {
+    prop_oneof![
+        Just(ActorKind::Car),
+        Just(ActorKind::Truck),
+        Just(ActorKind::Pedestrian)
+    ]
+}
+
+fn arb_traj() -> impl Strategy<Value = TrajectoryClass> {
+    prop_oneof![
+        Just(TrajectoryClass::MovingIn),
+        Just(TrajectoryClass::Keep),
+        Just(TrajectoryClass::MovingOut)
+    ]
+}
+
+proptest! {
+    /// For any monotone oracle, the binary search returns the *minimal*
+    /// sufficient K — Eq. (2)'s argmin.
+    #[test]
+    fn sh_binary_search_is_exact_argmin(delta in 4.0..60.0f64, rate in 0.05..2.0f64) {
+        let sh = SafetyHijacker::new(RateOracle(rate), SafetyHijackerConfig::default());
+        let f = features(delta);
+        match sh.decide(&f) {
+            Some(d) => {
+                let cfg = sh.config();
+                prop_assert!(d.predicted_delta <= cfg.gamma + 1e-9);
+                // Minimality: one frame less does not reach γ (unless at k_min).
+                if d.k > cfg.k_min {
+                    let one_less = delta - rate * f64::from(d.k - 1);
+                    prop_assert!(one_less > cfg.gamma);
+                }
+            }
+            None => {
+                // Only valid when even k_max stays above the firing level.
+                let cfg = sh.config();
+                let at_max = delta - rate * f64::from(cfg.k_max);
+                prop_assert!(at_max > cfg.gamma - cfg.confidence_margin);
+            }
+        }
+    }
+
+    /// Binary and linear searches agree everywhere.
+    #[test]
+    fn sh_binary_equals_linear(delta in 0.0..80.0f64, rate in 0.05..2.0f64) {
+        let sh = SafetyHijacker::new(RateOracle(rate), SafetyHijackerConfig::default());
+        let f = features(delta);
+        let b = sh.decide(&f).map(|d| d.k);
+        let l = sh.decide_linear(&f).map(|d| d.k);
+        prop_assert_eq!(b, l);
+    }
+
+    /// Table I soundness: the returned vector always *flips* the EV-relevant
+    /// conclusion ("will this object occupy my lane soon?"). An attack that
+    /// fakes the conclusion the EV would reach anyway is a no-op, and the
+    /// matcher must never pick one (§IV-A).
+    #[test]
+    fn scenario_matcher_always_flips_the_conclusion(
+        in_lane in any::<bool>(), traj in arb_traj(), kind in arb_kind()
+    ) {
+        let sm = ScenarioMatcher::default();
+        // Reality: will the object occupy the EV lane in the near future?
+        let really_in_lane_soon = match traj {
+            TrajectoryClass::MovingIn => true,
+            TrajectoryClass::Keep => in_lane,
+            TrajectoryClass::MovingOut => false,
+        };
+        if let Some(v) = sm.select(in_lane, traj, kind, None) {
+            // What the hijacked trajectory would make the EV believe.
+            let faked_in_lane_soon = match v {
+                AttackVector::MoveIn => true,
+                AttackVector::MoveOut | AttackVector::Disappear => false,
+            };
+            prop_assert_ne!(faked_in_lane_soon, really_in_lane_soon,
+                "vector {} restates reality for in_lane={}, traj={:?}", v, in_lane, traj);
+        } else {
+            // The matcher only abstains when the object is leaving (or
+            // entering) regardless — the two "—" cells of Table I.
+            let abstain_cell = matches!(
+                (traj, in_lane),
+                (TrajectoryClass::MovingIn, true) | (TrajectoryClass::MovingOut, false)
+            );
+            prop_assert!(abstain_cell);
+        }
+    }
+
+    /// Honoring a preference never yields a different vector.
+    #[test]
+    fn scenario_matcher_preference_is_sound(
+        in_lane in any::<bool>(), traj in arb_traj(), kind in arb_kind(),
+        pref in prop_oneof![
+            Just(AttackVector::MoveOut),
+            Just(AttackVector::MoveIn),
+            Just(AttackVector::Disappear)
+        ]
+    ) {
+        let sm = ScenarioMatcher::default();
+        if let Some(v) = sm.select(in_lane, traj, kind, Some(pref)) {
+            prop_assert_eq!(v, pref, "preference honored or rejected, never substituted");
+        }
+    }
+
+    /// Trajectory classification is scale-consistent: doubling both y and vy
+    /// magnitudes never flips in/out.
+    #[test]
+    fn trajectory_classification_sign_consistency(
+        y in -6.0f64..6.0, vy in -3.0f64..3.0
+    ) {
+        prop_assume!(y.abs() > 0.1 && vy.abs() > 1.0);
+        let a = TrajectoryClass::classify(y, vy, 0.9);
+        let b = TrajectoryClass::classify(2.0 * y, vy, 0.9);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,36 @@
+//! # av-defense — intrusion detection for the perception stack
+//!
+//! The paper's threat model assumes "an IDS that monitors for spurious
+//! activities" (§III-A) and designs every attack constraint around evading
+//! it: per-frame perturbations stay within ±1σ of the modeled Kalman noise
+//! (§IV-C), Disappear windows stay under the 99th percentile of natural
+//! misdetection streaks (§IV-B), and the future-work section (§VIII) calls
+//! for adaptive perception-parameter tuning as a countermeasure.
+//!
+//! This crate builds that IDS, so the stealthiness claims become *testable*:
+//!
+//! - [`innovation`]: a CUSUM test over normalized Kalman innovations per
+//!   track — flags measurement sequences whose bias is inconsistent with
+//!   the calibrated zero-mean noise (the Move_Out/Move_In signature).
+//! - [`streak`]: per-object continuous-misdetection accounting against the
+//!   calibrated exponential envelope (the Disappear signature).
+//! - [`consistency`]: camera–LiDAR cross-sensor divergence episodes (the
+//!   fusion-disagreement signature).
+//! - [`ids`]: the combined monitor with alarm bookkeeping, fed from the
+//!   perception pipeline's observables.
+//!
+//! The `defense` experiment binary (in `av-experiments`) measures the
+//! resulting detection/false-positive trade-off against RoboTack and
+//! against deliberately non-stealthy variants.
+
+#![warn(missing_docs)]
+
+pub mod consistency;
+pub mod ids;
+pub mod innovation;
+pub mod streak;
+
+pub use consistency::ConsistencyMonitor;
+pub use ids::{Alarm, AlarmKind, Ids, IdsConfig};
+pub use innovation::InnovationMonitor;
+pub use streak::StreakMonitor;

@@ -1,0 +1,174 @@
+//! Seeded campaigns: batches of runs with Table II / Fig. 6 / Fig. 7 metrics.
+
+use crate::runner::{run_once, AttackerSpec, RunConfig, RunOutcome};
+use crate::stats;
+use av_simkit::scenario::ScenarioId;
+
+/// A campaign: one 〈scenario, attacker〉 pair executed over many seeds, like
+/// the paper's 150–200 runs per experimental campaign (§VI-C).
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Campaign id, e.g. `DS-1-Disappear-R` (paper naming).
+    pub name: String,
+    /// Scenario to run.
+    pub scenario: ScenarioId,
+    /// Attacker riding along.
+    pub attacker: AttackerSpec,
+    /// Number of seeded runs.
+    pub runs: u64,
+    /// Base seed; run `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    pub fn new(
+        name: impl Into<String>,
+        scenario: ScenarioId,
+        attacker: AttackerSpec,
+        runs: u64,
+        base_seed: u64,
+    ) -> Self {
+        Campaign { name: name.into(), scenario, attacker, runs, base_seed }
+    }
+}
+
+/// Aggregated campaign outcomes.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Campaign id.
+    pub name: String,
+    /// Scenario run.
+    pub scenario: ScenarioId,
+    /// All run outcomes, in seed order.
+    pub outcomes: Vec<RunOutcome>,
+}
+
+impl CampaignResult {
+    /// Runs in which an attack was actually launched ("valid runs"; the
+    /// paper discards invalid runs, §VI-C).
+    pub fn launched(&self) -> Vec<&RunOutcome> {
+        self.outcomes.iter().filter(|o| o.attack.launched_at.is_some()).collect()
+    }
+
+    /// Number of valid (attack-launched) runs.
+    pub fn n_launched(&self) -> usize {
+        self.launched().len()
+    }
+
+    /// Emergency-braking count and rate (%) over valid runs.
+    pub fn eb(&self) -> (usize, f64) {
+        let launched = self.launched();
+        let n = launched.iter().filter(|o| o.eb_after_attack).count();
+        let pct = if launched.is_empty() { 0.0 } else { 100.0 * n as f64 / launched.len() as f64 };
+        (n, pct)
+    }
+
+    /// Accident (crash) count and rate (%) over valid runs.
+    pub fn crashes(&self) -> (usize, f64) {
+        let launched = self.launched();
+        let n = launched.iter().filter(|o| o.accident).count();
+        let pct = if launched.is_empty() { 0.0 } else { 100.0 * n as f64 / launched.len() as f64 };
+        (n, pct)
+    }
+
+    /// Median planned attack length K (frames) over valid runs.
+    pub fn median_k(&self) -> f64 {
+        let ks: Vec<f64> = self.launched().iter().map(|o| f64::from(o.attack.k)).collect();
+        stats::median(&ks)
+    }
+
+    /// All measured K′ values (ADS-side, Fig. 7).
+    pub fn k_primes(&self) -> Vec<f64> {
+        self.launched().iter().filter_map(|o| o.k_prime_ads.map(f64::from)).collect()
+    }
+
+    /// Min-δ-since-attack values (Fig. 6).
+    pub fn min_deltas(&self) -> Vec<f64> {
+        self.launched().iter().filter_map(|o| o.min_delta_post_attack).collect()
+    }
+}
+
+/// Executes a campaign, parallelized across worker threads.
+pub fn run_campaign(campaign: &Campaign) -> CampaignResult {
+    run_campaign_with_threads(campaign, default_threads())
+}
+
+/// Reasonable worker count for this host.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+/// Executes a campaign on exactly `threads` workers (1 = sequential).
+pub fn run_campaign_with_threads(campaign: &Campaign, threads: usize) -> CampaignResult {
+    let indices: Vec<u64> = (0..campaign.runs).collect();
+    let mut outcomes: Vec<Option<RunOutcome>> = Vec::new();
+    outcomes.resize_with(indices.len(), || None);
+
+    if threads <= 1 {
+        for (slot, &i) in outcomes.iter_mut().zip(&indices) {
+            *slot = Some(run_one(campaign, i));
+        }
+    } else {
+        let chunk = indices.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (slice, idx) in outcomes.chunks_mut(chunk.max(1)).zip(indices.chunks(chunk.max(1)))
+            {
+                scope.spawn(move |_| {
+                    for (slot, &i) in slice.iter_mut().zip(idx) {
+                        *slot = Some(run_one(campaign, i));
+                    }
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+    }
+
+    CampaignResult {
+        name: campaign.name.clone(),
+        scenario: campaign.scenario,
+        outcomes: outcomes.into_iter().map(|o| o.expect("all runs filled")).collect(),
+    }
+}
+
+fn run_one(campaign: &Campaign, index: u64) -> RunOutcome {
+    let config = RunConfig::new(campaign.scenario, campaign.base_seed + index);
+    run_once(&config, &campaign.attacker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let campaign = Campaign::new(
+            "test-golden",
+            ScenarioId::Ds3,
+            AttackerSpec::None,
+            4,
+            100,
+        );
+        let seq = run_campaign_with_threads(&campaign, 1);
+        let par = run_campaign_with_threads(&campaign, 4);
+        assert_eq!(seq.outcomes.len(), par.outcomes.len());
+        for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.record.samples.len(), b.record.samples.len());
+            assert_eq!(
+                a.record.samples.last().map(|s| s.ego_speed),
+                b.record.samples.last().map(|s| s.ego_speed)
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_on_golden_campaign_are_zero() {
+        let campaign =
+            Campaign::new("golden", ScenarioId::Ds1, AttackerSpec::None, 3, 0);
+        let result = run_campaign_with_threads(&campaign, 2);
+        assert_eq!(result.n_launched(), 0);
+        assert_eq!(result.eb(), (0, 0.0));
+        assert_eq!(result.crashes(), (0, 0.0));
+    }
+}

@@ -1,0 +1,32 @@
+//! # av-experiments — evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§VI):
+//!
+//! - [`runner`]: one end-to-end simulation run — scenario world, multi-rate
+//!   sensor scheduling, the man-in-the-middle attacker on the camera link,
+//!   the ADS, ground-truth safety recording, and the collision halt.
+//! - [`campaign`]: seeded batches of runs with the Table II / Fig. 6 / Fig. 7
+//!   metrics, parallelized with crossbeam.
+//! - [`train_sh`]: the safety-hijacker training pipeline (§IV-B) — δ_inject/k
+//!   sweeps to collect the ADS-response dataset, then Adam training of the
+//!   per-vector NN oracle.
+//! - [`stats`]: distribution fitting (exponential / normal, as in Fig. 5),
+//!   percentiles and box-plot summaries.
+//! - [`report`]: plain-text renderers that print each table/figure in the
+//!   paper's shape next to the paper's reference numbers.
+//!
+//! Binaries: `table2`, `fig5`, `fig6`, `fig7`, `fig8` (one per experiment).
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod characterize;
+pub mod report;
+pub mod runner;
+pub mod stats;
+pub mod suite;
+pub mod train_sh;
+
+pub use campaign::{Campaign, CampaignResult};
+pub use runner::{run_once, AttackerSpec, RunConfig, RunOutcome};
+pub use train_sh::{train_oracle, TrainedOracle};

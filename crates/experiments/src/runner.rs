@@ -1,0 +1,485 @@
+//! One end-to-end simulation run: world + sensors + attacker + ADS.
+//!
+//! The loop reproduces the paper's testbed timing (§V-B): the base physics
+//! tick is 30 Hz; the camera fires at 15 Hz, LiDAR at 10 Hz, GPS/IMU at
+//! 12.5 Hz and the planner at 10 Hz through the multi-rate scheduler. Every
+//! camera frame passes through the attacker's man-in-the-middle hook before
+//! the ADS sees it. Ground-truth safety (δ, target gap) is sampled at every
+//! planning cycle, and the run halts on contact — the LGSVL behavior the
+//! paper works around with its 4 m accident threshold.
+
+use av_defense::ids::{Alarm, Ids, IdsConfig};
+use av_perception::calibration::DetectorCalibration;
+use av_planning::ads::{Ads, AdsConfig};
+use av_planning::safety::{ground_truth_delta, SafetyConfig};
+use av_sensing::camera::Camera;
+use av_sensing::frame::capture;
+use av_sensing::gps::GpsImu;
+use av_sensing::lidar::Lidar;
+use av_simkit::recorder::{Event, RunRecord, Sample};
+use av_simkit::rng::run_rng;
+use av_simkit::scenario::{Scenario, ScenarioId};
+use av_simkit::units::{CAMERA_HZ, GPS_HZ, LIDAR_HZ, PLANNER_HZ, SIM_DT};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use robotack::baseline::{NoAttacker, RandomAttacker};
+use robotack::malware::{Attacker, RoboTack, RoboTackConfig, TimingPolicy};
+use robotack::safety_hijacker::{AttackFeatures, KinematicOracle, NnOracle, SafetyOracle};
+use robotack::vector::AttackVector;
+use std::sync::Arc;
+
+/// Free-road horizon used when no obstacle is in path (m).
+pub const HORIZON_M: f64 = 200.0;
+
+/// The oracle driving the safety hijacker in a run.
+#[derive(Debug, Clone)]
+pub enum OracleSpec {
+    /// Closed-form kinematic oracle (no training required).
+    Kinematic,
+    /// A trained per-vector neural oracle (shared across runs).
+    Nn(Arc<NnOracle>),
+}
+
+impl SafetyOracle for OracleSpec {
+    fn predict_delta(&self, features: &AttackFeatures, k: u32) -> f64 {
+        match self {
+            OracleSpec::Kinematic => KinematicOracle::default().predict_delta(features, k),
+            OracleSpec::Nn(nn) => nn.predict_delta(features, k),
+        }
+    }
+}
+
+/// Which attacker rides along on this run.
+#[derive(Debug, Clone)]
+pub enum AttackerSpec {
+    /// Golden run: no attacker.
+    None,
+    /// The Baseline-Random attacker (§VI-B).
+    Random,
+    /// Full RoboTack with the safety hijacker.
+    RoboTack {
+        /// Campaign vector (None = Table I heuristic).
+        vector: Option<AttackVector>,
+        /// The oracle to use.
+        oracle: OracleSpec,
+    },
+    /// RoboTack without the safety hijacker ("R w/o SH"): scenario matcher +
+    /// trajectory hijacker, random timing, K ∈ [15, 85].
+    RoboTackNoSh {
+        /// Campaign vector (None = Table I heuristic).
+        vector: Option<AttackVector>,
+    },
+    /// Training-data collection: attack when δ crosses `delta_inject`, hold
+    /// `k` frames (§IV-B).
+    AtDelta {
+        /// Campaign vector.
+        vector: Option<AttackVector>,
+        /// Launch threshold on δ (m).
+        delta_inject: f64,
+        /// Attack duration (frames).
+        k: u32,
+    },
+}
+
+/// Configuration of a single run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The driving scenario.
+    pub scenario: ScenarioId,
+    /// Run seed (world jitter, every noise source, attacker sampling).
+    pub seed: u64,
+    /// Detector noise calibration for both the ADS and the malware replica.
+    pub calibration: DetectorCalibration,
+    /// Safety model for ground-truth recording.
+    pub safety: SafetyConfig,
+    /// ADS fusion configuration (ablations sweep the registration delay).
+    pub fusion: av_perception::fusion::FusionConfig,
+    /// Fraction of the ±1σ noise gate the trajectory hijacker uses per
+    /// frame (ablations sweep the stealth/speed trade-off).
+    pub sigma_fraction: f64,
+    /// Safety-hijacker thresholds (ablations sweep γ).
+    pub sh: robotack::safety_hijacker::SafetyHijackerConfig,
+}
+
+impl RunConfig {
+    /// Standard configuration for a scenario + seed.
+    pub fn new(scenario: ScenarioId, seed: u64) -> Self {
+        RunConfig {
+            scenario,
+            seed,
+            calibration: DetectorCalibration::paper(),
+            safety: SafetyConfig::default(),
+            fusion: av_perception::fusion::FusionConfig::default(),
+            sigma_fraction: 1.0,
+            sh: robotack::safety_hijacker::SafetyHijackerConfig::default(),
+        }
+    }
+}
+
+/// Everything a campaign wants to know about one finished run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Scenario that was run.
+    pub scenario: ScenarioId,
+    /// Seed that was run.
+    pub seed: u64,
+    /// Full time-series record.
+    pub record: RunRecord,
+    /// Attacker bookkeeping.
+    pub attack: robotack::malware::AttackStats,
+    /// Ground-truth contact occurred (simulator halt).
+    pub collided: bool,
+    /// The paper's accident definition: min ground-truth δ after attack
+    /// start < 4 m.
+    pub accident: bool,
+    /// Emergency braking entered at/after the attack started.
+    pub eb_after_attack: bool,
+    /// Any emergency braking during the run.
+    pub eb_any: bool,
+    /// Min ground-truth δ from attack start to run end (m).
+    pub min_delta_post_attack: Option<f64>,
+    /// Min ground-truth δ within the attack window plus a 3 s consequence
+    /// tail (m) — the quantity the safety-hijacker NN predicts (`δ_{t+k}`).
+    pub min_delta_attack_window: Option<f64>,
+    /// Ground-truth δ w.r.t. the scripted target at attack end.
+    pub target_delta_at_attack_end: Option<f64>,
+    /// Minimum *perceived* in-path δ (from the ADS world model) since the
+    /// attack started — the quantity a Move_In attack reduces (the real δ
+    /// is untouched; the EV brakes for a phantom).
+    pub min_perceived_delta_post_attack: Option<f64>,
+    /// `K′` measured from the ADS world model (frames from attack start
+    /// until the perceived target left/entered the lane or vanished).
+    pub k_prime_ads: Option<u32>,
+    /// Alarms raised by the onboard intrusion-detection system.
+    pub ids_alarms: Vec<Alarm>,
+    /// Simulated seconds executed.
+    pub sim_seconds: f64,
+}
+
+impl AttackerSpec {
+    /// Builds the per-run attacker.
+    fn build(
+        &self,
+        scenario: &Scenario,
+        config: &RunConfig,
+        rng: &mut StdRng,
+    ) -> Box<dyn Attacker> {
+        let calibration = config.calibration;
+        let mut rt_config = RoboTackConfig::default();
+        rt_config.perception.calibration = calibration;
+        rt_config.th.calibration = calibration;
+        rt_config.th.sigma_fraction = config.sigma_fraction;
+        rt_config.sh = config.sh;
+        match self {
+            AttackerSpec::None => Box::new(NoAttacker::new()),
+            AttackerSpec::Random => {
+                let horizon_frames = (scenario.duration * CAMERA_HZ) as u32;
+                Box::new(RandomAttacker::new(rt_config.th, horizon_frames, rng))
+            }
+            AttackerSpec::RoboTack { vector, oracle } => {
+                rt_config.vector_preference = *vector;
+                rt_config.timing = TimingPolicy::SafetyHijacker;
+                Box::new(RoboTack::new(rt_config, oracle.clone()))
+            }
+            AttackerSpec::RoboTackNoSh { vector } => {
+                rt_config.vector_preference = *vector;
+                let horizon_frames = (scenario.duration * CAMERA_HZ) as u32;
+                rt_config.timing = TimingPolicy::RandomAfterMatch {
+                    warmup: rng.random_range(0..horizon_frames.max(2) / 2),
+                    k: rng.random_range(15..=85),
+                };
+                Box::new(RoboTack::new(rt_config, OracleSpec::Kinematic))
+            }
+            AttackerSpec::AtDelta { vector, delta_inject, k } => {
+                rt_config.vector_preference = *vector;
+                rt_config.timing = TimingPolicy::AtDelta { delta_inject: *delta_inject, k: *k };
+                Box::new(RoboTack::new(rt_config, OracleSpec::Kinematic))
+            }
+        }
+    }
+}
+
+/// Tracks when the ADS world model reflects the hijacked trajectory (the
+/// Fig. 7 `K′` measurement).
+fn k_prime_reached(
+    vector: AttackVector,
+    ads: &Ads,
+    target_truth: av_simkit::math::Vec2,
+) -> bool {
+    let world = ads.world_model();
+    let perceived = world
+        .iter()
+        .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID));
+    match vector {
+        AttackVector::Disappear => {
+            // Gone when nothing is published near the true position.
+            !world.iter().any(|o| o.position.distance(target_truth) < 3.0)
+        }
+        AttackVector::MoveOut => perceived
+            .map(|o| (o.position.y - target_truth.y).abs() >= 1.6)
+            .unwrap_or(true),
+        AttackVector::MoveIn => perceived.map(|o| o.position.y.abs() <= 1.25).unwrap_or(false),
+    }
+}
+
+/// Executes one full simulation run.
+pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome {
+    let scenario = Scenario::build(config.scenario, config.seed);
+    let mut rng = run_rng(config.seed, 0xA77ACC);
+    let mut attacker = attacker_spec.build(&scenario, config, &mut rng);
+
+    let mut ads_config = AdsConfig::default();
+    ads_config.perception.calibration = config.calibration;
+    ads_config.perception.fusion = config.fusion;
+    ads_config.planner.cruise_speed = scenario.cruise_speed;
+    let mut ads = Ads::new(ads_config);
+
+    let camera = Camera::default();
+    let lidar = Lidar::default();
+    let gps = GpsImu::default();
+
+    let mut ids = Ids::new(IdsConfig { calibration: config.calibration, ..IdsConfig::default() });
+
+    let mut scheduler = av_simkit::scheduler::Scheduler::new();
+    let task_gps = scheduler.add_task_hz("gps", GPS_HZ);
+    let task_camera = scheduler.add_task_hz("camera", CAMERA_HZ);
+    let task_lidar = scheduler.add_task_hz("lidar", LIDAR_HZ);
+    let task_planner = scheduler.add_task_hz("planner", PLANNER_HZ);
+
+    let mut world = scenario.world.clone();
+    let mut record = RunRecord::new();
+    let mut seq: u64 = 0;
+    let mut collided = false;
+    let mut attack_seen = false;
+    let mut k_prime_ads: Option<u32> = None;
+    let mut frames_since_launch: u32 = 0;
+    let mut target_delta_at_attack_end = None;
+    let mut min_perceived_delta: Option<f64> = None;
+    // Rolling window so one-tick phantom dips don't pollute the minimum.
+    let mut perceived_window: [f64; 3] = [f64::INFINITY; 3];
+    let mut perceived_idx = 0usize;
+
+    let steps = (scenario.duration / SIM_DT).ceil() as u64;
+    for _ in 0..steps {
+        for task in scheduler.advance_to(world.time_us()) {
+            if task == task_gps {
+                ads.on_gps(gps.fix(&world, &mut rng));
+            } else if task == task_camera {
+                let mut frame = capture(&camera, &world, seq, false);
+                seq += 1;
+                attacker.process_frame(&mut frame, world.ego().speed, &mut rng);
+                ads.on_camera_frame(&frame, &mut rng);
+                ids.on_camera(world.time(), ads.perception().last_detections());
+
+                // Attack bookkeeping at camera rate.
+                let stats = attacker.stats();
+                if let Some(t0) = stats.launched_at {
+                    if !attack_seen {
+                        attack_seen = true;
+                        record.push_event(t0, Event::AttackStarted);
+                    }
+                    frames_since_launch += 1;
+                    if k_prime_ads.is_none() {
+                        if let (Some(vector), Some(target)) = (stats.vector, stats.target) {
+                            if let Some(truth) = world.actor(target) {
+                                if k_prime_reached(vector, &ads, truth.pose.position) {
+                                    k_prime_ads = Some(frames_since_launch);
+                                }
+                            }
+                        }
+                    }
+                    // Label for the SH training set: δ w.r.t. the target at
+                    // the frame the attack window closes.
+                    if target_delta_at_attack_end.is_none()
+                        && stats.frames_perturbed >= stats.k
+                    {
+                        record.push_event(world.time(), Event::AttackEnded);
+                        target_delta_at_attack_end = av_planning::safety::target_delta(
+                            &config.safety,
+                            &world,
+                            scenario.target,
+                        );
+                    }
+                }
+            } else if task == task_lidar {
+                let scan = lidar.scan(&world, &mut rng);
+                ads.on_lidar(&scan);
+                ids.on_lidar(world.time(), &scan, &ads.world_model());
+            } else if task == task_planner {
+                let entered_eb = ads.plan_tick();
+                if entered_eb {
+                    record.push_event(world.time(), Event::EmergencyBrake);
+                }
+                if attack_seen {
+                    let d = perceived_in_path_delta(&ads, &config.safety)
+                        .unwrap_or(f64::INFINITY);
+                    perceived_window[perceived_idx % 3] = d;
+                    perceived_idx += 1;
+                    if perceived_idx >= 3 {
+                        // A dip only counts if it persisted 3 planner ticks.
+                        let sustained = perceived_window.iter().copied().fold(f64::MIN, f64::max);
+                        if sustained.is_finite() {
+                            min_perceived_delta = Some(
+                                min_perceived_delta.map_or(sustained, |m: f64| m.min(sustained)),
+                            );
+                        }
+                    }
+                }
+                let (delta, _) = ground_truth_delta(&config.safety, &world, HORIZON_M);
+                let target_gap =
+                    world.separation_to_ego(scenario.target).unwrap_or(f64::INFINITY);
+                record.push_sample(Sample {
+                    t: world.time(),
+                    ego_speed: world.ego().speed,
+                    ego_accel: ads.plan().accel,
+                    delta,
+                    target_gap,
+                    attack_active: attacker.attacking(),
+                    emergency_braking: ads.emergency_braking(),
+                });
+            }
+        }
+
+        let accel = ads.control_tick(SIM_DT);
+        world.step(SIM_DT, accel);
+
+        // Contact halt (the LGSVL behavior): bumper-to-bumper contact with
+        // an in-path obstacle.
+        if let Some(o) = world.in_path_obstacle(0.0) {
+            if o.gap <= 0.05 && o.closing_speed > -0.1 {
+                record.push_event(world.time(), Event::Collision);
+                collided = true;
+                break;
+            }
+        }
+    }
+
+    // If the attack window never closed (run ended first), take the label at
+    // the end of the run.
+    let stats = *attacker.stats();
+    if stats.launched_at.is_some() && target_delta_at_attack_end.is_none() {
+        target_delta_at_attack_end =
+            av_planning::safety::target_delta(&config.safety, &world, scenario.target);
+    }
+
+    let min_delta_post_attack = stats.launched_at.and_then(|t0| record.min_delta_since(t0));
+    let attack_end_t = record.first_event(Event::AttackEnded).unwrap_or(world.time());
+    let min_delta_attack_window = stats.launched_at.map(|t0| {
+        record
+            .samples
+            .iter()
+            .filter(|s| s.t >= t0 && s.t <= attack_end_t + 3.0)
+            .map(|s| s.delta)
+            .fold(f64::INFINITY, f64::min)
+    });
+    let accident = collided
+        || min_delta_post_attack.is_some_and(|d| config.safety.is_accident(d));
+    let eb_after_attack = stats.launched_at.is_some_and(|t0| {
+        record.events.iter().any(|(t, e)| *e == Event::EmergencyBrake && *t >= t0 - 1e-9)
+    });
+    let eb_any = record.has_event(Event::EmergencyBrake);
+
+    RunOutcome {
+        scenario: config.scenario,
+        seed: config.seed,
+        sim_seconds: world.time(),
+        record,
+        attack: stats,
+        collided,
+        accident,
+        eb_after_attack,
+        eb_any,
+        min_delta_post_attack,
+        min_delta_attack_window,
+        target_delta_at_attack_end,
+        min_perceived_delta_post_attack: min_perceived_delta,
+        k_prime_ads,
+        ids_alarms: ids.alarms().to_vec(),
+    }
+}
+
+/// The EV's perceived in-path safety potential: nearest world-model object
+/// overlapping the ego corridor, minus the stopping distance.
+fn perceived_in_path_delta(ads: &Ads, safety: &SafetyConfig) -> Option<f64> {
+    let ego = ads.ego_position();
+    let v = ads.ego_speed();
+    let ego_front = ego.x + 2.3;
+    let (cy0, cy1) = (ego.y - 1.25, ego.y + 1.25);
+    ads.world_model()
+        .iter()
+        .filter_map(|o| {
+            let (oy0, oy1) = o.lateral_extent();
+            if av_simkit::math::interval_overlap(cy0, cy1, oy0, oy1) <= 0.0 {
+                return None;
+            }
+            let (ox0, ox1) = o.longitudinal_extent();
+            if ox1 < ego_front {
+                return None;
+            }
+            Some((ox0 - ego_front).max(0.0))
+        })
+        .fold(None, |acc: Option<f64>, g| Some(acc.map_or(g, |a| a.min(g))))
+        .map(|gap| safety.delta(gap, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_ds1_is_safe() {
+        let out = run_once(&RunConfig::new(ScenarioId::Ds1, 3), &AttackerSpec::None);
+        assert!(!out.collided, "golden DS-1 must not collide");
+        assert!(!out.eb_any, "golden DS-1 must not emergency brake");
+        assert!(out.attack.launched_at.is_none());
+        assert!(out.record.samples.len() > 100);
+    }
+
+    #[test]
+    fn golden_ds2_stops_for_pedestrian() {
+        let out = run_once(&RunConfig::new(ScenarioId::Ds2, 3), &AttackerSpec::None);
+        assert!(!out.collided, "golden DS-2 must not hit the pedestrian");
+        // The EV must have actually slowed down substantially at some point.
+        let min_speed = out
+            .record
+            .samples
+            .iter()
+            .map(|s| s.ego_speed)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_speed < 2.0, "EV braked for the pedestrian: {min_speed}");
+    }
+
+    #[test]
+    fn golden_ds3_passes_parked_car() {
+        let out = run_once(&RunConfig::new(ScenarioId::Ds3, 3), &AttackerSpec::None);
+        assert!(!out.collided);
+        assert!(!out.eb_any, "parked car out of lane must not trigger EB");
+        // Maintains cruise: mean speed close to 45 kph.
+        let speeds: Vec<f64> = out.record.samples.iter().map(|s| s.ego_speed).collect();
+        assert!(crate::stats::mean(&speeds) > 10.0, "kept moving");
+    }
+
+    #[test]
+    fn golden_runs_are_reproducible() {
+        let a = run_once(&RunConfig::new(ScenarioId::Ds1, 7), &AttackerSpec::None);
+        let b = run_once(&RunConfig::new(ScenarioId::Ds1, 7), &AttackerSpec::None);
+        assert_eq!(a.record.samples.len(), b.record.samples.len());
+        let last_a = a.record.samples.last().unwrap();
+        let last_b = b.record.samples.last().unwrap();
+        assert_eq!(last_a.ego_speed, last_b.ego_speed);
+        assert_eq!(last_a.delta, last_b.delta);
+    }
+
+    #[test]
+    fn kinematic_robotack_attacks_ds1() {
+        let out = run_once(
+            &RunConfig::new(ScenarioId::Ds1, 11),
+            &AttackerSpec::RoboTack {
+                vector: Some(AttackVector::MoveOut),
+                oracle: OracleSpec::Kinematic,
+            },
+        );
+        assert!(out.attack.launched_at.is_some(), "attack launched");
+        assert!(out.min_delta_post_attack.is_some());
+    }
+}

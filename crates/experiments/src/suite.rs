@@ -1,0 +1,161 @@
+//! The standard experiment suite: the paper's campaign matrix and shared
+//! CLI handling for the experiment binaries.
+
+use crate::campaign::{run_campaign, Campaign, CampaignResult};
+use crate::runner::{AttackerSpec, OracleSpec};
+use crate::train_sh::{train_oracle, SweepConfig};
+use av_simkit::scenario::ScenarioId;
+use robotack::vector::AttackVector;
+
+/// The six 〈scenario, vector〉 RoboTack arms of Table II, in paper row order.
+pub const ARMS: [(ScenarioId, AttackVector, &str); 6] = [
+    (ScenarioId::Ds1, AttackVector::Disappear, "DS-1-Disappear-R"),
+    (ScenarioId::Ds2, AttackVector::Disappear, "DS-2-Disappear-R"),
+    (ScenarioId::Ds1, AttackVector::MoveOut, "DS-1-Move_Out-R"),
+    (ScenarioId::Ds2, AttackVector::MoveOut, "DS-2-Move_Out-R"),
+    (ScenarioId::Ds3, AttackVector::MoveIn, "DS-3-Move_In-R"),
+    (ScenarioId::Ds4, AttackVector::MoveIn, "DS-4-Move_In-R"),
+];
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Args {
+    /// Runs per campaign.
+    pub runs: u64,
+    /// Quick mode: small sweeps and few runs (CI smoke).
+    pub quick: bool,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parses `--runs N`, `--quick`, `--seed S` from `std::env::args`.
+    pub fn parse() -> Args {
+        let mut args = Args { runs: 120, quick: false, seed: 2020 };
+        let mut iter = std::env::args().skip(1);
+        while let Some(a) = iter.next() {
+            match a.as_str() {
+                "--quick" => {
+                    args.quick = true;
+                    args.runs = args.runs.min(12);
+                }
+                "--runs" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        args.runs = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        args.seed = v;
+                    }
+                }
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        args
+    }
+
+    /// The training sweep matching this mode.
+    pub fn sweep(&self) -> SweepConfig {
+        if self.quick {
+            SweepConfig {
+                delta_injects: vec![8.0, 16.0, 24.0, 32.0],
+                ks: vec![10, 30, 50, 70],
+                seeds_per_cell: 1,
+                ..SweepConfig::default()
+            }
+        } else {
+            SweepConfig::default()
+        }
+    }
+}
+
+/// Trains (or falls back for) the safety-hijacker oracle for one arm.
+///
+/// Falls back to the closed-form kinematic oracle when training data is too
+/// scarce — the binaries print which oracle each arm ended up with.
+pub fn oracle_for(
+    scenario: ScenarioId,
+    vector: AttackVector,
+    sweep: &SweepConfig,
+) -> (OracleSpec, String) {
+    match train_oracle(scenario, vector, sweep) {
+        Some(trained) => {
+            let desc = format!(
+                "NN oracle ({} examples, val mse {:.2} m²)",
+                trained.examples, trained.val_mse
+            );
+            (OracleSpec::Nn(trained.oracle), desc)
+        }
+        None => (OracleSpec::Kinematic, "kinematic fallback (insufficient data)".into()),
+    }
+}
+
+/// Builds and runs one full-RoboTack campaign.
+pub fn run_r_campaign(
+    name: &str,
+    scenario: ScenarioId,
+    vector: AttackVector,
+    oracle: OracleSpec,
+    runs: u64,
+    seed: u64,
+) -> CampaignResult {
+    run_campaign(&Campaign::new(
+        name,
+        scenario,
+        AttackerSpec::RoboTack { vector: Some(vector), oracle },
+        runs,
+        seed,
+    ))
+}
+
+/// Builds and runs one "R w/o SH" campaign.
+pub fn run_nosh_campaign(
+    name: &str,
+    scenario: ScenarioId,
+    vector: AttackVector,
+    runs: u64,
+    seed: u64,
+) -> CampaignResult {
+    run_campaign(&Campaign::new(
+        name,
+        scenario,
+        AttackerSpec::RoboTackNoSh { vector: Some(vector) },
+        runs,
+        seed,
+    ))
+}
+
+/// Builds and runs the DS-5 random baseline campaign.
+pub fn run_baseline_campaign(runs: u64, seed: u64) -> CampaignResult {
+    run_campaign(&Campaign::new(
+        "DS-5-Baseline-Random",
+        ScenarioId::Ds5,
+        AttackerSpec::Random,
+        runs,
+        seed,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arms_cover_the_paper_matrix() {
+        assert_eq!(ARMS.len(), 6);
+        let disappear = ARMS.iter().filter(|(_, v, _)| *v == AttackVector::Disappear).count();
+        let move_in = ARMS.iter().filter(|(_, v, _)| *v == AttackVector::MoveIn).count();
+        assert_eq!(disappear, 2);
+        assert_eq!(move_in, 2);
+        assert!(ARMS.iter().all(|(_, _, n)| n.ends_with("-R")));
+    }
+
+    #[test]
+    fn quick_sweep_is_small() {
+        let quick = Args { runs: 5, quick: true, seed: 1 }.sweep();
+        let full = Args { runs: 100, quick: false, seed: 1 }.sweep();
+        assert!(quick.delta_injects.len() < full.delta_injects.len());
+        assert!(quick.ks.len() < full.ks.len());
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the statistics toolkit.
+
+use av_experiments::stats::{
+    fit_exponential, fit_normal, histogram, mean, median, percentile, std_dev, BoxSummary,
+};
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, 2..200)
+}
+
+proptest! {
+    #[test]
+    fn percentile_is_bounded_and_monotone(xs in samples(), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let p1 = percentile(&xs, q1);
+        prop_assert!(p1 >= lo - 1e-9 && p1 <= hi + 1e-9);
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(percentile(&xs, qa) <= percentile(&xs, qb) + 1e-9);
+    }
+
+    #[test]
+    fn box_summary_is_ordered(xs in samples()) {
+        let b = BoxSummary::of(&xs);
+        prop_assert!(b.min <= b.q1 + 1e-9);
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        prop_assert!(b.q3 <= b.max + 1e-9);
+        prop_assert_eq!(b.n, xs.len());
+    }
+
+    #[test]
+    fn mean_is_translation_equivariant(xs in samples(), shift in -100.0..100.0f64) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((mean(&shifted) - mean(&xs) - shift).abs() < 1e-6);
+        // Std-dev is translation invariant.
+        prop_assert!((std_dev(&shifted) - std_dev(&xs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_minimizes_l1_locally(xs in samples()) {
+        let m = median(&xs);
+        let l1 = |c: f64| xs.iter().map(|x| (x - c).abs()).sum::<f64>();
+        prop_assert!(l1(m) <= l1(m + 1.0) + 1e-6);
+        prop_assert!(l1(m) <= l1(m - 1.0) + 1e-6);
+    }
+
+    #[test]
+    fn exponential_fit_location_is_the_minimum(xs in prop::collection::vec(0.0..100.0f64, 3..100)) {
+        let fit = fit_exponential(&xs).expect("enough data");
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!((fit.loc - lo).abs() < 1e-12);
+        prop_assert!(fit.lambda > 0.0);
+    }
+
+    #[test]
+    fn normal_fit_matches_moments(xs in samples()) {
+        let fit = fit_normal(&xs).expect("enough data");
+        prop_assert!((fit.mean - mean(&xs)).abs() < 1e-9);
+        prop_assert!((fit.std_dev - std_dev(&xs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_conserves_count(xs in samples(), width in 0.5..50.0f64) {
+        let h = histogram(&xs, width, 4096);
+        let total: usize = h.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, xs.len());
+    }
+}

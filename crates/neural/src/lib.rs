@@ -1,0 +1,43 @@
+//! # av-neural — from-scratch feed-forward neural networks
+//!
+//! A small, dependency-free MLP implementation sufficient to reproduce the
+//! paper's safety hijacker (§IV-B): a fully connected network with 3 hidden
+//! layers (100, 100, 50 neurons), ReLU activations, dropout 0.1, trained
+//! with Adam on an L2 (MSE) objective with a 60/40 train/validation split.
+//!
+//! - [`matrix`]: row-major `f64` matrices with the handful of ops backprop
+//!   needs.
+//! - [`mlp`]: the network — He initialization, forward (train/eval),
+//!   backward, parameter access.
+//! - [`optim`]: the Adam optimizer over flat parameter/gradient slices.
+//! - [`train`]: datasets, normalization, the training loop, and train/val
+//!   splitting.
+//!
+//! # Example
+//!
+//! ```
+//! use av_neural::mlp::Mlp;
+//! use av_neural::train::{train, Dataset, TrainConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! // Learn y = 2x on [0, 1].
+//! let data = Dataset::from_rows(
+//!     (0..64).map(|i| (vec![i as f64 / 64.0], vec![2.0 * i as f64 / 64.0])),
+//! );
+//! let mut net = Mlp::new(&[1, 16, 1], 0.0, &mut rng);
+//! let report = train(&mut net, &data, &TrainConfig { epochs: 200, ..Default::default() }, &mut rng);
+//! assert!(report.final_train_loss < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+pub mod train;
+
+pub use matrix::Matrix;
+pub use mlp::Mlp;
+pub use optim::Adam;
+pub use train::{train, Dataset, Normalizer, TrainConfig, TrainReport};

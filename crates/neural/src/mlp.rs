@@ -1,0 +1,317 @@
+//! The feed-forward network: dense layers + ReLU + dropout.
+
+use crate::matrix::Matrix;
+use av_simkit::rng as simrng;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// One dense layer: `y = x·Wᵀ + b`, optionally followed by ReLU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Dense {
+    /// Weights, shape (out, in).
+    w: Matrix,
+    /// Biases, length `out`.
+    b: Vec<f64>,
+    /// Apply ReLU after the affine map (all layers except the last).
+    relu: bool,
+}
+
+/// Cached activations from a training forward pass.
+#[derive(Debug)]
+pub struct ForwardCache {
+    /// Input and post-activation output of each layer (len = layers + 1).
+    activations: Vec<Matrix>,
+    /// Dropout keep-masks (already scaled) per hidden layer.
+    masks: Vec<Option<Matrix>>,
+}
+
+/// A multi-layer perceptron.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    /// Dropout rate applied after each hidden activation during training.
+    pub dropout: f64,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes (input, hidden..., output),
+    /// He-initialized. `dropout` is applied after each hidden ReLU during
+    /// training (inverted dropout — inference needs no rescaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(sizes: &[usize], dropout: f64, rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let (fan_in, fan_out) = (sizes[i], sizes[i + 1]);
+            let std = (2.0 / fan_in as f64).sqrt();
+            let mut w = Matrix::zeros(fan_out, fan_in);
+            for v in w.as_mut_slice() {
+                *v = simrng::normal(rng, 0.0, std);
+            }
+            layers.push(Dense { w, b: vec![0.0; fan_out], relu: i + 2 < sizes.len() });
+        }
+        Mlp { layers, dropout }
+    }
+
+    /// The architecture the paper specifies: 3 hidden layers of 100/100/50
+    /// ReLU units with dropout 0.1 (§IV-B).
+    pub fn paper_architecture<R: Rng + ?Sized>(inputs: usize, rng: &mut R) -> Self {
+        Mlp::new(&[inputs, 100, 100, 50, 1], 0.1, rng)
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].w.cols()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").b.len()
+    }
+
+    /// Inference forward pass (dropout disabled).
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(input.len(), self.input_dim());
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            let mut y = layer.b.clone();
+            for (o, yo) in y.iter_mut().enumerate() {
+                *yo += layer.w.row(o).iter().zip(&x).map(|(w, xi)| w * xi).sum::<f64>();
+                if layer.relu && *yo < 0.0 {
+                    *yo = 0.0;
+                }
+            }
+            x = y;
+        }
+        x
+    }
+
+    /// Batched training forward pass with inverted dropout; returns the
+    /// output batch plus the cache for [`Mlp::backward`].
+    pub fn forward_train<R: Rng + ?Sized>(
+        &self,
+        batch: &Matrix,
+        rng: &mut R,
+    ) -> (Matrix, ForwardCache) {
+        let mut activations = vec![batch.clone()];
+        let mut masks = Vec::with_capacity(self.layers.len());
+        let mut x = batch.clone();
+        for layer in &self.layers {
+            // y = x · Wᵀ + b
+            let mut y = Matrix::zeros(x.rows(), layer.b.len());
+            for r in 0..x.rows() {
+                for (o, &bias) in layer.b.iter().enumerate() {
+                    let dot: f64 =
+                        layer.w.row(o).iter().zip(x.row(r)).map(|(w, xi)| w * xi).sum();
+                    y.set(r, o, dot + bias);
+                }
+            }
+            if layer.relu {
+                for v in y.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                if self.dropout > 0.0 {
+                    let keep = 1.0 - self.dropout;
+                    let mut mask = Matrix::zeros(y.rows(), y.cols());
+                    for (m, v) in mask.as_mut_slice().iter_mut().zip(y.as_mut_slice()) {
+                        if rng.random::<f64>() < keep {
+                            *m = 1.0 / keep;
+                            *v *= *m;
+                        } else {
+                            *m = 0.0;
+                            *v = 0.0;
+                        }
+                    }
+                    masks.push(Some(mask));
+                } else {
+                    masks.push(None);
+                }
+            } else {
+                masks.push(None);
+            }
+            activations.push(y.clone());
+            x = y;
+        }
+        (x, ForwardCache { activations, masks })
+    }
+
+    /// Backpropagates `dl_dout` (batch × out) through the cached pass and
+    /// returns per-layer gradients aligned with [`Mlp::params_mut`].
+    pub fn backward(&self, cache: &ForwardCache, dl_dout: &Matrix) -> Vec<(Matrix, Vec<f64>)> {
+        let mut grads = vec![(Matrix::zeros(0, 0), Vec::new()); self.layers.len()];
+        let mut delta = dl_dout.clone();
+        for (li, layer) in self.layers.iter().enumerate().rev() {
+            // Through dropout mask and ReLU of this layer's output.
+            if layer.relu {
+                let out = &cache.activations[li + 1];
+                if let Some(mask) = &cache.masks[li] {
+                    for (d, m) in delta.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                        *d *= m;
+                    }
+                }
+                for (d, &o) in delta.as_mut_slice().iter_mut().zip(out.as_slice()) {
+                    if o <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+            }
+            let input = &cache.activations[li];
+            // dW (out × in) = deltaᵀ × input
+            let dw = delta.t_matmul(input);
+            let mut db = vec![0.0; layer.b.len()];
+            for r in 0..delta.rows() {
+                for (o, dbo) in db.iter_mut().enumerate() {
+                    *dbo += delta.get(r, o);
+                }
+            }
+            // delta for previous layer = delta × W
+            if li > 0 {
+                delta = delta.matmul(&layer.w);
+            }
+            grads[li] = (dw, db);
+        }
+        grads
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.as_slice().len() + l.b.len()).sum()
+    }
+
+    /// Applies `f` to every (parameter, gradient) pair, layer by layer.
+    pub fn apply_grads<F: FnMut(&mut f64, f64)>(
+        &mut self,
+        grads: &[(Matrix, Vec<f64>)],
+        mut f: F,
+    ) {
+        for (layer, (dw, db)) in self.layers.iter_mut().zip(grads) {
+            for (p, g) in layer.w.as_mut_slice().iter_mut().zip(dw.as_slice()) {
+                f(p, *g);
+            }
+            for (p, g) in layer.b.iter_mut().zip(db) {
+                f(p, *g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let net = Mlp::new(&[5, 100, 100, 50, 1], 0.1, &mut rng());
+        assert_eq!(net.input_dim(), 5);
+        assert_eq!(net.output_dim(), 1);
+        let expected = 5 * 100 + 100 + 100 * 100 + 100 + 100 * 50 + 50 + 50 + 1;
+        assert_eq!(net.param_count(), expected);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let net = Mlp::new(&[3, 8, 2], 0.5, &mut rng());
+        let a = net.forward(&[0.1, -0.2, 0.3]);
+        let b = net.forward(&[0.1, -0.2, 0.3]);
+        assert_eq!(a, b, "inference ignores dropout randomness");
+    }
+
+    #[test]
+    fn relu_only_on_hidden_layers() {
+        // Output can be negative (regression head).
+        let mut found_negative = false;
+        let mut r = rng();
+        for _ in 0..20 {
+            let net = Mlp::new(&[2, 4, 1], 0.0, &mut r);
+            if net.forward(&[1.0, -1.0])[0] < 0.0 {
+                found_negative = true;
+            }
+        }
+        assert!(found_negative, "regression head must be unbounded");
+    }
+
+    #[test]
+    fn gradient_check_numeric() {
+        // Finite-difference check on a tiny net without dropout.
+        let mut net = Mlp::new(&[2, 3, 1], 0.0, &mut rng());
+        let x = Matrix::from_vec(1, 2, vec![0.7, -0.4]);
+        let target = 0.3;
+        let loss = |net: &Mlp| {
+            let y = net.forward(&[0.7, -0.4])[0];
+            (y - target) * (y - target)
+        };
+        let (out, cache) = net.forward_train(&x, &mut rng());
+        let dl = Matrix::from_vec(1, 1, vec![2.0 * (out.get(0, 0) - target)]);
+        let grads = net.backward(&cache, &dl);
+
+        // Collect analytic grads in order, then compare to numeric.
+        let mut analytic = Vec::new();
+        for (dw, db) in &grads {
+            analytic.extend_from_slice(dw.as_slice());
+            analytic.extend_from_slice(db);
+        }
+        let eps = 1e-6;
+        let mut idx = 0;
+        let mut max_err: f64 = 0.0;
+        let n = net.param_count();
+        for _ in 0..n {
+            // Perturb parameter `idx` via apply_grads indexing trick.
+            let mut i = 0;
+            net.apply_grads(&grads, |p, _| {
+                if i == idx {
+                    *p += eps;
+                }
+                i += 1;
+            });
+            let lp = loss(&net);
+            let mut i = 0;
+            net.apply_grads(&grads, |p, _| {
+                if i == idx {
+                    *p -= 2.0 * eps;
+                }
+                i += 1;
+            });
+            let lm = loss(&net);
+            let mut i = 0;
+            net.apply_grads(&grads, |p, _| {
+                if i == idx {
+                    *p += eps;
+                }
+                i += 1;
+            });
+            let numeric = (lp - lm) / (2.0 * eps);
+            max_err = max_err.max((numeric - analytic[idx]).abs());
+            idx += 1;
+        }
+        assert!(max_err < 1e-4, "max gradient error {max_err}");
+    }
+
+    #[test]
+    fn dropout_zeroes_some_activations_in_training() {
+        let net = Mlp::new(&[4, 64, 1], 0.5, &mut rng());
+        let x = Matrix::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        let mut r = rng();
+        let (_, cache) = net.forward_train(&x, &mut r);
+        let mask = cache.masks[0].as_ref().expect("hidden dropout mask");
+        let zeros = mask.as_slice().iter().filter(|&&m| m == 0.0).count();
+        assert!(zeros > 10, "dropout disabled? zeros = {zeros}");
+    }
+
+    #[test]
+    fn paper_architecture_shape() {
+        let net = Mlp::paper_architecture(5, &mut rng());
+        assert_eq!(net.input_dim(), 5);
+        assert_eq!(net.output_dim(), 1);
+        assert_eq!(net.dropout, 0.1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Adam optimizer (the paper trains the safety hijacker with Adam, §IV-B).
+
+use serde::{Deserialize, Serialize};
+
+/// Adam optimizer state over a flat parameter vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer for `param_count` parameters.
+    pub fn new(param_count: usize, lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; param_count],
+            v: vec![0.0; param_count],
+        }
+    }
+
+    /// Begins an optimization step (advances the bias-correction clock) and
+    /// returns a stepper to be called once per parameter, **in a fixed
+    /// order** across steps.
+    pub fn step(&mut self) -> AdamStep<'_> {
+        self.t += 1;
+        let t = self.t;
+        AdamStep { adam: self, idx: 0, t }
+    }
+
+    /// Number of optimization steps taken.
+    pub fn steps_taken(&self) -> u64 {
+        self.t
+    }
+}
+
+/// Per-step cursor over the parameter vector.
+#[derive(Debug)]
+pub struct AdamStep<'a> {
+    adam: &'a mut Adam,
+    idx: usize,
+    t: u64,
+}
+
+impl AdamStep<'_> {
+    /// Updates one parameter with its gradient. Must be called exactly once
+    /// per parameter per step, in the same order every step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more times than there are parameters.
+    pub fn update(&mut self, param: &mut f64, grad: f64) {
+        let a = &mut *self.adam;
+        let i = self.idx;
+        assert!(i < a.m.len(), "more parameters than the optimizer was sized for");
+        a.m[i] = a.beta1 * a.m[i] + (1.0 - a.beta1) * grad;
+        a.v[i] = a.beta2 * a.v[i] + (1.0 - a.beta2) * grad * grad;
+        let m_hat = a.m[i] / (1.0 - a.beta1.powi(self.t as i32));
+        let v_hat = a.v[i] / (1.0 - a.beta2.powi(self.t as i32));
+        *param -= a.lr * m_hat / (v_hat.sqrt() + a.eps);
+        self.idx += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = (x - 3)², gradient 2(x - 3).
+        let mut adam = Adam::new(1, 0.1);
+        let mut x = 0.0;
+        for _ in 0..500 {
+            let g = 2.0 * (x - 3.0);
+            adam.step().update(&mut x, g);
+        }
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn handles_multiple_parameters_independently() {
+        let mut adam = Adam::new(2, 0.05);
+        let mut p = [0.0, 10.0];
+        for _ in 0..2000 {
+            let g0 = 2.0 * (p[0] + 1.0);
+            let g1 = 2.0 * (p[1] - 5.0);
+            let mut step = adam.step();
+            step.update(&mut p[0], g0);
+            step.update(&mut p[1], g1);
+        }
+        assert!((p[0] + 1.0).abs() < 1e-2);
+        assert!((p[1] - 5.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "more parameters")]
+    fn too_many_updates_panics() {
+        let mut adam = Adam::new(1, 0.1);
+        let mut x = 0.0;
+        let mut step = adam.step();
+        step.update(&mut x, 1.0);
+        step.update(&mut x, 1.0);
+    }
+
+    #[test]
+    fn step_count_advances() {
+        let mut adam = Adam::new(1, 0.1);
+        assert_eq!(adam.steps_taken(), 0);
+        let mut x = 0.0;
+        adam.step().update(&mut x, 1.0);
+        assert_eq!(adam.steps_taken(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the neural-network substrate.
+
+use av_neural::matrix::Matrix;
+use av_neural::mlp::Mlp;
+use av_neural::optim::Adam;
+use av_neural::train::{Dataset, Normalizer};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// (A·B)·C = A·(B·C) for the matmul implementation.
+    #[test]
+    fn matmul_is_associative(a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for r in 0..left.rows() {
+            for j in 0..left.cols() {
+                prop_assert!((left.get(r, j) - right.get(r, j)).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// t_matmul(A, B) = Aᵀ·B computed through the plain path.
+    #[test]
+    fn t_matmul_matches_transpose(a in arb_matrix(4, 3), b in arb_matrix(4, 2)) {
+        let mut at = Matrix::zeros(3, 4);
+        for r in 0..4 {
+            for c in 0..3 {
+                at.set(c, r, a.get(r, c));
+            }
+        }
+        let expected = at.matmul(&b);
+        let got = a.t_matmul(&b);
+        for r in 0..3 {
+            for c in 0..2 {
+                prop_assert!((expected.get(r, c) - got.get(r, c)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Forward passes are finite for any finite input.
+    #[test]
+    fn forward_is_finite(seed in any::<u64>(), input in prop::collection::vec(-100.0..100.0f64, 5)) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&[5, 16, 8, 1], 0.1, &mut rng);
+        let out = net.forward(&input);
+        prop_assert!(out[0].is_finite());
+    }
+
+    /// Adam drives any 1-D convex quadratic to its minimum.
+    #[test]
+    fn adam_minimizes_quadratics(target in -50.0..50.0f64, scale in 0.1..5.0f64) {
+        let mut adam = Adam::new(1, 0.2);
+        let mut x = 0.0f64;
+        for _ in 0..3000 {
+            let g = 2.0 * scale * (x - target);
+            adam.step().update(&mut x, g);
+        }
+        prop_assert!((x - target).abs() < 0.1, "x {x} target {target}");
+    }
+
+    /// The normalizer z-scores its own training inputs to mean≈0, std≈1.
+    #[test]
+    fn normalizer_zscores_training_data(
+        rows in prop::collection::vec(prop::collection::vec(-100.0..100.0f64, 3), 8..40)
+    ) {
+        let data = Dataset::from_rows(rows.iter().cloned().map(|r| (r, vec![0.0])));
+        let norm = Normalizer::fit(&data);
+        let normalized: Vec<Vec<f64>> = data.inputs.iter().map(|x| norm.apply(x)).collect();
+        let n = normalized.len() as f64;
+        for dim in 0..3 {
+            let mean: f64 = normalized.iter().map(|r| r[dim]).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-6, "dim {dim} mean {mean}");
+            let var: f64 = normalized.iter().map(|r| (r[dim] - mean).powi(2)).sum::<f64>() / n;
+            // Constant features normalize to 0 variance; otherwise ≈1.
+            prop_assert!(var < 1e-6 || (var - 1.0).abs() < 1e-6, "dim {dim} var {var}");
+        }
+    }
+
+    /// Splitting preserves every example exactly once.
+    #[test]
+    fn split_is_a_partition(n in 2usize..60, frac in 0.1..0.9f64, seed in any::<u64>()) {
+        let data = Dataset::from_rows((0..n).map(|i| (vec![i as f64], vec![0.0])));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (a, b) = data.split(frac, &mut rng);
+        prop_assert_eq!(a.len() + b.len(), n);
+        let mut all: Vec<i64> = a.inputs.iter().chain(b.inputs.iter()).map(|r| r[0] as i64).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as i64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,222 @@
+//! Simulated object detector ("D" in Fig. 1): a YOLOv3 stand-in with
+//! calibrated noise.
+//!
+//! For every visible ground-truth box the detector either (a) stays inside a
+//! *misdetection streak* — a run of consecutive frames in which the object is
+//! not detected, with streak lengths drawn from the paper's per-class
+//! exponential fits — or (b) emits a detection whose center is displaced by
+//! Gaussian noise normalized to the box size, exactly the Fig. 5 (c–f)
+//! model. The detector never sees actor identities except to keep its
+//! per-object streak state and to stamp evaluation provenance.
+
+use crate::calibration::DetectorCalibration;
+use crate::types::Detection;
+use av_sensing::bbox::BBox;
+use av_sensing::frame::CameraFrame;
+use av_simkit::actor::ActorId;
+use av_simkit::rng;
+use rand::{Rng, RngExt};
+use std::collections::HashMap;
+
+/// Stochastic detector with per-object misdetection streak state.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    calibration: DetectorCalibration,
+    /// Remaining missed frames per object currently in a streak.
+    streaks: HashMap<ActorId, u32>,
+}
+
+impl Detector {
+    /// Creates a detector with the given calibration.
+    pub fn new(calibration: DetectorCalibration) -> Self {
+        Detector { calibration, streaks: HashMap::new() }
+    }
+
+    /// The active calibration.
+    pub fn calibration(&self) -> &DetectorCalibration {
+        &self.calibration
+    }
+
+    /// Runs the detector on one camera frame.
+    ///
+    /// Suppressed truth boxes (the attacker's Disappear perturbation) and
+    /// boxes occluded beyond the visibility limit produce no detection.
+    pub fn detect<R: Rng + ?Sized>(&mut self, frame: &CameraFrame, rng_: &mut R) -> Vec<Detection> {
+        let mut out = Vec::with_capacity(frame.truth.len());
+        for tb in frame.visible() {
+            if tb.bbox.area() < self.calibration.min_box_area {
+                continue;
+            }
+            // Streak state machine: consume an active streak first.
+            if let Some(remaining) = self.streaks.get_mut(&tb.actor) {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.streaks.remove(&tb.actor);
+                }
+                continue;
+            }
+            let class = self.calibration.for_kind(tb.kind);
+            if rng::bernoulli(rng_, class.misdetect_start) {
+                let len = rng::exponential(
+                    rng_,
+                    class.misdetect_streak.loc,
+                    class.misdetect_streak.lambda,
+                )
+                .round()
+                .max(1.0) as u32;
+                if len > 1 {
+                    self.streaks.insert(tb.actor, len - 1);
+                }
+                continue;
+            }
+            // Detected: displace the center by size-normalized Gaussian noise
+            // and jitter the size slightly.
+            let w = tb.bbox.width();
+            let h = tb.bbox.height();
+            let dx = rng::normal(rng_, class.center_x.mean, class.center_x.std_dev) * w;
+            let dy = rng::normal(rng_, class.center_y.mean, class.center_y.std_dev) * h;
+            let sw = w * (1.0 + rng::normal(rng_, 0.0, class.size_jitter));
+            let sh = h * (1.0 + rng::normal(rng_, 0.0, class.size_jitter));
+            let (cx, cy) = tb.bbox.center();
+            let bbox = BBox::from_center(cx + dx, cy + dy, sw.max(1.0), sh.max(1.0));
+            out.push(Detection {
+                kind: tb.kind,
+                bbox,
+                score: rng_.random_range(0.6..0.99),
+                provenance: Some(tb.actor),
+            });
+        }
+        out
+    }
+
+    /// Clears all streak state (e.g., between runs).
+    pub fn reset(&mut self) {
+        self.streaks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::DetectorCalibration;
+    use av_sensing::camera::Camera;
+    use av_sensing::frame::capture;
+    use av_simkit::actor::{Actor, ActorKind};
+    use av_simkit::behavior::Behavior;
+    use av_simkit::math::Vec2;
+    use av_simkit::road::Road;
+    use av_simkit::world::World;
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 10.0, Behavior::Ego);
+        let mut w = World::new(Road::default(), ego);
+        w.add_actor(Actor::new(
+            ActorId(1),
+            ActorKind::Car,
+            Vec2::new(30.0, 0.0),
+            5.0,
+            Behavior::CruiseStraight { speed: 5.0 },
+        ))
+        .unwrap();
+        w
+    }
+
+    #[test]
+    fn ideal_detector_reproduces_truth() {
+        let mut det = Detector::new(DetectorCalibration::ideal());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let frame = capture(&Camera::default(), &world(), 0, false);
+        let dets = det.detect(&frame, &mut rng);
+        assert_eq!(dets.len(), 1);
+        let truth = frame.truth_for(ActorId(1)).unwrap().bbox;
+        assert!(dets[0].bbox.iou(&truth) > 0.99);
+        assert_eq!(dets[0].provenance, Some(ActorId(1)));
+    }
+
+    #[test]
+    fn suppressed_truth_produces_nothing() {
+        let mut det = Detector::new(DetectorCalibration::ideal());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut frame = capture(&Camera::default(), &world(), 0, false);
+        frame.truth_for_mut(ActorId(1)).unwrap().suppressed = true;
+        assert!(det.detect(&frame, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn noise_has_calibrated_spread() {
+        let mut det = Detector::new(DetectorCalibration::paper());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let frame = capture(&Camera::default(), &world(), 0, false);
+        let truth = frame.truth_for(ActorId(1)).unwrap().bbox;
+        let mut errs = Vec::new();
+        for _ in 0..5000 {
+            for d in det.detect(&frame, &mut rng) {
+                let (cx, _) = d.bbox.center();
+                let (tx, _) = truth.center();
+                errs.push((cx - tx) / truth.width());
+            }
+        }
+        let n = errs.len() as f64;
+        let mean = errs.iter().sum::<f64>() / n;
+        let sd = (errs.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / n).sqrt();
+        assert!((mean - 0.023).abs() < 0.03, "mean {mean}");
+        assert!((sd - 0.464).abs() < 0.05, "sd {sd}");
+    }
+
+    #[test]
+    fn misdetection_streaks_have_exponential_lengths() {
+        let mut det = Detector::new(DetectorCalibration::paper());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let frame = capture(&Camera::default(), &world(), 0, false);
+        let mut streaks = Vec::new();
+        let mut current = 0u32;
+        for _ in 0..60_000 {
+            let seen = !det.detect(&frame, &mut rng).is_empty();
+            if seen {
+                if current > 0 {
+                    streaks.push(current);
+                    current = 0;
+                }
+            } else {
+                current += 1;
+            }
+        }
+        assert!(streaks.len() > 300, "streaks: {}", streaks.len());
+        let mean = streaks.iter().map(|&s| f64::from(s)).sum::<f64>() / streaks.len() as f64;
+        // Exp(loc=1, λ=0.327) has mean 1 + 1/0.327 ≈ 4.06.
+        assert!((mean - 4.06).abs() < 0.6, "mean streak {mean}");
+        assert!(streaks.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn tiny_boxes_are_not_detected() {
+        let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 10.0, Behavior::Ego);
+        let mut w = World::new(Road::default(), ego);
+        // A pedestrian near the camera's maximum range projects very small.
+        w.add_actor(Actor::new(
+            ActorId(1),
+            ActorKind::Pedestrian,
+            Vec2::new(145.0, 0.0),
+            0.0,
+            Behavior::Parked,
+        ))
+        .unwrap();
+        let mut det = Detector::new(DetectorCalibration::paper());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let frame = capture(&Camera::default(), &w, 0, false);
+        // The projected box area must be under the detectability threshold.
+        if let Some(tb) = frame.truth_for(ActorId(1)) {
+            assert!(tb.bbox.area() < 150.0, "area {}", tb.bbox.area());
+        }
+        assert!(det.detect(&frame, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn reset_clears_streaks() {
+        let mut det = Detector::new(DetectorCalibration::paper());
+        det.streaks.insert(ActorId(1), 10);
+        det.reset();
+        assert!(det.streaks.is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Hungarian algorithm ("M" in Fig. 1): minimum-cost bipartite assignment.
+//!
+//! O(n²·m) potential-based implementation (Kuhn–Munkres with Dijkstra-style
+//! row augmentation). Rectangular matrices are supported; forbidden pairs
+//! are encoded as `f64::INFINITY` and never reported as assigned.
+
+/// Sentinel used internally in place of `INFINITY` so arithmetic stays finite.
+const FORBIDDEN: f64 = 1e30;
+
+/// Solves the assignment problem for a `rows × cols` cost matrix.
+///
+/// Returns `assignment[row] = Some(col)` for every row matched to a column
+/// with finite cost, `None` otherwise. Each column is used at most once. The
+/// total cost of the returned assignment is minimal among all maximal
+/// matchings over the finite-cost pairs.
+///
+/// # Panics
+///
+/// Panics if the rows are not all the same length.
+pub fn solve(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let n = cost.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = cost[0].len();
+    assert!(cost.iter().all(|r| r.len() == m), "ragged cost matrix");
+    if m == 0 {
+        return vec![None; n];
+    }
+
+    // The potential algorithm needs rows <= cols; transpose if necessary.
+    if n > m {
+        let transposed: Vec<Vec<f64>> =
+            (0..m).map(|j| (0..n).map(|i| cost[i][j]).collect()).collect();
+        let col_assign = solve(&transposed);
+        let mut assignment = vec![None; n];
+        for (j, a) in col_assign.into_iter().enumerate() {
+            if let Some(i) = a {
+                assignment[i] = Some(j);
+            }
+        }
+        return assignment;
+    }
+
+    let sanitized = |i: usize, j: usize| {
+        let c = cost[i][j];
+        if c.is_finite() {
+            c
+        } else {
+            FORBIDDEN
+        }
+    };
+
+    // 1-indexed potentials; way[j] remembers the augmenting path.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row assigned to column j (1-indexed)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = sanitized(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![None; n];
+    for j in 1..=m {
+        let i = p[j];
+        if i > 0 && cost[i - 1][j - 1].is_finite() && cost[i - 1][j - 1] < FORBIDDEN {
+            assignment[i - 1] = Some(j - 1);
+        }
+    }
+    assignment
+}
+
+/// Total cost of an assignment over a cost matrix (for tests/benches).
+pub fn assignment_cost(cost: &[Vec<f64>], assignment: &[Option<usize>]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(i, a)| a.map(|j| cost[i][j]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_optimal() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = solve(&cost);
+        assert_eq!(a, vec![Some(1), Some(0), Some(2)]);
+        assert_eq!(assignment_cost(&cost, &a), 5.0);
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let cost = vec![
+            vec![0.0, 9.0, 9.0],
+            vec![9.0, 0.0, 9.0],
+            vec![9.0, 9.0, 0.0],
+        ];
+        assert_eq!(solve(&cost), vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn rectangular_more_cols() {
+        let cost = vec![vec![5.0, 1.0, 8.0, 3.0], vec![4.0, 7.0, 2.0, 9.0]];
+        let a = solve(&cost);
+        assert_eq!(a, vec![Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn rectangular_more_rows() {
+        let cost = vec![vec![5.0, 1.0], vec![4.0, 7.0], vec![0.5, 9.0]];
+        let a = solve(&cost);
+        // Row 1 must lose: rows 0 and 2 take the two columns.
+        assert_eq!(a, vec![Some(1), None, Some(0)]);
+    }
+
+    #[test]
+    fn forbidden_pairs_never_assigned() {
+        let inf = f64::INFINITY;
+        let cost = vec![vec![inf, inf], vec![1.0, inf]];
+        let a = solve(&cost);
+        assert_eq!(a[0], None);
+        assert_eq!(a[1], Some(0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(solve(&[]).is_empty());
+        assert_eq!(solve(&[vec![], vec![]]), vec![None, None]);
+    }
+
+    #[test]
+    fn columns_unique() {
+        let cost = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]];
+        let a = solve(&cost);
+        let assigned: Vec<usize> = a.iter().flatten().copied().collect();
+        assert_eq!(assigned.len(), 2);
+        assert_ne!(assigned[0], assigned[1]);
+    }
+
+    #[test]
+    fn greedy_is_suboptimal_hungarian_is_not() {
+        // Greedy (row-by-row min) picks (0,0)=1 then (1,1)=10 → 11.
+        // Optimal is (0,1)=2 + (1,0)=3 → 5.
+        let cost = vec![vec![1.0, 2.0], vec![3.0, 10.0]];
+        let a = solve(&cost);
+        assert_eq!(assignment_cost(&cost, &a), 5.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # av-perception — Apollo-style perception stack
+//!
+//! The tracking-by-detection pipeline of Fig. 1 in the paper, rebuilt over
+//! the simulated sensors:
+//!
+//! ```text
+//! camera frame ──► detector ("D") ──► Hungarian matching ("M")
+//!                                        │
+//!                      Kalman filters ("F*", one per track)
+//!                                        │
+//!                      ground transform ("T") ──► sensor fusion ──► world model Wt
+//!                                                      ▲
+//!                                              LiDAR scans
+//! ```
+//!
+//! - [`detector`]: a stochastic stand-in for YOLOv3 whose noise is
+//!   **calibrated to the paper's Fig. 5 measurements** — Gaussian bounding
+//!   box center error and exponentially distributed continuous-misdetection
+//!   streaks, per class ([`calibration`]).
+//! - [`hungarian`]: full O(n³) minimum-cost assignment.
+//! - [`kalman`]: constant-velocity Kalman filter in image space — the
+//!   component whose zero-mean-Gaussian noise assumption the attack exploits
+//!   (§III-B "the critical vulnerable component ... is a Kalman filter").
+//! - [`tracker`]: multi-object tracker with track lifecycle management.
+//! - [`fusion`]: camera–LiDAR fusion with camera classification authority and
+//!   slow LiDAR-only (re-)registration, reproducing the asymmetry that makes
+//!   pedestrians easier to attack than vehicles (§VI-C).
+//! - [`pipeline`]: [`pipeline::Perception`] glues it all together and is the
+//!   exact module instantiated twice per run: once inside the ADS, once
+//!   inside the malware (which reconstructs the world from the tapped camera
+//!   feed alone, §III-D phase 2).
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod detector;
+pub mod fusion;
+pub mod hungarian;
+pub mod kalman;
+pub mod pipeline;
+pub mod tracker;
+pub mod types;
+
+pub use calibration::{ClassCalibration, DetectorCalibration};
+pub use detector::Detector;
+pub use fusion::{Fusion, FusionConfig};
+pub use pipeline::{Perception, PerceptionConfig};
+pub use tracker::{Track, TrackId, TrackState, Tracker, TrackerConfig};
+pub use types::{Detection, WorldObject};

@@ -1,0 +1,258 @@
+//! The assembled perception system (Fig. 1's "Perception System" box).
+
+use crate::calibration::DetectorCalibration;
+use crate::detector::Detector;
+use crate::fusion::{CameraObservation, Fusion, FusionConfig};
+use crate::tracker::{Track, Tracker, TrackerConfig};
+use crate::types::WorldObject;
+use av_sensing::camera::Camera;
+use av_sensing::frame::CameraFrame;
+use av_sensing::lidar::LidarScan;
+use av_simkit::math::Vec2;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the full perception stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct PerceptionConfig {
+    /// Camera intrinsics/mounting used for the ground transform.
+    pub camera: Camera,
+    /// Detector noise calibration.
+    pub calibration: DetectorCalibration,
+    /// Tracker configuration.
+    pub tracker: TrackerConfig,
+    /// Fusion configuration.
+    pub fusion: FusionConfig,
+}
+
+/// The full camera(+LiDAR) perception pipeline.
+///
+/// Two instances run per simulation: the ADS's own (fed the possibly
+/// tampered camera feed plus LiDAR) and the malware's replica (fed the clean
+/// tapped feed, camera-only — §III-D phase 2 reconstructs `Wt` from one
+/// camera).
+#[derive(Debug, Clone)]
+pub struct Perception {
+    config: PerceptionConfig,
+    detector: Detector,
+    tracker: Tracker,
+    fusion: Fusion,
+    last_camera_t: Option<f64>,
+    last_detections: Vec<crate::types::Detection>,
+}
+
+impl Perception {
+    /// Builds a pipeline from configuration.
+    pub fn new(config: PerceptionConfig) -> Self {
+        Perception {
+            config,
+            detector: Detector::new(config.calibration),
+            tracker: Tracker::new(config.tracker, config.calibration),
+            fusion: Fusion::new(config.fusion),
+            last_camera_t: None,
+            last_detections: Vec::new(),
+        }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PerceptionConfig {
+        &self.config
+    }
+
+    /// Processes one camera frame: detect → associate/track → back-project →
+    /// fuse. `ego_position` is the ego's world position at capture time
+    /// (from GPS/IMU).
+    pub fn on_camera_frame<R: Rng + ?Sized>(
+        &mut self,
+        frame: &CameraFrame,
+        ego_position: Vec2,
+        rng: &mut R,
+    ) {
+        let dt = self
+            .last_camera_t
+            .map_or(1.0 / av_simkit::units::CAMERA_HZ, |t0| (frame.t - t0).max(1e-3));
+        self.last_camera_t = Some(frame.t);
+
+        let detections = self.detector.detect(frame, rng);
+        self.tracker.step(dt, &detections);
+        self.last_detections = detections.clone();
+
+        let observations: Vec<CameraObservation> = self
+            .tracker
+            .confirmed()
+            .filter_map(|track| {
+                let bbox = track.bbox();
+                // Boxes clipped at the image border back-project with a
+                // systematic lateral bias (the visible-part center is not
+                // the object center); drop them and let LiDAR sustain the
+                // object while it passes out of the field of view.
+                if bbox.x0 <= 2.0 || bbox.x1 >= self.config.camera.width - 2.0 {
+                    return None;
+                }
+                // Apparent-size ranging with the known class height; the
+                // near field (< 8 m) is dominated by clipping and left to
+                // LiDAR.
+                let class_height = av_simkit::actor::Size::for_kind(track.kind).height;
+                self.config
+                    .camera
+                    .back_project_with_height(&bbox, class_height)
+                    .filter(|rel| rel.x >= 8.0)
+                    .map(|rel| CameraObservation {
+                        track: track.id,
+                        kind: track.kind,
+                        position: ego_position + rel,
+                        provenance: track.provenance,
+                    })
+            })
+            .collect();
+        self.fusion.on_camera(&observations, frame.t);
+    }
+
+    /// Processes one LiDAR sweep.
+    pub fn on_lidar(&mut self, scan: &LidarScan) {
+        self.fusion.on_lidar(scan);
+    }
+
+    /// The current fused world model `Wt`.
+    pub fn world_model(&self) -> Vec<WorldObject> {
+        self.fusion.world_model()
+    }
+
+    /// The raw detector output of the most recent camera frame — the
+    /// observable an external IDS monitors.
+    pub fn last_detections(&self) -> &[crate::types::Detection] {
+        &self.last_detections
+    }
+
+    /// Live camera tracks (the malware reads these as its `Ŝt`).
+    pub fn tracks(&self) -> &[Track] {
+        self.tracker.tracks()
+    }
+
+    /// The tracker (exposed for the attack's association-cost evaluation).
+    pub fn tracker(&self) -> &Tracker {
+        &self.tracker
+    }
+
+    /// Clears all pipeline state (between runs).
+    pub fn reset(&mut self) {
+        self.detector.reset();
+        self.tracker.reset();
+        self.fusion.reset();
+        self.last_camera_t = None;
+        self.last_detections.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_sensing::frame::capture;
+    use av_sensing::lidar::Lidar;
+    use av_simkit::actor::{Actor, ActorId, ActorKind};
+    use av_simkit::behavior::Behavior;
+    use av_simkit::road::Road;
+    use av_simkit::world::World;
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 10.0, Behavior::Ego);
+        let mut w = World::new(Road::default(), ego);
+        w.add_actor(Actor::new(
+            ActorId(1),
+            ActorKind::Car,
+            Vec2::new(40.0, 0.0),
+            6.0,
+            Behavior::CruiseStraight { speed: 6.0 },
+        ))
+        .unwrap();
+        w
+    }
+
+    fn ideal_config() -> PerceptionConfig {
+        PerceptionConfig {
+            calibration: DetectorCalibration::ideal(),
+            ..PerceptionConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_tracks_a_vehicle() {
+        let mut w = world();
+        let mut p = Perception::new(ideal_config());
+        let lidar = Lidar::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let dt = 1.0 / 15.0;
+        for seq in 0..60 {
+            let frame = capture(&p.config.camera, &w, seq, false);
+            p.on_camera_frame(&frame, w.ego().pose.position, &mut rng);
+            if seq % 3 == 0 {
+                p.on_lidar(&lidar.scan(&w, &mut rng));
+            }
+            w.step(dt, 0.0);
+        }
+        let wm = p.world_model();
+        assert_eq!(wm.len(), 1);
+        let obj = &wm[0];
+        let truth = w.actor(ActorId(1)).unwrap();
+        assert!((obj.position.x - truth.pose.position.x).abs() < 3.0,
+            "x: {} vs {}", obj.position.x, truth.pose.position.x);
+        assert!(obj.position.y.abs() < 1.0);
+        // Relative speed estimate: target does 6 m/s in world coordinates.
+        assert!((obj.velocity.x - 6.0).abs() < 2.5, "vx = {}", obj.velocity.x);
+        assert_eq!(obj.provenance, Some(ActorId(1)));
+    }
+
+    #[test]
+    fn noisy_pipeline_still_converges_near_truth() {
+        let mut w = world();
+        let mut p = Perception::new(PerceptionConfig::default());
+        let lidar = Lidar::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let dt = 1.0 / 15.0;
+        for seq in 0..90 {
+            let frame = capture(&p.config.camera, &w, seq, false);
+            p.on_camera_frame(&frame, w.ego().pose.position, &mut rng);
+            if seq % 3 == 0 {
+                p.on_lidar(&lidar.scan(&w, &mut rng));
+            }
+            w.step(dt, 0.0);
+        }
+        let wm = p.world_model();
+        assert!(!wm.is_empty(), "object lost");
+        let truth = w.actor(ActorId(1)).unwrap();
+        let obj = wm
+            .iter()
+            .min_by(|a, b| {
+                a.position
+                    .distance(truth.pose.position)
+                    .total_cmp(&b.position.distance(truth.pose.position))
+            })
+            .unwrap();
+        // LiDAR refinement keeps the longitudinal error small despite the
+        // (large, calibrated) camera ranging noise.
+        assert!(
+            (obj.position.x - truth.pose.position.x).abs() < 3.0,
+            "x: {} vs {}",
+            obj.position.x,
+            truth.pose.position.x
+        );
+    }
+
+    #[test]
+    fn reset_clears_world_model() {
+        let w = world();
+        let mut p = Perception::new(ideal_config());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // Enough frames to confirm the track and pass the fusion
+        // registration gate.
+        for seq in 0..12 {
+            let frame = capture(&p.config.camera, &w, seq, false);
+            p.on_camera_frame(&frame, w.ego().pose.position, &mut rng);
+        }
+        assert!(!p.world_model().is_empty());
+        p.reset();
+        assert!(p.world_model().is_empty());
+        assert!(p.tracks().is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the perception stack.
+
+use av_perception::hungarian::{assignment_cost, solve};
+use av_perception::kalman::{Kalman, KalmanConfig};
+use proptest::prelude::*;
+
+/// Brute-force optimal assignment for small matrices.
+fn brute_force(cost: &[Vec<f64>]) -> f64 {
+    let m = cost.first().map_or(0, Vec::len);
+    let cols: Vec<usize> = (0..m).collect();
+    let mut best = f64::INFINITY;
+    // Permutations of column subsets of size min(n, m).
+    fn recurse(cost: &[Vec<f64>], row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+        let n = cost.len();
+        if row == n {
+            *best = best.min(acc);
+            return;
+        }
+        // Option: leave this row unassigned only if more rows than columns.
+        let m = used.len();
+        let assigned = used.iter().filter(|&&u| u).count();
+        if n - row > m - assigned {
+            recurse(cost, row + 1, used, acc, best);
+        }
+        for j in 0..m {
+            if !used[j] && cost[row][j].is_finite() {
+                used[j] = true;
+                recurse(cost, row + 1, used, acc + cost[row][j], best);
+                used[j] = false;
+            }
+        }
+        // Rows may also stay unassigned when every remaining pair is
+        // forbidden; cover that by always allowing skip for finite search.
+        if cost[row].iter().all(|c| !c.is_finite()) {
+            recurse(cost, row + 1, used, acc, best);
+        }
+    }
+    let mut used = vec![false; cols.len()];
+    recurse(cost, 0, &mut used, 0.0, &mut best);
+    best
+}
+
+fn arb_cost(n: usize, m: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0..100.0f64, m), n)
+}
+
+proptest! {
+    /// The Hungarian solver matches brute force on every small instance.
+    #[test]
+    fn hungarian_is_optimal(cost in arb_cost(4, 4)) {
+        let assignment = solve(&cost);
+        let total = assignment_cost(&cost, &assignment);
+        let best = brute_force(&cost);
+        prop_assert!((total - best).abs() < 1e-6, "hungarian {total} vs brute {best}");
+    }
+
+    #[test]
+    fn hungarian_is_optimal_rectangular(cost in arb_cost(3, 5)) {
+        let assignment = solve(&cost);
+        // Every row must be matched when columns are plentiful and finite.
+        prop_assert!(assignment.iter().all(Option::is_some));
+        let total = assignment_cost(&cost, &assignment);
+        let best = brute_force(&cost);
+        prop_assert!((total - best).abs() < 1e-6);
+    }
+
+    /// No column is ever assigned twice.
+    #[test]
+    fn hungarian_assignment_is_injective(cost in arb_cost(6, 4)) {
+        let assignment = solve(&cost);
+        let mut seen = std::collections::HashSet::new();
+        for a in assignment.into_iter().flatten() {
+            prop_assert!(seen.insert(a), "column {a} assigned twice");
+        }
+    }
+
+    /// The Kalman filter converges to any constant-velocity trajectory.
+    #[test]
+    fn kalman_tracks_any_constant_velocity(
+        x0 in -500.0..500.0f64, y0 in -500.0..500.0f64,
+        vx in -120.0..120.0f64, vy in -120.0..120.0f64,
+    ) {
+        let mut kf = Kalman::new(KalmanConfig::default(), x0, y0);
+        let dt = 1.0 / 15.0;
+        for i in 1..=120 {
+            kf.predict(dt);
+            let t = dt * f64::from(i);
+            kf.update(x0 + vx * t, y0 + vy * t);
+        }
+        let (ex, ey) = kf.velocity();
+        prop_assert!((ex - vx).abs() < 0.05 * vx.abs().max(20.0), "vx {ex} vs {vx}");
+        prop_assert!((ey - vy).abs() < 0.05 * vy.abs().max(20.0), "vy {ey} vs {vy}");
+    }
+
+    /// Updates never inflate positional uncertainty.
+    #[test]
+    fn kalman_update_reduces_variance(z in -100.0..100.0f64) {
+        let mut kf = Kalman::new(KalmanConfig::default(), 0.0, 0.0);
+        kf.predict(0.5);
+        let (before, _) = kf.position_variance();
+        kf.update(z, 0.0);
+        let (after, _) = kf.position_variance();
+        prop_assert!(after <= before + 1e-9);
+    }
+}

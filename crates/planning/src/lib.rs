@@ -1,0 +1,26 @@
+//! # av-planning — ADS planning & control
+//!
+//! The planning/control half of the Apollo-style stack (Fig. 1, right):
+//!
+//! - [`safety`]: the Jha et al. safety model the paper adopts (§II-C) —
+//!   stopping distance `d_stop`, safety envelope `d_safe`, and safety
+//!   potential `δ = d_safe − d_stop`, with the 4 m accident threshold.
+//! - [`planner`]: a longitudinal speed planner with cruise / follow / stop /
+//!   emergency-brake behaviors, pedestrian crossing prediction, and the
+//!   forced-emergency-braking definition used by the evaluation.
+//! - [`pid`]: the PID/jerk-limited actuation smoothing the paper mentions
+//!   ("commands are smoothed out using a PID controller", §II-A).
+//! - [`ads`]: the assembled ADS — perception + planner + controller behind
+//!   the sensor callbacks, scheduled at Apollo-like rates by the run loop.
+
+#![warn(missing_docs)]
+
+pub mod ads;
+pub mod pid;
+pub mod planner;
+pub mod safety;
+
+pub use ads::{Ads, AdsConfig};
+pub use pid::Pid;
+pub use planner::{Planner, PlannerConfig, PlannerMode};
+pub use safety::SafetyConfig;

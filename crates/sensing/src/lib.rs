@@ -1,0 +1,34 @@
+//! # av-sensing — simulated sensor suite
+//!
+//! Sensor models over the [`av_simkit`] plan-view world, replicating the
+//! paper's LGSVL sensor configuration (§V-B): a front main camera producing
+//! 1920×1080 frames at 15 Hz, a LiDAR at 10 Hz, and GPS/IMU at 12.5 Hz.
+//!
+//! The camera produces two things per frame:
+//!
+//! - **ground-truth image boxes** ([`frame::TruthBox`]) via an ideal pinhole
+//!   projection — the detector model in `av-perception` corrupts these with
+//!   its calibrated noise (this is the fast path used in campaigns), and
+//! - an optional **luminance raster** ([`image::Raster`]) — a low-resolution
+//!   rendering used by the pixel-space adversarial-patch demonstration.
+//!
+//! The camera feed is what the paper's man-in-the-middle attack taps
+//! (§III-B, the Argus automotive-Ethernet hack): [`frame::CameraFrame`] is
+//! exactly the payload an attacker intercepts and may rewrite before the ADS
+//! perception module consumes it.
+
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod camera;
+pub mod frame;
+pub mod gps;
+pub mod image;
+pub mod lidar;
+
+pub use bbox::BBox;
+pub use camera::Camera;
+pub use frame::{CameraFrame, TruthBox};
+pub use gps::{GpsImu, GpsImuFix};
+pub use image::Raster;
+pub use lidar::{Lidar, LidarObject, LidarScan};

@@ -1,0 +1,44 @@
+//! Error types for the simulator.
+
+use crate::actor::ActorId;
+
+/// Errors produced by simulator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An actor id was not found in the world.
+    UnknownActor(ActorId),
+    /// An actor id was inserted twice.
+    DuplicateActor(ActorId),
+    /// The world has no ego vehicle configured.
+    NoEgo,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownActor(id) => write!(f, "unknown actor {id}"),
+            SimError::DuplicateActor(id) => write!(f, "duplicate actor {id}"),
+            SimError::NoEgo => write!(f, "world has no ego vehicle"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let msgs = [
+            SimError::UnknownActor(ActorId(3)).to_string(),
+            SimError::DuplicateActor(ActorId(1)).to_string(),
+            SimError::NoEgo.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-run time-series capture used by the evaluation harness.
+
+use serde::{Deserialize, Serialize};
+
+/// One sample of the quantities the evaluation tracks, taken whenever an
+/// actuation command is sent (the paper computes `d_safe` at actuation time,
+/// §II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Simulation time (s).
+    pub t: f64,
+    /// Ego speed (m/s).
+    pub ego_speed: f64,
+    /// Commanded ego acceleration (m/s²).
+    pub ego_accel: f64,
+    /// Ground-truth safety potential δ = d_safe − d_stop (m).
+    pub delta: f64,
+    /// Ground-truth bumper gap to the scripted target object (m).
+    pub target_gap: f64,
+    /// Whether an attack perturbation was applied to this frame.
+    pub attack_active: bool,
+    /// Whether the ADS was emergency braking at this sample.
+    pub emergency_braking: bool,
+}
+
+/// Discrete events of interest during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// The attacker began perturbing the camera feed.
+    AttackStarted,
+    /// The attacker stopped perturbing the camera feed.
+    AttackEnded,
+    /// The ADS entered emergency braking.
+    EmergencyBrake,
+    /// Ground-truth separation dropped below the 4 m simulator-halt limit.
+    Collision,
+}
+
+/// Recorded history of a single simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Periodic samples, in time order.
+    pub samples: Vec<Sample>,
+    /// Time-stamped events, in time order.
+    pub events: Vec<(f64, Event)>,
+}
+
+impl RunRecord {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        RunRecord::default()
+    }
+
+    /// Appends a sample.
+    pub fn push_sample(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// Appends an event at time `t`.
+    pub fn push_event(&mut self, t: f64, event: Event) {
+        self.events.push((t, event));
+    }
+
+    /// Time of the first occurrence of `event`, if any.
+    pub fn first_event(&self, event: Event) -> Option<f64> {
+        self.events.iter().find(|(_, e)| *e == event).map(|(t, _)| *t)
+    }
+
+    /// Whether `event` occurred at least once.
+    pub fn has_event(&self, event: Event) -> bool {
+        self.first_event(event).is_some()
+    }
+
+    /// Minimum ground-truth safety potential from `from_t` (inclusive) to the
+    /// end of the run — the Fig. 6 metric when `from_t` is the attack start.
+    pub fn min_delta_since(&self, from_t: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.t >= from_t)
+            .map(|s| s.delta)
+            .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.min(d))))
+    }
+
+    /// Number of samples flagged as attack-active (the realized attack
+    /// length in actuation samples).
+    pub fn attack_sample_count(&self) -> usize {
+        self.samples.iter().filter(|s| s.attack_active).count()
+    }
+
+    /// Duration covered by the samples (s), zero if fewer than two samples.
+    pub fn duration(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, delta: f64, attack: bool) -> Sample {
+        Sample {
+            t,
+            ego_speed: 10.0,
+            ego_accel: 0.0,
+            delta,
+            target_gap: delta + 5.0,
+            attack_active: attack,
+            emergency_braking: false,
+        }
+    }
+
+    #[test]
+    fn min_delta_since_respects_window() {
+        let mut r = RunRecord::new();
+        r.push_sample(sample(0.0, 3.0, false)); // before the window
+        r.push_sample(sample(1.0, 10.0, true));
+        r.push_sample(sample(2.0, 7.0, true));
+        assert_eq!(r.min_delta_since(0.5), Some(7.0));
+        assert_eq!(r.min_delta_since(0.0), Some(3.0));
+        assert_eq!(r.min_delta_since(5.0), None);
+    }
+
+    #[test]
+    fn events_query() {
+        let mut r = RunRecord::new();
+        r.push_event(1.5, Event::AttackStarted);
+        r.push_event(2.0, Event::EmergencyBrake);
+        assert_eq!(r.first_event(Event::AttackStarted), Some(1.5));
+        assert!(r.has_event(Event::EmergencyBrake));
+        assert!(!r.has_event(Event::Collision));
+    }
+
+    #[test]
+    fn counts_and_duration() {
+        let mut r = RunRecord::new();
+        r.push_sample(sample(0.0, 10.0, false));
+        r.push_sample(sample(1.0, 10.0, true));
+        r.push_sample(sample(2.0, 10.0, true));
+        assert_eq!(r.attack_sample_count(), 2);
+        assert_eq!(r.duration(), 2.0);
+        assert_eq!(RunRecord::new().duration(), 0.0);
+    }
+}

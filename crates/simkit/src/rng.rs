@@ -1,0 +1,129 @@
+//! Seeded random sampling used by every stochastic model in the workspace.
+//!
+//! `rand` (the only RNG dependency allowed offline) does not ship normal or
+//! exponential distributions, so this module implements Box–Muller and
+//! inverse-CDF sampling directly. All samplers take `&mut impl Rng` so the
+//! caller controls seeding and reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Derives a per-run RNG from a campaign seed and a run index.
+///
+/// A [SplitMix64](https://prng.di.unimi.it/splitmix64.c) step mixes the two
+/// inputs so that neighbouring run indices produce uncorrelated streams.
+pub fn run_rng(campaign_seed: u64, run_index: u64) -> StdRng {
+    StdRng::seed_from_u64(mix(campaign_seed, run_index))
+}
+
+/// Mixes two 64-bit values into one (SplitMix64 finalizer).
+pub fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `Normal(mean, std_dev)`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `std_dev` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    debug_assert!(std_dev >= 0.0, "normal: negative std_dev {std_dev}");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples a shifted exponential: `loc + Exp(lambda)`.
+///
+/// This matches the `Exp(loc, λ)` parameterization the paper uses for the
+/// continuous-misdetection streak lengths in Fig. 5 (a–b).
+///
+/// # Panics
+///
+/// Panics in debug builds if `lambda` is not strictly positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, loc: f64, lambda: f64) -> f64 {
+    debug_assert!(lambda > 0.0, "exponential: lambda must be > 0, got {lambda}");
+    let u: f64 = 1.0 - rng.random::<f64>();
+    loc - u.ln() / lambda
+}
+
+/// Returns `true` with probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.random::<f64>() < p.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn run_rng_is_deterministic() {
+        let mut a = run_rng(1, 2);
+        let mut b = run_rng(1, 2);
+        for _ in 0..16 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn run_rng_differs_across_runs() {
+        let mut a = run_rng(1, 2);
+        let mut b = run_rng(1, 3);
+        let same = (0..16).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exponential_moments_and_support() {
+        let mut r = rng();
+        let n = 200_000;
+        let loc = 1.0;
+        let lambda = 0.717;
+        let samples: Vec<f64> = (0..n).map(|_| exponential(&mut r, loc, lambda)).collect();
+        assert!(samples.iter().all(|&s| s >= loc));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - (loc + 1.0 / lambda)).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = rng();
+        assert!((0..100).all(|_| bernoulli(&mut r, 1.1)));
+        assert!((0..100).all(|_| !bernoulli(&mut r, -0.1)));
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut r = rng();
+        let hits = (0..100_000).filter(|_| bernoulli(&mut r, 0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,268 @@
+//! The five driving scenarios of §V-C, rebuilt on the plan-view world.
+//!
+//! All scenarios play out on a straight 3-lane road (ego lane, one adjacent
+//! traffic lane to the left, a parking lane to the right) with a 50 kph limit,
+//! mirroring the paper's Borregas Avenue setup. The ego cruises at 45 kph
+//! unless the scenario says otherwise.
+
+use crate::actor::{Actor, ActorId, ActorKind};
+use crate::behavior::{Behavior, OnFinish, Waypoint};
+use crate::math::Vec2;
+use crate::rng;
+use crate::road::Road;
+use crate::units::kph_to_mps;
+use crate::world::World;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a driving scenario from the paper (§V-C, Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioId {
+    /// DS-1: ego follows a slower target vehicle in its lane.
+    Ds1,
+    /// DS-2: a pedestrian illegally crosses the street ahead of the ego.
+    Ds2,
+    /// DS-3: a target vehicle is parked in the parking lane.
+    Ds3,
+    /// DS-4: a pedestrian walks toward the ego in the parking lane, then stops.
+    Ds4,
+    /// DS-5: DS-1 plus random traffic — the random-attack baseline scenario.
+    Ds5,
+}
+
+impl ScenarioId {
+    /// All five scenarios, in paper order.
+    pub const ALL: [ScenarioId; 5] = [
+        ScenarioId::Ds1,
+        ScenarioId::Ds2,
+        ScenarioId::Ds3,
+        ScenarioId::Ds4,
+        ScenarioId::Ds5,
+    ];
+
+    /// The paper's name for the scenario.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioId::Ds1 => "DS-1",
+            ScenarioId::Ds2 => "DS-2",
+            ScenarioId::Ds3 => "DS-3",
+            ScenarioId::Ds4 => "DS-4",
+            ScenarioId::Ds5 => "DS-5",
+        }
+    }
+
+    /// Whether the scenario's target object is a pedestrian.
+    pub fn target_is_pedestrian(self) -> bool {
+        matches!(self, ScenarioId::Ds2 | ScenarioId::Ds4)
+    }
+}
+
+impl std::fmt::Display for ScenarioId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully built scenario: the initial world plus run metadata.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which scenario this is.
+    pub id: ScenarioId,
+    /// The initial world state.
+    pub world: World,
+    /// The scripted target object (the paper's "TO"/"TV").
+    pub target: ActorId,
+    /// The ego's cruise speed for the run (m/s).
+    pub cruise_speed: f64,
+    /// Nominal duration of the run in seconds.
+    pub duration: f64,
+}
+
+/// The actor id reserved for the ego vehicle in every scenario.
+pub const EGO_ID: ActorId = ActorId(0);
+/// The actor id reserved for the scripted target object in every scenario.
+pub const TARGET_ID: ActorId = ActorId(1);
+
+impl Scenario {
+    /// Builds scenario `id`. `seed` randomizes the DS-5 traffic and adds
+    /// small per-run jitter to initial positions (±2 m longitudinal), so
+    /// campaigns explore slightly different interaction timings, like the
+    /// paper's 150–200 runs per campaign do.
+    pub fn build(id: ScenarioId, seed: u64) -> Scenario {
+        let mut rng = rng::run_rng(seed, 0xD5);
+        let road = Road::default();
+        let cruise = kph_to_mps(45.0);
+        let jitter = |rng: &mut rand::rngs::StdRng| rng.random_range(-2.0..2.0);
+
+        let ego = Actor::new(EGO_ID, ActorKind::Car, Vec2::new(0.0, 0.0), cruise, Behavior::Ego);
+        let mut world = World::new(road, ego);
+
+        let (target, duration) = match id {
+            ScenarioId::Ds1 => {
+                let v_tv = kph_to_mps(25.0);
+                let x0 = 60.0 + jitter(&mut rng);
+                let tv = Actor::new(
+                    TARGET_ID,
+                    ActorKind::Car,
+                    Vec2::new(x0, 0.0),
+                    v_tv,
+                    Behavior::CruiseStraight { speed: v_tv },
+                );
+                world.add_actor(tv).expect("fresh world");
+                (TARGET_ID, 45.0)
+            }
+            ScenarioId::Ds2 => {
+                let x0 = 70.0 + jitter(&mut rng);
+                let walk = 1.4;
+                let ped = Actor::new(
+                    TARGET_ID,
+                    ActorKind::Pedestrian,
+                    Vec2::new(x0, -6.5),
+                    walk,
+                    Behavior::waypoints(vec![Waypoint::new(Vec2::new(x0, 6.5), walk)], OnFinish::Stop),
+                );
+                world.add_actor(ped).expect("fresh world");
+                (TARGET_ID, 30.0)
+            }
+            ScenarioId::Ds3 => {
+                let x0 = 90.0 + jitter(&mut rng);
+                let tv =
+                    Actor::new(TARGET_ID, ActorKind::Car, Vec2::new(x0, -3.5), 0.0, Behavior::Parked);
+                world.add_actor(tv).expect("fresh world");
+                (TARGET_ID, 20.0)
+            }
+            ScenarioId::Ds4 => {
+                let x0 = 95.0 + jitter(&mut rng);
+                let walk = 1.4;
+                let ped = Actor::new(
+                    TARGET_ID,
+                    ActorKind::Pedestrian,
+                    Vec2::new(x0, -3.3),
+                    walk,
+                    Behavior::waypoints(
+                        vec![Waypoint::new(Vec2::new(x0 - 5.0, -3.3), walk)],
+                        OnFinish::Stop,
+                    ),
+                );
+                world.add_actor(ped).expect("fresh world");
+                (TARGET_ID, 25.0)
+            }
+            ScenarioId::Ds5 => {
+                let v_tv = kph_to_mps(25.0);
+                let x0 = 60.0 + jitter(&mut rng);
+                let tv = Actor::new(
+                    TARGET_ID,
+                    ActorKind::Car,
+                    Vec2::new(x0, 0.0),
+                    v_tv,
+                    Behavior::CruiseStraight { speed: v_tv },
+                );
+                world.add_actor(tv).expect("fresh world");
+                // Oncoming traffic in the adjacent lane plus a trailing car,
+                // with randomized speeds and positions (§V-C: "random
+                // waypoints and trajectories"). The lead-most oncoming car
+                // (smallest x) gets the highest speed so same-lane NPCs
+                // never drive through each other (no NPC-NPC collision
+                // model in the plan-view world).
+                let n_oncoming = rng.random_range(2..=4usize);
+                let mut xs: Vec<f64> = (0..n_oncoming).map(|_| rng.random_range(60.0..240.0)).collect();
+                let mut vs: Vec<f64> =
+                    (0..n_oncoming).map(|_| kph_to_mps(rng.random_range(20.0..40.0))).collect();
+                xs.sort_by(|a, b| a.total_cmp(b));
+                vs.sort_by(|a, b| b.total_cmp(a));
+                for (i, (x, v)) in xs.into_iter().zip(vs).enumerate() {
+                    let mut npc = Actor::new(
+                        ActorId(10 + i as u32),
+                        ActorKind::Car,
+                        Vec2::new(x, 3.5),
+                        v,
+                        Behavior::CruiseStraight { speed: v },
+                    );
+                    npc.pose.heading = std::f64::consts::PI; // oncoming
+                    world.add_actor(npc).expect("fresh world");
+                }
+                let v_rear = kph_to_mps(rng.random_range(20.0..30.0));
+                let rear = Actor::new(
+                    ActorId(20),
+                    ActorKind::Car,
+                    Vec2::new(-30.0 + jitter(&mut rng), 0.0),
+                    v_rear,
+                    Behavior::CruiseStraight { speed: v_rear },
+                );
+                world.add_actor(rear).expect("fresh world");
+                (TARGET_ID, 45.0)
+            }
+        };
+
+        Scenario { id, world, target, cruise_speed: cruise, duration }
+    }
+
+    /// Consumes the scenario and returns just the world (handy in doctests).
+    pub fn into_world(self) -> World {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_build_and_contain_target() {
+        for id in ScenarioId::ALL {
+            let s = Scenario::build(id, 1);
+            assert_eq!(s.id, id);
+            assert!(s.world.actor(s.target).is_some(), "{id} missing target");
+            assert_eq!(s.world.ego().id, EGO_ID);
+            assert!(s.duration > 0.0);
+        }
+    }
+
+    #[test]
+    fn ds1_target_ahead_in_lane() {
+        let s = Scenario::build(ScenarioId::Ds1, 3);
+        let tv = s.world.actor(s.target).unwrap();
+        assert!(tv.pose.position.x > 50.0);
+        assert_eq!(tv.pose.position.y, 0.0);
+        assert!(tv.kind.is_vehicle());
+    }
+
+    #[test]
+    fn ds2_pedestrian_starts_off_road() {
+        let s = Scenario::build(ScenarioId::Ds2, 3);
+        let ped = s.world.actor(s.target).unwrap();
+        assert_eq!(ped.kind, ActorKind::Pedestrian);
+        assert!(ped.pose.position.y < -5.25, "starts beyond the road edge");
+    }
+
+    #[test]
+    fn ds3_vehicle_parked_out_of_path() {
+        let s = Scenario::build(ScenarioId::Ds3, 3);
+        let tv = s.world.actor(s.target).unwrap();
+        assert_eq!(tv.speed, 0.0);
+        assert_eq!(tv.pose.position.y, -3.5);
+        assert!(s.world.in_path_obstacle(0.3).is_none());
+    }
+
+    #[test]
+    fn ds5_has_random_traffic_and_is_seed_dependent() {
+        let a = Scenario::build(ScenarioId::Ds5, 1);
+        let b = Scenario::build(ScenarioId::Ds5, 2);
+        assert!(a.world.actors().len() >= 4);
+        let pos_a: Vec<f64> = a.world.others().map(|o| o.pose.position.x).collect();
+        let pos_b: Vec<f64> = b.world.others().map(|o| o.pose.position.x).collect();
+        assert_ne!(pos_a, pos_b);
+        // Same seed reproduces exactly.
+        let a2 = Scenario::build(ScenarioId::Ds5, 1);
+        let pos_a2: Vec<f64> = a2.world.others().map(|o| o.pose.position.x).collect();
+        assert_eq!(pos_a, pos_a2);
+    }
+
+    #[test]
+    fn scenario_names_match_paper() {
+        assert_eq!(ScenarioId::Ds1.to_string(), "DS-1");
+        assert_eq!(ScenarioId::Ds5.name(), "DS-5");
+        assert!(ScenarioId::Ds2.target_is_pedestrian());
+        assert!(!ScenarioId::Ds3.target_is_pedestrian());
+    }
+}

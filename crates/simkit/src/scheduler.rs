@@ -1,0 +1,131 @@
+//! Multi-rate task scheduler.
+//!
+//! The paper's testbed runs sensors and software modules at different rates
+//! (camera 15 Hz, LiDAR 10 Hz, GPS 12.5 Hz, Apollo planning ~10 Hz). The
+//! scheduler reproduces that: tasks are registered with integer-microsecond
+//! periods and the simulation loop asks which tasks fire at each tick.
+
+/// A periodic task identifier returned by [`Scheduler::add_task`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Task(usize);
+
+#[derive(Debug, Clone)]
+struct Entry {
+    name: &'static str,
+    period_us: u64,
+    next_fire_us: u64,
+}
+
+/// Fixed-period task scheduler over an integer microsecond clock.
+///
+/// ```
+/// use av_simkit::scheduler::Scheduler;
+/// let mut s = Scheduler::new();
+/// let camera = s.add_task_hz("camera", 15.0);
+/// let fired = s.advance_to(0); // everything fires at t = 0
+/// assert!(fired.contains(&camera));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler {
+    entries: Vec<Entry>,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler::default()
+    }
+
+    /// Registers a task firing every `period_us` microseconds, first at t=0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_us` is zero.
+    pub fn add_task(&mut self, name: &'static str, period_us: u64) -> Task {
+        assert!(period_us > 0, "task {name}: zero period");
+        self.entries.push(Entry { name, period_us, next_fire_us: 0 });
+        Task(self.entries.len() - 1)
+    }
+
+    /// Registers a task by frequency in Hz (rounded to whole microseconds).
+    pub fn add_task_hz(&mut self, name: &'static str, hz: f64) -> Task {
+        assert!(hz > 0.0, "task {name}: non-positive rate {hz}");
+        self.add_task(name, (1e6 / hz).round() as u64)
+    }
+
+    /// Advances the clock to `now_us` and returns every task whose fire time
+    /// has been reached, catching up multi-period gaps one fire at a time.
+    ///
+    /// Tasks are reported in registration order; a task that fell multiple
+    /// periods behind fires once per call until it catches up (sensors drop
+    /// frames rather than burst).
+    pub fn advance_to(&mut self, now_us: u64) -> Vec<Task> {
+        let mut fired = Vec::new();
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if now_us >= e.next_fire_us {
+                fired.push(Task(i));
+                // Skip any fully-missed periods: sensors emit the latest
+                // sample, not a backlog.
+                let missed = (now_us - e.next_fire_us) / e.period_us;
+                e.next_fire_us += (missed + 1) * e.period_us;
+            }
+        }
+        fired
+    }
+
+    /// The registered name of a task.
+    pub fn name(&self, task: Task) -> &'static str {
+        self.entries[task.0].name
+    }
+
+    /// The period of a task in microseconds.
+    pub fn period_us(&self, task: Task) -> u64 {
+        self.entries[task.0].period_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_fire_at_their_rate() {
+        let mut s = Scheduler::new();
+        let fast = s.add_task("fast", 10);
+        let slow = s.add_task("slow", 30);
+        let mut fast_count = 0;
+        let mut slow_count = 0;
+        for t in (0..=120).step_by(10) {
+            let fired = s.advance_to(t);
+            fast_count += fired.iter().filter(|&&x| x == fast).count();
+            slow_count += fired.iter().filter(|&&x| x == slow).count();
+        }
+        assert_eq!(fast_count, 13); // t = 0,10,...,120
+        assert_eq!(slow_count, 5); // t = 0,30,60,90,120
+    }
+
+    #[test]
+    fn missed_periods_do_not_burst() {
+        let mut s = Scheduler::new();
+        let t = s.add_task("t", 10);
+        assert_eq!(s.advance_to(0), vec![t]);
+        // Jump far ahead: only one fire, and the next fire lands after `now`.
+        assert_eq!(s.advance_to(95), vec![t]);
+        assert_eq!(s.advance_to(95), Vec::<Task>::new());
+        assert_eq!(s.advance_to(100), vec![t]);
+    }
+
+    #[test]
+    fn hz_conversion() {
+        let mut s = Scheduler::new();
+        let cam = s.add_task_hz("camera", 15.0);
+        assert_eq!(s.period_us(cam), 66_667);
+        assert_eq!(s.name(cam), "camera");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero period")]
+    fn zero_period_panics() {
+        Scheduler::new().add_task("bad", 0);
+    }
+}

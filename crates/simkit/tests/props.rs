@@ -1,0 +1,127 @@
+//! Property-based tests for the simulator substrate.
+
+use av_simkit::actor::{separation, Actor, ActorId, ActorKind};
+use av_simkit::behavior::{Behavior, OnFinish, Waypoint};
+use av_simkit::math::{clamp, interval_overlap, Pose, Vec2};
+use av_simkit::rng::{exponential, mix, normal};
+use av_simkit::scheduler::Scheduler;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e6..1e6f64
+}
+
+proptest! {
+    #[test]
+    fn vec2_triangle_inequality(ax in finite(), ay in finite(), bx in finite(), by in finite()) {
+        let a = Vec2::new(ax, ay);
+        let b = Vec2::new(bx, by);
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-6);
+    }
+
+    #[test]
+    fn vec2_normalized_is_unit_or_zero(x in finite(), y in finite()) {
+        let n = Vec2::new(x, y).normalized().norm();
+        prop_assert!(n < 1e-9 || (n - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lerp_stays_between_endpoints(x0 in finite(), x1 in finite(), t in 0.0..1.0f64) {
+        let a = Vec2::new(x0, 0.0);
+        let b = Vec2::new(x1, 0.0);
+        let l = a.lerp(b, t).x;
+        prop_assert!(l >= x0.min(x1) - 1e-6 && l <= x0.max(x1) + 1e-6);
+    }
+
+    #[test]
+    fn clamp_is_idempotent_and_bounded(v in finite(), lo in -100.0..0.0f64, hi in 0.0..100.0f64) {
+        let c = clamp(v, lo, hi);
+        prop_assert!(c >= lo && c <= hi);
+        prop_assert_eq!(clamp(c, lo, hi), c);
+    }
+
+    #[test]
+    fn interval_overlap_symmetric_and_bounded(
+        a0 in finite(), a1 in finite(), b0 in finite(), b1 in finite()
+    ) {
+        let o1 = interval_overlap(a0, a1, b0, b1);
+        let o2 = interval_overlap(b0, b1, a0, a1);
+        prop_assert!((o1 - o2).abs() < 1e-9, "symmetric");
+        prop_assert!(o1 >= 0.0);
+        prop_assert!(o1 <= (a1 - a0).abs() + 1e-9);
+        prop_assert!(o1 <= (b1 - b0).abs() + 1e-9);
+    }
+
+    #[test]
+    fn separation_is_symmetric_and_nonnegative(
+        ax in -200.0..200.0f64, ay in -10.0..10.0f64,
+        bx in -200.0..200.0f64, by in -10.0..10.0f64,
+        ha in 0.0..std::f64::consts::TAU,
+    ) {
+        let mut a = Actor::new(ActorId(1), ActorKind::Car, Vec2::new(ax, ay), 0.0, Behavior::Parked);
+        a.pose.heading = ha;
+        let b = Actor::new(ActorId(2), ActorKind::Pedestrian, Vec2::new(bx, by), 0.0, Behavior::Parked);
+        let s1 = separation(&a, &b);
+        let s2 = separation(&b, &a);
+        prop_assert!((s1 - s2).abs() < 1e-9);
+        prop_assert!(s1 >= 0.0);
+        // Never farther than the center distance.
+        prop_assert!(s1 <= a.pose.position.distance(b.pose.position) + 1e-9);
+    }
+
+    #[test]
+    fn waypoint_walker_reaches_target(
+        tx in -50.0..50.0f64, ty in -50.0..50.0f64, speed in 0.5..10.0f64
+    ) {
+        let mut b = Behavior::waypoints(
+            vec![Waypoint::new(Vec2::new(tx, ty), speed)],
+            OnFinish::Stop,
+        );
+        let mut pose = Pose::new(Vec2::ZERO, 0.0);
+        let mut v = 0.0;
+        // Enough steps to cover the farthest target at the slowest speed.
+        for _ in 0..((150.0 / speed / 0.1) as usize + 10) {
+            let (p, s) = b.step(pose, v, 0.1);
+            pose = p;
+            v = s;
+        }
+        prop_assert!(pose.position.distance(Vec2::new(tx, ty)) < 1e-6);
+        prop_assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn scheduler_fire_count_matches_rate(period in 1u64..1000, horizon in 1u64..100_000) {
+        let mut s = Scheduler::new();
+        let t = s.add_task("t", period);
+        let mut fired = 0u64;
+        let mut now = 0;
+        while now <= horizon {
+            fired += s.advance_to(now).iter().filter(|&&x| x == t).count() as u64;
+            now += period; // visit exactly the fire instants
+        }
+        prop_assert_eq!(fired, horizon / period + 1);
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spreads(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(mix(a, b), mix(a, b));
+        // Changing one input changes the output (overwhelmingly likely).
+        prop_assert_ne!(mix(a, b), mix(a, b.wrapping_add(1)));
+    }
+
+    #[test]
+    fn normal_samples_are_finite(seed in any::<u64>(), mean in -100.0..100.0f64, sd in 0.0..50.0f64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = normal(&mut rng, mean, sd);
+        prop_assert!(x.is_finite());
+    }
+
+    #[test]
+    fn exponential_respects_location(seed in any::<u64>(), loc in -5.0..5.0f64, lambda in 0.01..5.0f64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = exponential(&mut rng, loc, lambda);
+        prop_assert!(x >= loc);
+        prop_assert!(x.is_finite());
+    }
+}

@@ -1,0 +1,78 @@
+//! Pixel-space demonstration: the trajectory hijacker's bounding-box
+//! translations are realizable as a small adversarial patch (§IV-C).
+//!
+//! Renders a camera frame of a DS-1-like scene into the luminance raster,
+//! applies the patch that shifts (and then suppresses) the target's detected
+//! box, and reports what a pixel-driven detector sees before and after —
+//! plus the perturbation budget spent.
+//!
+//! Run with: `cargo run --release --example adversarial_patch`
+
+use av_sensing::camera::Camera;
+use av_sensing::frame::capture;
+use av_simkit::actor::{Actor, ActorId, ActorKind};
+use av_simkit::behavior::Behavior;
+use av_simkit::math::Vec2;
+use av_simkit::road::Road;
+use av_simkit::world::World;
+use robotack::patch;
+
+fn main() {
+    println!("=== pixel-space adversarial patch ===\n");
+    // A car 30 m ahead in the ego lane.
+    let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 12.5, Behavior::Ego);
+    let mut world = World::new(Road::default(), ego);
+    world
+        .add_actor(Actor::new(ActorId(1), ActorKind::Car, Vec2::new(30.0, 0.0), 7.0, Behavior::CruiseStraight { speed: 7.0 }))
+        .expect("fresh world");
+
+    let camera = Camera::default();
+    let frame = capture(&camera, &world, 0, true);
+    let truth = frame.truth_for(ActorId(1)).expect("car in view");
+    let clean = frame.raster.clone().expect("raster rendered");
+
+    let detected = patch::detect(&clean, &truth.bbox).expect("detector sees the car");
+    println!(
+        "clean frame : truth box center u = {:.0} px, detector box center u = {:.0} px",
+        truth.bbox.center().0,
+        detected.center().0
+    );
+
+    // Shift the detected box left by 80 px — the Move_Out direction for an
+    // in-lane target (ground-equivalent ≈ {:.1} m at this depth).
+    let du = -80.0;
+    let ground_shift = -du * truth.depth / camera.focal;
+    let mut patched = clean.clone();
+    patch::apply_shift(&mut patched, &truth.bbox, du);
+    let shifted = patch::detect(&patched, &truth.bbox).expect("still detected");
+    println!(
+        "patched     : detector box center u = {:.0} px (shift {:.0} px ≈ {:.2} m lateral at {:.0} m)",
+        shifted.center().0,
+        shifted.center().0 - detected.center().0,
+        ground_shift,
+        truth.depth
+    );
+
+    let budget = clean.l1_distance(&patched);
+    let cells = (clean.width() * clean.height()) as f64;
+    println!(
+        "perturbation: L1 = {budget:.1} over {cells:.0} cells \
+         (mean |Δ| = {:.4}, max per-cell bound = {})",
+        budget / cells,
+        patch::MAX_CELL_DELTA
+    );
+
+    // Disappear: suppress the detection entirely.
+    let mut suppressed = clean.clone();
+    patch::suppress(&mut suppressed, &truth.bbox);
+    match patch::detect(&suppressed, &truth.bbox) {
+        None => println!("suppressed  : detector no longer sees the car (Disappear)"),
+        Some(b) => println!("suppressed  : detector still sees a box at u = {:.0}?!", b.center().0),
+    }
+    println!(
+        "suppression : L1 = {:.1} (patch confined to the {:.0}×{:.0} px box)",
+        clean.l1_distance(&suppressed),
+        truth.bbox.width(),
+        truth.bbox.height()
+    );
+}

@@ -1,0 +1,19 @@
+//! # robotack-suite
+//!
+//! Umbrella crate for the RoboTack reproduction ("ML-driven Malware that
+//! Targets AV Safety", DSN 2020). It re-exports the workspace crates so the
+//! examples and cross-crate integration tests have a single dependency root.
+//!
+//! See the repository `README.md` for the architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+
+#![warn(missing_docs)]
+
+pub use av_defense as defense;
+pub use av_experiments as experiments;
+pub use av_neural as neural;
+pub use av_perception as perception;
+pub use av_planning as planning;
+pub use av_sensing as sensing;
+pub use av_simkit as simkit;
+pub use robotack;

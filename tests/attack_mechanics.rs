@@ -1,0 +1,159 @@
+//! Cross-crate tests of the attack mechanics: the trajectory hijacker's
+//! perturbations flowing through the real perception stack, and the
+//! stealthiness constraints of §IV-C / §VI-E.
+
+use av_perception::calibration::DetectorCalibration;
+use av_perception::pipeline::{Perception, PerceptionConfig};
+use av_sensing::camera::Camera;
+use av_sensing::frame::capture;
+use av_simkit::actor::{Actor, ActorId, ActorKind};
+use av_simkit::behavior::Behavior;
+use av_simkit::math::Vec2;
+use av_simkit::road::Road;
+use av_simkit::world::World;
+use rand::SeedableRng;
+use robotack::trajectory_hijacker::{ThConfig, TrajectoryHijacker};
+use robotack::vector::AttackVector;
+
+fn world_with_car(x: f64, y: f64) -> World {
+    let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 12.5, Behavior::Ego);
+    let mut w = World::new(Road::default(), ego);
+    w.add_actor(Actor::new(ActorId(1), ActorKind::Car, Vec2::new(x, y), 0.0, Behavior::Parked))
+        .expect("fresh world");
+    w
+}
+
+fn perception() -> Perception {
+    // Ideal detector noise so the test isolates the *attacker's* effect.
+    let config = PerceptionConfig {
+        calibration: DetectorCalibration::ideal(),
+        ..PerceptionConfig::default()
+    };
+    Perception::new(config)
+}
+
+/// Move_In walks the *fused world model* object into the ego lane even
+/// though the real car never moves.
+#[test]
+fn hijacked_frames_steer_the_world_model() {
+    let world = world_with_car(35.0, -3.5);
+    let mut p = perception();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    // Warm up: let the track confirm and pass the fusion registration gate.
+    for seq in 0..15 {
+        let frame = capture(&Camera::default(), &world, seq, false);
+        p.on_camera_frame(&frame, Vec2::ZERO, &mut rng);
+    }
+    let mut th = TrajectoryHijacker::launch(AttackVector::MoveIn, ActorId(1), 60, ThConfig::default());
+    let mut perceived_y = Vec::new();
+    for seq in 15..75 {
+        let mut frame = capture(&Camera::default(), &world, seq, false);
+        th.apply(&mut frame);
+        p.on_camera_frame(&frame, Vec2::ZERO, &mut rng);
+        if let Some(obj) = p.world_model().first() {
+            perceived_y.push(obj.position.y);
+        }
+    }
+    let first = *perceived_y.first().expect("object tracked");
+    let last = *perceived_y.last().expect("object tracked");
+    assert!(first < -2.5, "starts near the truth: {first}");
+    assert!(last.abs() < 1.0, "ends in the ego lane: {last}");
+}
+
+/// Disappear removes the object from the camera-only world model within the
+/// coast window, and it returns after the attack ends.
+#[test]
+fn disappear_empties_and_restores_the_world_model() {
+    let world = world_with_car(35.0, 0.0);
+    let mut p = perception();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    // Warm up: the object must be established in the world model first.
+    for seq in 0..15 {
+        let frame = capture(&Camera::default(), &world, seq, false);
+        p.on_camera_frame(&frame, Vec2::ZERO, &mut rng);
+    }
+    assert!(!p.world_model().is_empty(), "object established before the attack");
+    let k = 30;
+    let mut th = TrajectoryHijacker::launch(AttackVector::Disappear, ActorId(1), k, ThConfig::default());
+    let mut present = Vec::new();
+    for seq in 15..110 {
+        let mut frame = capture(&Camera::default(), &world, seq, false);
+        th.apply(&mut frame);
+        p.on_camera_frame(&frame, Vec2::ZERO, &mut rng);
+        present.push(!p.world_model().is_empty());
+    }
+    assert!(!present[15], "object gone mid-attack");
+    assert!(*present.last().expect("nonempty"), "object re-registered after the attack");
+}
+
+/// §IV-C stealth: every per-frame displacement of the *detected* box against
+/// the previous frame stays within the association envelope (the attack must
+/// not break the Hungarian matching).
+#[test]
+fn per_frame_steps_stay_within_the_association_envelope() {
+    let world = world_with_car(30.0, 0.0);
+    let config = ThConfig::default();
+    let mut th = TrajectoryHijacker::launch(AttackVector::MoveOut, ActorId(1), 50, config);
+    let mut last_center: Option<(f64, f64)> = None;
+    for seq in 0..50 {
+        let mut frame = capture(&config.camera, &world, seq, false);
+        th.apply(&mut frame);
+        let bbox = frame.truth_for(ActorId(1)).expect("in view").bbox;
+        let (u, v) = bbox.center();
+        if let Some((lu, lv)) = last_center {
+            let step = (u - lu).hypot(v - lv);
+            let gate = config.tracker.gate_diagonals * bbox.width().hypot(bbox.height());
+            assert!(step < gate, "frame {seq}: step {step} px exceeds gate {gate} px");
+        }
+        last_center = Some((u, v));
+    }
+    assert!(th.shift_frames().is_some(), "shift phase completed");
+}
+
+/// §VI-E: the malware perturbs exactly K frames and no more — the attack
+/// window is bounded to evade streak-based IDS detection.
+#[test]
+fn attack_window_is_exactly_k_frames() {
+    let world = world_with_car(30.0, 0.0);
+    let k = 17;
+    let mut th =
+        TrajectoryHijacker::launch(AttackVector::Disappear, ActorId(1), k, ThConfig::default());
+    let mut suppressed_frames = 0;
+    for seq in 0..40 {
+        let mut frame = capture(&Camera::default(), &world, seq, false);
+        th.apply(&mut frame);
+        suppressed_frames += u32::from(frame.truth_for(ActorId(1)).expect("in view").suppressed);
+    }
+    assert_eq!(suppressed_frames, k);
+}
+
+/// The pixel-space patch and the metadata path agree: applying the patch to
+/// the raster shifts the pixel-driven detector's box by (approximately) the
+/// same ω the metadata path reports.
+#[test]
+fn raster_patch_realizes_the_metadata_shift() {
+    let world = world_with_car(30.0, 0.0);
+    let config = ThConfig::default();
+    let mut th = TrajectoryHijacker::launch(AttackVector::MoveOut, ActorId(1), 20, config);
+    // Render rasters so the hijacker also patches pixels.
+    let mut last_frame = None;
+    for seq in 0..20 {
+        let mut frame = capture(&config.camera, &world, seq, true);
+        let clean_u = frame.truth_for(ActorId(1)).expect("in view").bbox.center().0;
+        th.apply(&mut frame);
+        last_frame = Some((frame, clean_u));
+    }
+    let (frame, clean_u) = last_frame.expect("frames processed");
+    let meta_u = frame.truth_for(ActorId(1)).expect("in view").bbox.center().0;
+    let meta_shift = meta_u - clean_u;
+    assert!(meta_shift.abs() > 30.0, "metadata box moved: {meta_shift} px");
+
+    let raster = frame.raster.as_ref().expect("raster rendered");
+    let roi = frame.truth_for(ActorId(1)).expect("in view").bbox;
+    let detected = robotack::patch::detect(raster, &roi).expect("pixel detector sees the car");
+    let pixel_shift = detected.center().0 - clean_u;
+    assert!(
+        (pixel_shift - meta_shift).abs() < 40.0,
+        "pixel shift {pixel_shift} px tracks metadata shift {meta_shift} px"
+    );
+}

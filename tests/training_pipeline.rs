@@ -1,0 +1,56 @@
+//! Integration test of the §IV-B training pipeline: sweep → dataset →
+//! Adam-trained oracle → deployable safety hijacker.
+
+use av_experiments::train_sh::{collect_dataset, train_oracle_on, SweepConfig};
+use av_simkit::scenario::ScenarioId;
+use robotack::safety_hijacker::{AttackFeatures, SafetyOracle};
+use robotack::vector::AttackVector;
+
+#[test]
+fn sweep_collects_labeled_examples() {
+    let sweep = SweepConfig {
+        delta_injects: vec![12.0, 24.0],
+        ks: vec![20, 50],
+        seeds_per_cell: 2,
+        base_seed: 0x5EED,
+    };
+    let data = collect_dataset(ScenarioId::Ds2, AttackVector::MoveOut, &sweep);
+    assert!(data.len() >= 4, "sweep produced examples: {}", data.len());
+    for (x, y) in data.inputs.iter().zip(&data.targets) {
+        assert_eq!(x.len(), AttackFeatures::INPUT_DIM);
+        assert_eq!(y.len(), 1);
+        assert!(x[0].is_finite() && y[0].is_finite());
+        assert!((-10.0..=40.0).contains(&y[0]), "label clamped: {}", y[0]);
+        assert!(x[4] == 20.0 || x[4] == 50.0, "k feature preserved: {}", x[4]);
+    }
+}
+
+#[test]
+fn trained_oracle_learns_that_longer_attacks_hurt_more() {
+    let sweep = SweepConfig {
+        delta_injects: vec![10.0, 18.0, 26.0, 36.0],
+        ks: vec![10, 30, 50, 70],
+        seeds_per_cell: 2,
+        base_seed: 0x5EED,
+    };
+    let data = collect_dataset(ScenarioId::Ds2, AttackVector::MoveOut, &sweep);
+    let trained = train_oracle_on(&data).expect("enough data to train");
+    assert!(trained.val_mse < 150.0, "val mse sane: {}", trained.val_mse);
+
+    // Averaged over representative states, predicted δ decreases with k.
+    let mut short = 0.0;
+    let mut long = 0.0;
+    let mut n = 0.0;
+    for delta in [15.0, 22.0, 30.0] {
+        let f = AttackFeatures { delta, v_rel_lon: -11.0, v_rel_lat: 0.0, a_rel_lon: 0.0 };
+        short += trained.oracle.predict_delta(&f, 10);
+        long += trained.oracle.predict_delta(&f, 60);
+        n += 1.0;
+    }
+    assert!(
+        long / n < short / n,
+        "mean predicted δ at k=60 ({:.1}) below k=10 ({:.1})",
+        long / n,
+        short / n
+    );
+}

@@ -8,12 +8,14 @@ use av_experiments::runner::{run_once, AttackerSpec, OracleSpec, RunConfig};
 use av_experiments::stats::{fit_exponential, fit_normal};
 use av_simkit::scenario::ScenarioId;
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use robotack::vector::AttackVector;
+use std::hint::black_box;
 
 /// Table I: the scenario-matching map (pure rule evaluation + rendering).
 fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_scenario_matcher", |b| b.iter(|| black_box(render_table1())));
+    c.bench_function("table1_scenario_matcher", |b| {
+        b.iter(|| black_box(render_table1()))
+    });
 }
 
 /// Table II (one cell): a full attacked simulation run, end to end.
@@ -21,7 +23,12 @@ fn bench_table2_cell(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
     group.bench_function("run_ds1_golden", |b| {
-        b.iter(|| black_box(run_once(&RunConfig::new(ScenarioId::Ds1, 3), &AttackerSpec::None)))
+        b.iter(|| {
+            black_box(run_once(
+                &RunConfig::new(ScenarioId::Ds1, 3),
+                &AttackerSpec::None,
+            ))
+        })
     });
     group.bench_function("run_ds2_robotack_kinematic", |b| {
         b.iter(|| {
@@ -36,7 +43,10 @@ fn bench_table2_cell(c: &mut Criterion) {
     });
     group.bench_function("run_ds5_random_baseline", |b| {
         b.iter(|| {
-            black_box(run_once(&RunConfig::new(ScenarioId::Ds5, 3), &AttackerSpec::Random))
+            black_box(run_once(
+                &RunConfig::new(ScenarioId::Ds5, 3),
+                &AttackerSpec::Random,
+            ))
         })
     });
     group.finish();
@@ -75,7 +85,9 @@ fn bench_fig6_pair(c: &mut Criterion) {
             );
             let nosh = run_once(
                 &RunConfig::new(ScenarioId::Ds1, 5),
-                &AttackerSpec::RoboTackNoSh { vector: Some(AttackVector::Disappear) },
+                &AttackerSpec::RoboTackNoSh {
+                    vector: Some(AttackVector::Disappear),
+                },
             );
             black_box((r.min_delta_post_attack, nosh.min_delta_post_attack))
         })

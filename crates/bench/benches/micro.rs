@@ -9,18 +9,19 @@ use av_sensing::bbox::BBox;
 use av_sensing::camera::Camera;
 use av_sensing::frame::capture;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 use robotack::patch;
 use robotack_bench::bench_world;
+use std::hint::black_box;
 
 fn bench_hungarian(c: &mut Criterion) {
     let mut group = c.benchmark_group("hungarian");
     for n in [4usize, 8, 16, 32] {
         let mut rng = StdRng::seed_from_u64(7);
-        let cost: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..n).map(|_| rng.random_range(0.0..10.0)).collect()).collect();
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.random_range(0.0..10.0)).collect())
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, cost| {
             b.iter(|| hungarian::solve(black_box(cost)))
         });
@@ -77,7 +78,9 @@ fn bench_patch(c: &mut Criterion) {
     let world = bench_world();
     let camera = Camera::default();
     let frame = capture(&camera, &world, 0, true);
-    let truth = *frame.truth_for(av_simkit::actor::ActorId(1)).expect("car in view");
+    let truth = *frame
+        .truth_for(av_simkit::actor::ActorId(1))
+        .expect("car in view");
     let raster = frame.raster.expect("raster");
     c.bench_function("patch_apply_shift", |b| {
         b.iter_batched(

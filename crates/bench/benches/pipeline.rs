@@ -9,12 +9,12 @@ use av_sensing::frame::capture;
 use av_sensing::lidar::Lidar;
 use av_simkit::math::Vec2;
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use robotack::malware::{Attacker, RoboTack, RoboTackConfig};
 use robotack::safety_hijacker::KinematicOracle;
 use robotack_bench::bench_world;
+use std::hint::black_box;
 
 fn bench_perception_step(c: &mut Criterion) {
     let world = bench_world();
@@ -72,9 +72,18 @@ fn bench_k_search(c: &mut Criterion) {
         AttackFeatures, KinematicOracle, SafetyHijacker, SafetyHijackerConfig,
     };
     let sh = SafetyHijacker::new(KinematicOracle::default(), SafetyHijackerConfig::default());
-    let f = AttackFeatures { delta: 25.0, v_rel_lon: -5.0, v_rel_lat: 0.0, a_rel_lon: 0.0 };
-    c.bench_function("sh_decide_binary_search", |b| b.iter(|| black_box(sh.decide(&f))));
-    c.bench_function("sh_decide_linear_scan", |b| b.iter(|| black_box(sh.decide_linear(&f))));
+    let f = AttackFeatures {
+        delta: 25.0,
+        v_rel_lon: -5.0,
+        v_rel_lat: 0.0,
+        a_rel_lon: 0.0,
+    };
+    c.bench_function("sh_decide_binary_search", |b| {
+        b.iter(|| black_box(sh.decide(&f)))
+    });
+    c.bench_function("sh_decide_linear_scan", |b| {
+        b.iter(|| black_box(sh.decide_linear(&f)))
+    });
 }
 
 criterion_group!(

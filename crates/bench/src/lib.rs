@@ -30,8 +30,11 @@ pub fn bench_world() -> World {
         (5, ActorKind::Pedestrian, 45.0, 4.5, 0.0),
     ];
     for (id, kind, x, y, v) in actors {
-        let behavior =
-            if v > 0.0 { Behavior::CruiseStraight { speed: v } } else { Behavior::Parked };
+        let behavior = if v > 0.0 {
+            Behavior::CruiseStraight { speed: v }
+        } else {
+            Behavior::Parked
+        };
         world
             .add_actor(Actor::new(ActorId(id), kind, Vec2::new(x, y), v, behavior))
             .expect("unique ids");

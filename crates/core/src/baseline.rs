@@ -16,7 +16,6 @@ use crate::trajectory_hijacker::{ThConfig, TrajectoryHijacker};
 use crate::vector::AttackVector;
 use av_sensing::frame::CameraFrame;
 use rand::rngs::StdRng;
-use rand::RngExt;
 
 /// The do-nothing attacker (golden runs).
 #[derive(Debug, Clone, Default)]

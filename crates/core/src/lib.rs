@@ -50,7 +50,9 @@ pub mod vector;
 
 pub use baseline::{NoAttacker, RandomAttacker};
 pub use malware::{AttackStats, Attacker, RoboTack, RoboTackConfig};
-pub use safety_hijacker::{AttackFeatures, KinematicOracle, NnOracle, SafetyHijacker, SafetyOracle};
+pub use safety_hijacker::{
+    AttackFeatures, KinematicOracle, NnOracle, SafetyHijacker, SafetyOracle,
+};
 pub use scenario_matcher::{ScenarioMatcher, TrajectoryClass};
 pub use trajectory_hijacker::{ThConfig, TrajectoryHijacker};
 pub use vector::AttackVector;

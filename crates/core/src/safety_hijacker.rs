@@ -34,7 +34,13 @@ pub struct AttackFeatures {
 impl AttackFeatures {
     /// Flattens features plus the candidate `k` into the NN input vector.
     pub fn to_input(self, k: u32) -> Vec<f64> {
-        vec![self.delta, self.v_rel_lon, self.v_rel_lat, self.a_rel_lon, f64::from(k)]
+        vec![
+            self.delta,
+            self.v_rel_lon,
+            self.v_rel_lat,
+            self.a_rel_lon,
+            f64::from(k),
+        ]
     }
 
     /// The NN input dimension.
@@ -58,7 +64,11 @@ pub struct NnOracle {
 impl NnOracle {
     /// Wraps a trained network and its input normalizer.
     pub fn new(net: Mlp, normalizer: Normalizer) -> Self {
-        assert_eq!(net.input_dim(), AttackFeatures::INPUT_DIM, "oracle input dim");
+        assert_eq!(
+            net.input_dim(),
+            AttackFeatures::INPUT_DIM,
+            "oracle input dim"
+        );
         NnOracle { net, normalizer }
     }
 
@@ -91,7 +101,11 @@ pub struct KinematicOracle {
 
 impl Default for KinematicOracle {
     fn default() -> Self {
-        KinematicOracle { ev_accel: 1.5, speed_headroom: 5.5, frame_dt: 1.0 / 15.0 }
+        KinematicOracle {
+            ev_accel: 1.5,
+            speed_headroom: 5.5,
+            frame_dt: 1.0 / 15.0,
+        }
     }
 }
 
@@ -207,7 +221,10 @@ impl<O: SafetyOracle> SafetyHijacker<O> {
                 lo = mid + 1;
             }
         }
-        Some(AttackDecision { k: lo, predicted_delta: self.oracle.predict_delta(features, lo) })
+        Some(AttackDecision {
+            k: lo,
+            predicted_delta: self.oracle.predict_delta(features, lo),
+        })
     }
 
     /// Exhaustive (linear) version of [`SafetyHijacker::decide`] — used by
@@ -220,7 +237,10 @@ impl<O: SafetyOracle> SafetyHijacker<O> {
         for k in cfg.k_min..=cfg.k_max {
             let d = self.oracle.predict_delta(features, k);
             if d <= cfg.gamma {
-                return Some(AttackDecision { k, predicted_delta: d });
+                return Some(AttackDecision {
+                    k,
+                    predicted_delta: d,
+                });
             }
         }
         unreachable!("k_max satisfied the predicate")
@@ -240,7 +260,12 @@ mod tests {
     }
 
     fn features(delta: f64) -> AttackFeatures {
-        AttackFeatures { delta, v_rel_lon: -5.0, v_rel_lat: 0.0, a_rel_lon: 0.0 }
+        AttackFeatures {
+            delta,
+            v_rel_lon: -5.0,
+            v_rel_lat: 0.0,
+            a_rel_lon: 0.0,
+        }
     }
 
     #[test]

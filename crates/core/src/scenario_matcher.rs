@@ -94,7 +94,11 @@ impl ScenarioMatcher {
             return Some(admissible[0]);
         }
         // Move_Out vs Disappear: class heuristic from §IV-A / §VI.
-        Some(if kind.is_vehicle() { MoveOut } else { Disappear })
+        Some(if kind.is_vehicle() {
+            MoveOut
+        } else {
+            Disappear
+        })
     }
 
     /// Renders the Table I rule map as the paper prints it (for the
@@ -111,7 +115,11 @@ impl ScenarioMatcher {
         let mut out = String::new();
         out.push_str("TO trajectory | TO in EV-lane      | TO not in EV-lane\n");
         out.push_str("------------- | ------------------ | ------------------\n");
-        for (name, traj) in [("Moving In", MovingIn), ("Keep", Keep), ("Moving Out", MovingOut)] {
+        for (name, traj) in [
+            ("Moving In", MovingIn),
+            ("Keep", Keep),
+            ("Moving Out", MovingOut),
+        ] {
             out.push_str(&format!(
                 "{name:<13} | {:<18} | {}\n",
                 cell(traj, true),
@@ -137,22 +145,37 @@ mod tests {
         // Keep + in-lane: hijack it out (vehicle → Move_Out).
         assert_eq!(SM.select(true, Keep, ActorKind::Car, None), Some(MoveOut));
         // Keep + in-lane pedestrian → Disappear by the class heuristic.
-        assert_eq!(SM.select(true, Keep, ActorKind::Pedestrian, None), Some(Disappear));
+        assert_eq!(
+            SM.select(true, Keep, ActorKind::Pedestrian, None),
+            Some(Disappear)
+        );
         // Moving Out + in-lane: pretend it moves in.
-        assert_eq!(SM.select(true, MovingOut, ActorKind::Car, None), Some(MoveIn));
+        assert_eq!(
+            SM.select(true, MovingOut, ActorKind::Car, None),
+            Some(MoveIn)
+        );
     }
 
     #[test]
     fn table1_out_of_lane_column() {
-        assert_eq!(SM.select(false, MovingIn, ActorKind::Pedestrian, None), Some(Disappear));
+        assert_eq!(
+            SM.select(false, MovingIn, ActorKind::Pedestrian, None),
+            Some(Disappear)
+        );
         assert_eq!(SM.select(false, Keep, ActorKind::Car, None), Some(MoveIn));
         assert_eq!(SM.select(false, MovingOut, ActorKind::Car, None), None);
     }
 
     #[test]
     fn preference_is_honored_when_admissible() {
-        assert_eq!(SM.select(true, Keep, ActorKind::Car, Some(Disappear)), Some(Disappear));
-        assert_eq!(SM.select(false, MovingIn, ActorKind::Car, Some(MoveOut)), Some(MoveOut));
+        assert_eq!(
+            SM.select(true, Keep, ActorKind::Car, Some(Disappear)),
+            Some(Disappear)
+        );
+        assert_eq!(
+            SM.select(false, MovingIn, ActorKind::Car, Some(MoveOut)),
+            Some(MoveOut)
+        );
         // Inadmissible preference → no attack rather than a wrong attack.
         assert_eq!(SM.select(true, Keep, ActorKind::Car, Some(MoveIn)), None);
     }

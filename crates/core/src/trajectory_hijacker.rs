@@ -137,7 +137,11 @@ impl TrajectoryHijacker {
             AttackVector::MoveIn => 0.0,
             AttackVector::Disappear => truth_y, // unused
             AttackVector::MoveOut => {
-                let dir = if truth_y.abs() < 0.3 { 1.0 } else { truth_y.signum() };
+                let dir = if truth_y.abs() < 0.3 {
+                    1.0
+                } else {
+                    truth_y.signum()
+                };
                 let escape = if kind.is_vehicle() {
                     self.config.lane_width
                 } else {
@@ -235,8 +239,14 @@ impl TrajectoryHijacker {
         let shadow_bbox =
             BBox::from_center(pred_u, shadow.kf.position().1, shadow.width, shadow.height);
         debug_assert!(
-            association_cost(&shadow_bbox, shadow.kind, &fake_bbox, tb_kind, &self.config.tracker)
-                .is_finite(),
+            association_cost(
+                &shadow_bbox,
+                shadow.kind,
+                &fake_bbox,
+                tb_kind,
+                &self.config.tracker
+            )
+            .is_finite(),
             "hijacked box would break association"
         );
 
@@ -268,7 +278,14 @@ mod tests {
     fn world_with(kind: ActorKind, x: f64, y: f64) -> World {
         let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 12.5, Behavior::Ego);
         let mut w = World::new(Road::default(), ego);
-        w.add_actor(Actor::new(ActorId(1), kind, Vec2::new(x, y), 0.0, Behavior::Parked)).unwrap();
+        w.add_actor(Actor::new(
+            ActorId(1),
+            kind,
+            Vec2::new(x, y),
+            0.0,
+            Behavior::Parked,
+        ))
+        .unwrap();
         w
     }
 
@@ -308,12 +325,18 @@ mod tests {
             // Per-frame stealth: the step against the *previous fake* cannot
             // exceed the σ gate by much (KF gain < 1 keeps it below 2σ).
             let width = frame.truth_for(ActorId(1)).unwrap().bbox.width();
-            assert!((u - last_u).abs() <= 2.0 * 0.464 * width + 1.0, "step too big at {seq}");
+            assert!(
+                (u - last_u).abs() <= 2.0 * 0.464 * width + 1.0,
+                "step too big at {seq}"
+            );
             last_u = u;
             final_u = u;
         }
         // Moving to +y (left) means u decreases.
-        assert!(final_u < truth_u - 50.0, "box moved: {final_u} vs {truth_u}");
+        assert!(
+            final_u < truth_u - 50.0,
+            "box moved: {final_u} vs {truth_u}"
+        );
         assert!(th.shift_frames().is_some(), "shift phase completed");
         // The achieved ground offset is the adjacent lane center.
         let y = th.fake_y.unwrap();
@@ -346,16 +369,21 @@ mod tests {
         assert!(y < -5.25, "pedestrian pushed off-road: {y}");
         // Pedestrians shift fast (σ_x = 2.01 widths): K' is a handful of
         // frames (Fig. 7 medians are 3-5 for pedestrians).
-        assert!(th.shift_frames().unwrap() <= 10, "K' = {:?}", th.shift_frames());
+        assert!(
+            th.shift_frames().unwrap() <= 10,
+            "K' = {:?}",
+            th.shift_frames()
+        );
     }
 
     #[test]
     fn vehicle_shift_takes_longer_than_pedestrian() {
         let mut kp_vehicle = None;
         let mut kp_ped = None;
-        for (kind, out) in
-            [(ActorKind::Car, &mut kp_vehicle), (ActorKind::Pedestrian, &mut kp_ped)]
-        {
+        for (kind, out) in [
+            (ActorKind::Car, &mut kp_vehicle),
+            (ActorKind::Pedestrian, &mut kp_ped),
+        ] {
             let y0 = if kind.is_vehicle() { 0.0 } else { -4.0 };
             let w = world_with(kind, 30.0, y0);
             let cfg = config();

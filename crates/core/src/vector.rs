@@ -20,8 +20,11 @@ pub enum AttackVector {
 
 impl AttackVector {
     /// All attack vectors.
-    pub const ALL: [AttackVector; 3] =
-        [AttackVector::MoveOut, AttackVector::MoveIn, AttackVector::Disappear];
+    pub const ALL: [AttackVector; 3] = [
+        AttackVector::MoveOut,
+        AttackVector::MoveIn,
+        AttackVector::Disappear,
+    ];
 
     /// The paper's name for the vector.
     pub fn name(self) -> &'static str {

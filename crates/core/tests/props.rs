@@ -17,7 +17,12 @@ impl SafetyOracle for RateOracle {
 }
 
 fn features(delta: f64) -> AttackFeatures {
-    AttackFeatures { delta, v_rel_lon: -5.0, v_rel_lat: 0.0, a_rel_lon: 0.0 }
+    AttackFeatures {
+        delta,
+        v_rel_lon: -5.0,
+        v_rel_lat: 0.0,
+        a_rel_lon: 0.0,
+    }
 }
 
 fn arb_kind() -> impl Strategy<Value = ActorKind> {

@@ -24,7 +24,10 @@ impl Default for ConsistencyConfig {
         // The divergence gate sits above the fusion association gate (2.5 m)
         // so ordinary noise never counts, and the persistence is long enough
         // to ride out LiDAR detection dropouts.
-        ConsistencyConfig { divergence_gate: 3.0, persistence: 12 }
+        ConsistencyConfig {
+            divergence_gate: 3.0,
+            persistence: 12,
+        }
     }
 }
 
@@ -39,7 +42,10 @@ pub struct ConsistencyMonitor {
 impl ConsistencyMonitor {
     /// Creates a monitor.
     pub fn new(config: ConsistencyConfig) -> Self {
-        ConsistencyMonitor { config, ..Default::default() }
+        ConsistencyMonitor {
+            config,
+            ..Default::default()
+        }
     }
 
     /// Checks one camera-supported object against the LiDAR returns of the

@@ -148,15 +148,15 @@ impl Ids {
 
         // Greedy nearest-neighbor association against predictions.
         for track in &mut self.tracks {
-            let predicted =
-                (track.center.0 + track.velocity.0 * dt, track.center.1 + track.velocity.1 * dt);
+            let predicted = (
+                track.center.0 + track.velocity.0 * dt,
+                track.center.1 + track.velocity.1 * dt,
+            );
             let gate = 4.0 * track.width.hypot(track.height).max(8.0);
             let mut candidates: Vec<(usize, &Detection, f64)> = detections
                 .iter()
                 .enumerate()
-                .filter(|(i, d)| {
-                    !used[*i] && d.kind.is_vehicle() == track.kind.is_vehicle()
-                })
+                .filter(|(i, d)| !used[*i] && d.kind.is_vehicle() == track.kind.is_vehicle())
                 .map(|(i, d)| {
                     let (cx, cy) = d.bbox.center();
                     (i, d, (cx - predicted.0).hypot(cy - predicted.1))
@@ -187,7 +187,10 @@ impl Ids {
                         && !ambiguous
                         && self.innovation.observe(track.id, z)
                     {
-                        self.alarms.push(Alarm { t, kind: AlarmKind::Innovation });
+                        self.alarms.push(Alarm {
+                            t,
+                            kind: AlarmKind::Innovation,
+                        });
                     }
                     // Alpha-beta update of the IDS's own predictor.
                     let (alpha, beta) = (0.4, 0.15);
@@ -204,9 +207,8 @@ impl Ids {
                     // rate (image rates conflate radial approach with
                     // lateral motion). Depth from apparent class height.
                     let (iw, ih) = self.config.image_size;
-                    let clipped = det.bbox.x0 <= 2.0
-                        || det.bbox.x1 >= iw - 2.0
-                        || det.bbox.y1 >= ih - 2.0;
+                    let clipped =
+                        det.bbox.x0 <= 2.0 || det.bbox.x1 >= iw - 2.0 || det.bbox.y1 >= ih - 2.0;
                     if track.kind.is_vehicle() && !clipped {
                         // Raw detection values for both column and depth:
                         // mixing differently-lagged smoothed estimates turns
@@ -214,10 +216,11 @@ impl Ids {
                         // (and border-clipped boxes corrupt the apparent
                         // height entirely).
                         let class_height = av_simkit::actor::Size::for_kind(track.kind).height;
-                        let depth =
-                            self.config.focal * class_height / det.bbox.height().max(1.0);
-                        let (cx_pp, _) =
-                            (self.config.image_size.0 / 2.0, self.config.image_size.1 / 2.0);
+                        let depth = self.config.focal * class_height / det.bbox.height().max(1.0);
+                        let (cx_pp, _) = (
+                            self.config.image_size.0 / 2.0,
+                            self.config.image_size.1 / 2.0,
+                        );
                         let y_ground = -(cx - cx_pp) * depth / self.config.focal;
                         if track.ground_init {
                             let (ga, gb) = (0.3, 0.1);
@@ -248,7 +251,10 @@ impl Ids {
                                             track.id, track.center.0, track.width, track.height, depth, track.ground_y, track.ground_vy
                                         );
                                     }
-                                    self.alarms.push(Alarm { t, kind: AlarmKind::Kinematics });
+                                    self.alarms.push(Alarm {
+                                        t,
+                                        kind: AlarmKind::Kinematics,
+                                    });
                                 }
                             } else {
                                 track.implausible = 0;
@@ -271,7 +277,10 @@ impl Ids {
                     if departing {
                         track.misses = u32::MAX / 2; // retire below
                     } else if track.hits >= 3 && self.streak.observe_missed(track.id) {
-                        self.alarms.push(Alarm { t, kind: AlarmKind::Streak });
+                        self.alarms.push(Alarm {
+                            t,
+                            kind: AlarmKind::Streak,
+                        });
                     }
                 }
             }
@@ -279,8 +288,11 @@ impl Ids {
 
         // Retire tracks that have been gone far beyond any envelope.
         let limit = self.streak.envelope(ActorKind::Car) + 30;
-        let (innovation, streak, consistency) =
-            (&mut self.innovation, &mut self.streak, &mut self.consistency);
+        let (innovation, streak, consistency) = (
+            &mut self.innovation,
+            &mut self.streak,
+            &mut self.consistency,
+        );
         self.tracks.retain(|tr| {
             let keep = tr.misses <= limit;
             if !keep {
@@ -330,7 +342,10 @@ impl Ids {
                 continue;
             }
             if self.consistency.check(obj.id, obj.position, &returns) {
-                self.alarms.push(Alarm { t, kind: AlarmKind::CrossSensor });
+                self.alarms.push(Alarm {
+                    t,
+                    kind: AlarmKind::CrossSensor,
+                });
             }
         }
     }
@@ -370,9 +385,15 @@ mod tests {
         }
         let sigma = 0.464 * 120.0;
         for i in 0..40 {
-            ids.on_camera(f64::from(10 + i) / 15.0, &[det(960.0 + 6.0 * sigma, 620.0, 120.0, 90.0)]);
+            ids.on_camera(
+                f64::from(10 + i) / 15.0,
+                &[det(960.0 + 6.0 * sigma, 620.0, 120.0, 90.0)],
+            );
         }
-        assert!(ids.alarm_count(AlarmKind::Innovation) > 0, "a 6σ step must be flagged");
+        assert!(
+            ids.alarm_count(AlarmKind::Innovation) > 0,
+            "a 6σ step must be flagged"
+        );
     }
 
     #[test]
@@ -390,7 +411,10 @@ mod tests {
             let cx = 960.0 + step * f64::from(i + 1);
             ids.on_camera(f64::from(10 + i) / 15.0, &[det(cx, 620.0, 120.0, 90.0)]);
         }
-        assert!(ids.alarm_count(AlarmKind::Kinematics) > 0, "implausible lateral rate flagged");
+        assert!(
+            ids.alarm_count(AlarmKind::Kinematics) > 0,
+            "implausible lateral rate flagged"
+        );
     }
 
     #[test]
@@ -432,7 +456,10 @@ mod tests {
         };
         let scan = LidarScan {
             t: 0.0,
-            objects: vec![LidarObject { position: Vec2::new(30.0, 0.0), extent: (4.6, 1.9) }],
+            objects: vec![LidarObject {
+                position: Vec2::new(30.0, 0.0),
+                extent: (4.6, 1.9),
+            }],
         };
         for i in 0..20 {
             ids.on_lidar(f64::from(i) * 0.1, &scan, &[obj]);
@@ -456,7 +483,10 @@ mod tests {
         };
         let scan = LidarScan {
             t: 0.0,
-            objects: vec![LidarObject { position: Vec2::new(20.0, 0.0), extent: (4.6, 1.9) }],
+            objects: vec![LidarObject {
+                position: Vec2::new(20.0, 0.0),
+                extent: (4.6, 1.9),
+            }],
         };
         for i in 0..50 {
             ids.on_lidar(f64::from(i) * 0.1, &scan, &[ped]);

@@ -23,7 +23,10 @@ impl Default for CusumConfig {
     fn default() -> Self {
         // Tuned for ~1σ-bias detection over ~15 samples with low false
         // positives on the calibrated noise.
-        CusumConfig { drift: 0.55, threshold: 7.0 }
+        CusumConfig {
+            drift: 0.55,
+            threshold: 7.0,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ pub struct InnovationMonitor {
 impl InnovationMonitor {
     /// Creates a monitor.
     pub fn new(config: CusumConfig) -> Self {
-        InnovationMonitor { config, ..Default::default() }
+        InnovationMonitor {
+            config,
+            ..Default::default()
+        }
     }
 
     /// Feeds one normalized innovation `z = (measured − predicted)/σ` for
@@ -134,7 +140,10 @@ mod tests {
 
     #[test]
     fn alarm_resets_the_statistic() {
-        let mut m = InnovationMonitor::new(CusumConfig { drift: 0.5, threshold: 2.0 });
+        let mut m = InnovationMonitor::new(CusumConfig {
+            drift: 0.5,
+            threshold: 2.0,
+        });
         let mut first = None;
         for i in 0..20 {
             if m.observe(1, 1.5) {
@@ -150,7 +159,10 @@ mod tests {
 
     #[test]
     fn tracks_are_independent() {
-        let mut m = InnovationMonitor::new(CusumConfig { drift: 0.5, threshold: 3.0 });
+        let mut m = InnovationMonitor::new(CusumConfig {
+            drift: 0.5,
+            threshold: 3.0,
+        });
         for _ in 0..10 {
             m.observe(1, 1.5);
             m.observe(2, 0.0);

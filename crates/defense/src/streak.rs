@@ -21,7 +21,9 @@ pub struct StreakConfig {
 
 impl Default for StreakConfig {
     fn default() -> Self {
-        StreakConfig { envelope_factor: 1.0 }
+        StreakConfig {
+            envelope_factor: 1.0,
+        }
     }
 }
 
@@ -38,7 +40,12 @@ pub struct StreakMonitor {
 impl StreakMonitor {
     /// Creates a monitor with the calibrated streak envelopes.
     pub fn new(config: StreakConfig, calibration: DetectorCalibration) -> Self {
-        StreakMonitor { config, calibration, streaks: HashMap::new(), alarms: 0 }
+        StreakMonitor {
+            config,
+            calibration,
+            streaks: HashMap::new(),
+            alarms: 0,
+        }
     }
 
     /// The envelope (frames) for a class.

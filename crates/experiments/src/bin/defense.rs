@@ -59,20 +59,27 @@ fn main() {
         for seed in 0..runs {
             let out = run_once(
                 &RunConfig::new(scenario, 7000 + seed),
-                &AttackerSpec::RoboTack { vector: Some(vector), oracle: oracle.clone() },
+                &AttackerSpec::RoboTack {
+                    vector: Some(vector),
+                    oracle: oracle.clone(),
+                },
             );
-            let Some(t0) = out.attack.launched_at else { continue };
+            let Some(t0) = out.attack.launched_at else {
+                continue;
+            };
             launched += 1;
             let t1 = t0 + f64::from(out.attack.k) / 15.0 + 1.0;
-            let during: Vec<_> =
-                out.ids_alarms.iter().filter(|a| a.t >= t0 && a.t <= t1).collect();
+            let during: Vec<_> = out
+                .ids_alarms
+                .iter()
+                .filter(|a| a.t >= t0 && a.t <= t1)
+                .collect();
             flagged += u64::from(!during.is_empty());
             for a in during {
                 *kinds.entry(a.kind).or_default() += 1;
             }
         }
-        let mut kind_list: Vec<String> =
-            kinds.iter().map(|(k, n)| format!("{k:?}×{n}")).collect();
+        let mut kind_list: Vec<String> = kinds.iter().map(|(k, n)| format!("{k:?}×{n}")).collect();
         kind_list.sort();
         println!(
             "{name:<20} | {launched:>8} | {:>11} ({:>5.1}%) | {}",
@@ -83,8 +90,10 @@ fn main() {
     }
 
     println!("\n=== IDS vs a non-stealthy attacker ===\n");
-    println!("A naive Disappear that ignores the misdetection envelope (K = 62 \
-             frames on a pedestrian, envelope 31):");
+    println!(
+        "A naive Disappear that ignores the misdetection envelope (K = 62 \
+             frames on a pedestrian, envelope 31):"
+    );
     let mut flagged = 0u64;
     for seed in 0..runs {
         let out = run_once(
@@ -96,9 +105,7 @@ fn main() {
             },
         );
         if out.attack.launched_at.is_some() {
-            flagged += u64::from(
-                out.ids_alarms.iter().any(|a| a.kind == AlarmKind::Streak),
-            );
+            flagged += u64::from(out.ids_alarms.iter().any(|a| a.kind == AlarmKind::Streak));
         }
     }
     println!("  streak-flagged in {flagged}/{runs} runs");

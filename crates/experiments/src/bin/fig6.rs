@@ -10,10 +10,30 @@ fn main() {
     let args = Args::parse();
     let sweep = args.sweep();
     let panels = [
-        (ScenarioId::Ds1, AttackVector::Disappear, "(a) DS-1-Disappear", (19.0, 9.0)),
-        (ScenarioId::Ds1, AttackVector::MoveOut, "(b) DS-1-Move_Out", (19.0, 13.0)),
-        (ScenarioId::Ds2, AttackVector::Disappear, "(c) DS-2-Disappear", (7.0, 3.0)),
-        (ScenarioId::Ds2, AttackVector::MoveOut, "(d) DS-2-Move_Out", (9.0, 3.0)),
+        (
+            ScenarioId::Ds1,
+            AttackVector::Disappear,
+            "(a) DS-1-Disappear",
+            (19.0, 9.0),
+        ),
+        (
+            ScenarioId::Ds1,
+            AttackVector::MoveOut,
+            "(b) DS-1-Move_Out",
+            (19.0, 13.0),
+        ),
+        (
+            ScenarioId::Ds2,
+            AttackVector::Disappear,
+            "(c) DS-2-Disappear",
+            (7.0, 3.0),
+        ),
+        (
+            ScenarioId::Ds2,
+            AttackVector::MoveOut,
+            "(d) DS-2-Move_Out",
+            (9.0, 3.0),
+        ),
     ];
     println!("Fig. 6: impact of attack timing on min safety potential δ (m)\n");
     for (scenario, vector, label, paper) in panels {

@@ -20,9 +20,10 @@ fn main() {
     let (oracle_ds2, desc2) = oracle_for(ScenarioId::Ds2, AttackVector::MoveOut, &sweep);
     eprintln!("  DS-2: {desc2}");
     let mut samples: Vec<(f64, bool)> = Vec::new();
-    for (scenario, oracle) in
-        [(ScenarioId::Ds1, oracle_ds1.clone()), (ScenarioId::Ds2, oracle_ds2)]
-    {
+    for (scenario, oracle) in [
+        (ScenarioId::Ds1, oracle_ds1.clone()),
+        (ScenarioId::Ds2, oracle_ds2),
+    ] {
         let result = run_r_campaign(
             "fig8a",
             scenario,
@@ -32,9 +33,10 @@ fn main() {
             args.seed,
         );
         for outcome in result.launched() {
-            if let (Some(pred), Some(actual)) =
-                (outcome.attack.predicted_delta, outcome.min_delta_attack_window)
-            {
+            if let (Some(pred), Some(actual)) = (
+                outcome.attack.predicted_delta,
+                outcome.min_delta_attack_window,
+            ) {
                 // One-sided error: how much the attack under-delivered
                 // (did worse, i.e. left a larger δ, than the NN promised).
                 samples.push(((actual - pred).max(0.0), outcome.accident));
@@ -46,8 +48,10 @@ fn main() {
     for i in 1..=10 {
         let upper = 0.67 * f64::from(i);
         let lower = upper - 0.67;
-        let in_bin: Vec<&(f64, bool)> =
-            samples.iter().filter(|(e, _)| *e >= lower && *e < upper).collect();
+        let in_bin: Vec<&(f64, bool)> = samples
+            .iter()
+            .filter(|(e, _)| *e >= lower && *e < upper)
+            .collect();
         if !in_bin.is_empty() {
             let p = in_bin.iter().filter(|(_, s)| *s).count() as f64 / in_bin.len() as f64;
             bins.push((upper, p, in_bin.len()));
@@ -57,8 +61,11 @@ fn main() {
 
     // Panel (b): δ0 ≈ 41 m, sweep k, compare prediction to ground truth.
     let delta0 = 41.0;
-    let ks: Vec<u32> =
-        if args.quick { vec![20, 50, 80] } else { vec![10, 20, 30, 40, 50, 60, 70, 80, 90] };
+    let ks: Vec<u32> = if args.quick {
+        vec![20, 50, 80]
+    } else {
+        vec![10, 20, 30, 40, 50, 60, 70, 80, 90]
+    };
     let mut rows = Vec::new();
     for k in ks {
         let outcome = run_once(
@@ -69,15 +76,14 @@ fn main() {
                 k,
             },
         );
-        if let (Some(features), Some(actual)) =
-            (outcome.attack.features_at_launch, outcome.min_delta_attack_window)
-        {
+        if let (Some(features), Some(actual)) = (
+            outcome.attack.features_at_launch,
+            outcome.min_delta_attack_window,
+        ) {
             let predicted = match &oracle_ds1 {
                 OracleSpec::Nn(nn) => nn.predict_delta(&features, k),
-                OracleSpec::Kinematic => {
-                    robotack::safety_hijacker::KinematicOracle::default()
-                        .predict_delta(&features, k)
-                }
+                OracleSpec::Kinematic => robotack::safety_hijacker::KinematicOracle::default()
+                    .predict_delta(&features, k),
             };
             rows.push((k, predicted, actual));
         }

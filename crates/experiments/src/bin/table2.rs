@@ -10,12 +10,36 @@ fn main() {
     eprintln!("table2: {} runs/campaign (quick={})", args.runs, args.quick);
 
     let references = [
-        Table2Reference { k: "48", eb_pct: "53.5%", crash_pct: "31.7%" },
-        Table2Reference { k: "14", eb_pct: "94.4%", crash_pct: "82.6%" },
-        Table2Reference { k: "65", eb_pct: "37.3%", crash_pct: "17.3%" },
-        Table2Reference { k: "32", eb_pct: "97.8%", crash_pct: "84.1%" },
-        Table2Reference { k: "48", eb_pct: "94.6%", crash_pct: "—" },
-        Table2Reference { k: "24", eb_pct: "78.5%", crash_pct: "—" },
+        Table2Reference {
+            k: "48",
+            eb_pct: "53.5%",
+            crash_pct: "31.7%",
+        },
+        Table2Reference {
+            k: "14",
+            eb_pct: "94.4%",
+            crash_pct: "82.6%",
+        },
+        Table2Reference {
+            k: "65",
+            eb_pct: "37.3%",
+            crash_pct: "17.3%",
+        },
+        Table2Reference {
+            k: "32",
+            eb_pct: "97.8%",
+            crash_pct: "84.1%",
+        },
+        Table2Reference {
+            k: "48",
+            eb_pct: "94.6%",
+            crash_pct: "—",
+        },
+        Table2Reference {
+            k: "24",
+            eb_pct: "78.5%",
+            crash_pct: "—",
+        },
     ];
 
     let mut rows = Vec::new();

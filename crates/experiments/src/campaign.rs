@@ -2,6 +2,7 @@
 
 use crate::runner::{run_once, AttackerSpec, RunConfig, RunOutcome};
 use crate::stats;
+use av_faults::FaultPlan;
 use av_simkit::scenario::ScenarioId;
 
 /// A campaign: one 〈scenario, attacker〉 pair executed over many seeds, like
@@ -18,10 +19,12 @@ pub struct Campaign {
     pub runs: u64,
     /// Base seed; run `i` uses `base_seed + i`.
     pub base_seed: u64,
+    /// Sensor faults injected into every run (empty = healthy sensors).
+    pub faults: FaultPlan,
 }
 
 impl Campaign {
-    /// Creates a campaign.
+    /// Creates a campaign with healthy sensors.
     pub fn new(
         name: impl Into<String>,
         scenario: ScenarioId,
@@ -29,7 +32,21 @@ impl Campaign {
         runs: u64,
         base_seed: u64,
     ) -> Self {
-        Campaign { name: name.into(), scenario, attacker, runs, base_seed }
+        Campaign {
+            name: name.into(),
+            scenario,
+            attacker,
+            runs,
+            base_seed,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// The same campaign with a fault plan applied to every run.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -48,7 +65,10 @@ impl CampaignResult {
     /// Runs in which an attack was actually launched ("valid runs"; the
     /// paper discards invalid runs, §VI-C).
     pub fn launched(&self) -> Vec<&RunOutcome> {
-        self.outcomes.iter().filter(|o| o.attack.launched_at.is_some()).collect()
+        self.outcomes
+            .iter()
+            .filter(|o| o.attack.launched_at.is_some())
+            .collect()
     }
 
     /// Number of valid (attack-launched) runs.
@@ -60,7 +80,11 @@ impl CampaignResult {
     pub fn eb(&self) -> (usize, f64) {
         let launched = self.launched();
         let n = launched.iter().filter(|o| o.eb_after_attack).count();
-        let pct = if launched.is_empty() { 0.0 } else { 100.0 * n as f64 / launched.len() as f64 };
+        let pct = if launched.is_empty() {
+            0.0
+        } else {
+            100.0 * n as f64 / launched.len() as f64
+        };
         (n, pct)
     }
 
@@ -68,24 +92,38 @@ impl CampaignResult {
     pub fn crashes(&self) -> (usize, f64) {
         let launched = self.launched();
         let n = launched.iter().filter(|o| o.accident).count();
-        let pct = if launched.is_empty() { 0.0 } else { 100.0 * n as f64 / launched.len() as f64 };
+        let pct = if launched.is_empty() {
+            0.0
+        } else {
+            100.0 * n as f64 / launched.len() as f64
+        };
         (n, pct)
     }
 
     /// Median planned attack length K (frames) over valid runs.
     pub fn median_k(&self) -> f64 {
-        let ks: Vec<f64> = self.launched().iter().map(|o| f64::from(o.attack.k)).collect();
+        let ks: Vec<f64> = self
+            .launched()
+            .iter()
+            .map(|o| f64::from(o.attack.k))
+            .collect();
         stats::median(&ks)
     }
 
     /// All measured K′ values (ADS-side, Fig. 7).
     pub fn k_primes(&self) -> Vec<f64> {
-        self.launched().iter().filter_map(|o| o.k_prime_ads.map(f64::from)).collect()
+        self.launched()
+            .iter()
+            .filter_map(|o| o.k_prime_ads.map(f64::from))
+            .collect()
     }
 
     /// Min-δ-since-attack values (Fig. 6).
     pub fn min_deltas(&self) -> Vec<f64> {
-        self.launched().iter().filter_map(|o| o.min_delta_post_attack).collect()
+        self.launched()
+            .iter()
+            .filter_map(|o| o.min_delta_post_attack)
+            .collect()
     }
 }
 
@@ -96,7 +134,10 @@ pub fn run_campaign(campaign: &Campaign) -> CampaignResult {
 
 /// Reasonable worker count for this host.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
 }
 
 /// Executes a campaign on exactly `threads` workers (1 = sequential).
@@ -112,7 +153,9 @@ pub fn run_campaign_with_threads(campaign: &Campaign, threads: usize) -> Campaig
     } else {
         let chunk = indices.len().div_ceil(threads);
         crossbeam::thread::scope(|scope| {
-            for (slice, idx) in outcomes.chunks_mut(chunk.max(1)).zip(indices.chunks(chunk.max(1)))
+            for (slice, idx) in outcomes
+                .chunks_mut(chunk.max(1))
+                .zip(indices.chunks(chunk.max(1)))
             {
                 scope.spawn(move |_| {
                     for (slot, &i) in slice.iter_mut().zip(idx) {
@@ -127,12 +170,16 @@ pub fn run_campaign_with_threads(campaign: &Campaign, threads: usize) -> Campaig
     CampaignResult {
         name: campaign.name.clone(),
         scenario: campaign.scenario,
-        outcomes: outcomes.into_iter().map(|o| o.expect("all runs filled")).collect(),
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("all runs filled"))
+            .collect(),
     }
 }
 
 fn run_one(campaign: &Campaign, index: u64) -> RunOutcome {
-    let config = RunConfig::new(campaign.scenario, campaign.base_seed + index);
+    let config = RunConfig::new(campaign.scenario, campaign.base_seed + index)
+        .with_faults(campaign.faults.clone());
     run_once(&config, &campaign.attacker)
 }
 
@@ -140,32 +187,67 @@ fn run_one(campaign: &Campaign, index: u64) -> RunOutcome {
 mod tests {
     use super::*;
 
-    #[test]
-    fn parallel_matches_sequential() {
-        let campaign = Campaign::new(
-            "test-golden",
-            ScenarioId::Ds3,
-            AttackerSpec::None,
-            4,
-            100,
-        );
-        let seq = run_campaign_with_threads(&campaign, 1);
-        let par = run_campaign_with_threads(&campaign, 4);
-        assert_eq!(seq.outcomes.len(), par.outcomes.len());
+    /// Asserts that every run of `par` is bit-identical (digest equality)
+    /// and in the same seed order as `seq`.
+    fn assert_same_outcomes(seq: &CampaignResult, par: &CampaignResult, label: &str) {
+        assert_eq!(seq.outcomes.len(), par.outcomes.len(), "{label}: run count");
         for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
-            assert_eq!(a.seed, b.seed);
-            assert_eq!(a.record.samples.len(), b.record.samples.len());
+            assert_eq!(a.seed, b.seed, "{label}: seed order");
             assert_eq!(
-                a.record.samples.last().map(|s| s.ego_speed),
-                b.record.samples.last().map(|s| s.ego_speed)
+                a.record.digest(),
+                b.record.digest(),
+                "{label}: seed {}",
+                a.seed
             );
         }
     }
 
     #[test]
-    fn metrics_on_golden_campaign_are_zero() {
+    fn parallel_matches_sequential() {
+        let campaign = Campaign::new("test-golden", ScenarioId::Ds3, AttackerSpec::None, 4, 100);
+        let seq = run_campaign_with_threads(&campaign, 1);
+        // Thread count must never affect results — including more workers
+        // than runs (empty chunks) and odd counts (uneven chunks).
+        for threads in [2, 3, 4, 8, 16] {
+            let par = run_campaign_with_threads(&campaign, threads);
+            assert_same_outcomes(&seq, &par, &format!("{threads} threads"));
+        }
+    }
+
+    #[test]
+    fn faulted_campaign_is_thread_count_invariant() {
+        let plan = av_faults::FaultPlan::single(av_faults::FaultSpec::always(
+            av_faults::FaultKind::CameraFrameDrop { probability: 0.2 },
+        ));
         let campaign =
-            Campaign::new("golden", ScenarioId::Ds1, AttackerSpec::None, 3, 0);
+            Campaign::new("faulted", ScenarioId::Ds1, AttackerSpec::None, 3, 500).with_faults(plan);
+        let seq = run_campaign_with_threads(&campaign, 1);
+        assert!(
+            seq.outcomes
+                .iter()
+                .any(|o| o.faults.camera_frames_dropped > 0),
+            "the fault plan must actually fire"
+        );
+        let par = run_campaign_with_threads(&campaign, 8);
+        assert_same_outcomes(&seq, &par, "faulted, 8 threads");
+        for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+            assert_eq!(a.faults, b.faults, "fault schedule, seed {}", a.seed);
+        }
+    }
+
+    #[test]
+    fn zero_runs_campaign_is_empty() {
+        let campaign = Campaign::new("empty", ScenarioId::Ds1, AttackerSpec::None, 0, 0);
+        for threads in [1, 4] {
+            let result = run_campaign_with_threads(&campaign, threads);
+            assert!(result.outcomes.is_empty());
+            assert_eq!(result.n_launched(), 0);
+        }
+    }
+
+    #[test]
+    fn metrics_on_golden_campaign_are_zero() {
+        let campaign = Campaign::new("golden", ScenarioId::Ds1, AttackerSpec::None, 3, 0);
         let result = run_campaign_with_threads(&campaign, 2);
         assert_eq!(result.n_launched(), 0);
         assert_eq!(result.eb(), (0, 0.0));

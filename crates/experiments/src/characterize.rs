@@ -23,8 +23,8 @@ use av_sensing::frame::capture;
 use av_simkit::actor::{Actor, ActorId, ActorKind};
 use av_simkit::behavior::Behavior;
 use av_simkit::math::Vec2;
-use av_simkit::road::Road;
 use av_simkit::rng::run_rng;
+use av_simkit::road::Road;
 use av_simkit::world::World;
 use std::collections::HashMap;
 
@@ -62,7 +62,13 @@ fn characterization_world() -> World {
     ];
     for (id, kind, x, y) in actors {
         world
-            .add_actor(Actor::new(ActorId(id), kind, Vec2::new(x, y), 0.0, Behavior::Parked))
+            .add_actor(Actor::new(
+                ActorId(id),
+                kind,
+                Vec2::new(x, y),
+                0.0,
+                Behavior::Parked,
+            ))
             .expect("unique ids");
     }
     world
@@ -76,7 +82,10 @@ pub fn characterize_detector(frames: u64, seed: u64) -> DetectorCharacterization
     let mut detector = Detector::new(DetectorCalibration::paper());
     let mut rng = run_rng(seed, 0xF165);
 
-    let mut result = DetectorCharacterization { frames, ..Default::default() };
+    let mut result = DetectorCharacterization {
+        frames,
+        ..Default::default()
+    };
     // Per-actor running streak length.
     let mut streaks: HashMap<ActorId, u64> = HashMap::new();
 
@@ -127,23 +136,44 @@ mod tests {
         // Vehicle x error: Normal(0.023, 0.464) within tolerance.
         let veh_x = fit_normal(&c.veh_dx).unwrap();
         assert!((veh_x.mean - 0.023).abs() < 0.05, "mean {}", veh_x.mean);
-        assert!((veh_x.std_dev - 0.464).abs() < 0.05, "std {}", veh_x.std_dev);
+        assert!(
+            (veh_x.std_dev - 0.464).abs() < 0.05,
+            "std {}",
+            veh_x.std_dev
+        );
         // Pedestrian x error is far wider than vehicles (σ ≈ 2.0).
         let ped_x = fit_normal(&c.ped_dx).unwrap();
-        assert!(ped_x.std_dev > 3.0 * veh_x.std_dev, "ped σ {}", ped_x.std_dev);
+        assert!(
+            ped_x.std_dev > 3.0 * veh_x.std_dev,
+            "ped σ {}",
+            ped_x.std_dev
+        );
     }
 
     #[test]
     fn streaks_fit_shifted_exponentials() {
         let c = characterize_detector(12_000, 7);
-        assert!(c.veh_streaks.len() > 50, "veh streaks {}", c.veh_streaks.len());
-        assert!(c.ped_streaks.len() > 50, "ped streaks {}", c.ped_streaks.len());
+        assert!(
+            c.veh_streaks.len() > 50,
+            "veh streaks {}",
+            c.veh_streaks.len()
+        );
+        assert!(
+            c.ped_streaks.len() > 50,
+            "ped streaks {}",
+            c.ped_streaks.len()
+        );
         let veh = fit_exponential(&c.veh_streaks).unwrap();
         let ped = fit_exponential(&c.ped_streaks).unwrap();
         assert!(veh.loc >= 1.0);
         // Vehicles misdetect in longer streaks than pedestrians
         // (λ_veh = 0.327 < λ_ped = 0.717), hence a smaller fitted λ.
-        assert!(veh.lambda < ped.lambda, "veh λ {} ped λ {}", veh.lambda, ped.lambda);
+        assert!(
+            veh.lambda < ped.lambda,
+            "veh λ {} ped λ {}",
+            veh.lambda,
+            ped.lambda
+        );
     }
 
     #[test]

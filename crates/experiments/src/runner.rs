@@ -9,6 +9,7 @@
 //! paper works around with its 4 m accident threshold.
 
 use av_defense::ids::{Alarm, Ids, IdsConfig};
+use av_faults::{FaultInjector, FaultPlan, FaultStats};
 use av_perception::calibration::DetectorCalibration;
 use av_planning::ads::{Ads, AdsConfig};
 use av_planning::safety::{ground_truth_delta, SafetyConfig};
@@ -16,12 +17,12 @@ use av_sensing::camera::Camera;
 use av_sensing::frame::capture;
 use av_sensing::gps::GpsImu;
 use av_sensing::lidar::Lidar;
+use av_sensing::tap::{CameraTapVerdict, SensorTap};
 use av_simkit::recorder::{Event, RunRecord, Sample};
 use av_simkit::rng::run_rng;
 use av_simkit::scenario::{Scenario, ScenarioId};
 use av_simkit::units::{CAMERA_HZ, GPS_HZ, LIDAR_HZ, PLANNER_HZ, SIM_DT};
 use rand::rngs::StdRng;
-use rand::RngExt;
 use robotack::baseline::{NoAttacker, RandomAttacker};
 use robotack::malware::{Attacker, RoboTack, RoboTackConfig, TimingPolicy};
 use robotack::safety_hijacker::{AttackFeatures, KinematicOracle, NnOracle, SafetyOracle};
@@ -99,6 +100,9 @@ pub struct RunConfig {
     pub sigma_fraction: f64,
     /// Safety-hijacker thresholds (ablations sweep γ).
     pub sh: robotack::safety_hijacker::SafetyHijackerConfig,
+    /// Sensor faults injected between capture and delivery. The empty plan
+    /// is bit-transparent: the run is identical with or without it.
+    pub faults: FaultPlan,
 }
 
 impl RunConfig {
@@ -112,7 +116,15 @@ impl RunConfig {
             fusion: av_perception::fusion::FusionConfig::default(),
             sigma_fraction: 1.0,
             sh: robotack::safety_hijacker::SafetyHijackerConfig::default(),
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// The same configuration with a fault plan attached.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -154,6 +166,15 @@ pub struct RunOutcome {
     pub ids_alarms: Vec<Alarm>,
     /// Simulated seconds executed.
     pub sim_seconds: f64,
+    /// What the fault injector actually did (all zeros for an empty plan).
+    pub faults: FaultStats,
+    /// Camera frames the ADS perception rejected as stale (frozen feed).
+    pub stale_frames: u64,
+    /// Peak distance (m) between the malware replica's and the ADS's
+    /// ego-relative estimate of the scripted target — the mirrored-replica
+    /// divergence the resilience experiments measure. `None` when the
+    /// attacker keeps no replica or the target was never co-visible.
+    pub replica_divergence: Option<f64>,
 }
 
 impl AttackerSpec {
@@ -190,9 +211,16 @@ impl AttackerSpec {
                 };
                 Box::new(RoboTack::new(rt_config, OracleSpec::Kinematic))
             }
-            AttackerSpec::AtDelta { vector, delta_inject, k } => {
+            AttackerSpec::AtDelta {
+                vector,
+                delta_inject,
+                k,
+            } => {
                 rt_config.vector_preference = *vector;
-                rt_config.timing = TimingPolicy::AtDelta { delta_inject: *delta_inject, k: *k };
+                rt_config.timing = TimingPolicy::AtDelta {
+                    delta_inject: *delta_inject,
+                    k: *k,
+                };
                 Box::new(RoboTack::new(rt_config, OracleSpec::Kinematic))
             }
         }
@@ -201,11 +229,7 @@ impl AttackerSpec {
 
 /// Tracks when the ADS world model reflects the hijacked trajectory (the
 /// Fig. 7 `K′` measurement).
-fn k_prime_reached(
-    vector: AttackVector,
-    ads: &Ads,
-    target_truth: av_simkit::math::Vec2,
-) -> bool {
+fn k_prime_reached(vector: AttackVector, ads: &Ads, target_truth: av_simkit::math::Vec2) -> bool {
     let world = ads.world_model();
     let perceived = world
         .iter()
@@ -213,12 +237,16 @@ fn k_prime_reached(
     match vector {
         AttackVector::Disappear => {
             // Gone when nothing is published near the true position.
-            !world.iter().any(|o| o.position.distance(target_truth) < 3.0)
+            !world
+                .iter()
+                .any(|o| o.position.distance(target_truth) < 3.0)
         }
         AttackVector::MoveOut => perceived
             .map(|o| (o.position.y - target_truth.y).abs() >= 1.6)
             .unwrap_or(true),
-        AttackVector::MoveIn => perceived.map(|o| o.position.y.abs() <= 1.25).unwrap_or(false),
+        AttackVector::MoveIn => perceived
+            .map(|o| o.position.y.abs() <= 1.25)
+            .unwrap_or(false),
     }
 }
 
@@ -227,6 +255,9 @@ pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome 
     let scenario = Scenario::build(config.scenario, config.seed);
     let mut rng = run_rng(config.seed, 0xA77ACC);
     let mut attacker = attacker_spec.build(&scenario, config, &mut rng);
+    // The injector draws from its own seeded stream, so the main run RNG
+    // sequence is identical whether or not faults fire.
+    let mut tap = FaultInjector::new(config.faults.clone(), config.seed);
 
     let mut ads_config = AdsConfig::default();
     ads_config.perception.calibration = config.calibration;
@@ -238,7 +269,10 @@ pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome 
     let lidar = Lidar::default();
     let gps = GpsImu::default();
 
-    let mut ids = Ids::new(IdsConfig { calibration: config.calibration, ..IdsConfig::default() });
+    let mut ids = Ids::new(IdsConfig {
+        calibration: config.calibration,
+        ..IdsConfig::default()
+    });
 
     let mut scheduler = av_simkit::scheduler::Scheduler::new();
     let task_gps = scheduler.add_task_hz("gps", GPS_HZ);
@@ -255,6 +289,7 @@ pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome 
     let mut frames_since_launch: u32 = 0;
     let mut target_delta_at_attack_end = None;
     let mut min_perceived_delta: Option<f64> = None;
+    let mut replica_divergence: Option<f64> = None;
     // Rolling window so one-tick phantom dips don't pollute the minimum.
     let mut perceived_window: [f64; 3] = [f64::INFINITY; 3];
     let mut perceived_idx = 0usize;
@@ -263,10 +298,18 @@ pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome 
     for _ in 0..steps {
         for task in scheduler.advance_to(world.time_us()) {
             if task == task_gps {
-                ads.on_gps(gps.fix(&world, &mut rng));
+                let mut fix = gps.fix(&world, &mut rng);
+                tap.on_gps(&mut fix);
+                ads.on_gps(fix);
             } else if task == task_camera {
                 let mut frame = capture(&camera, &world, seq, false);
                 seq += 1;
+                // Faults act on the sensor side of the E/E network: a
+                // dropped frame never reaches the attacker's MITM hook, and
+                // a rewritten frame is what the malware replica sees too.
+                if tap.on_camera(&mut frame) == CameraTapVerdict::Drop {
+                    continue;
+                }
                 attacker.process_frame(&mut frame, world.ego().speed, &mut rng);
                 ads.on_camera_frame(&frame, &mut rng);
                 ids.on_camera(world.time(), ads.perception().last_detections());
@@ -290,9 +333,7 @@ pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome 
                     }
                     // Label for the SH training set: δ w.r.t. the target at
                     // the frame the attack window closes.
-                    if target_delta_at_attack_end.is_none()
-                        && stats.frames_perturbed >= stats.k
-                    {
+                    if target_delta_at_attack_end.is_none() && stats.frames_perturbed >= stats.k {
                         record.push_event(world.time(), Event::AttackEnded);
                         target_delta_at_attack_end = av_planning::safety::target_delta(
                             &config.safety,
@@ -302,17 +343,36 @@ pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome 
                     }
                 }
             } else if task == task_lidar {
-                let scan = lidar.scan(&world, &mut rng);
-                ads.on_lidar(&scan);
-                ids.on_lidar(world.time(), &scan, &ads.world_model());
+                let mut scan = lidar.scan(&world, &mut rng);
+                if tap.on_lidar(&mut scan) {
+                    ads.on_lidar(&scan);
+                    ids.on_lidar(world.time(), &scan, &ads.world_model());
+                }
             } else if task == task_planner {
-                let entered_eb = ads.plan_tick();
+                let entered_eb = ads.plan_tick_at(world.time());
+                // Mirrored-replica divergence: both models estimate the
+                // scripted target ego-relative; track the worst disagreement.
+                if let Some(replica) = attacker.replica_world() {
+                    let ego = ads.ego_position();
+                    let ads_rel = ads
+                        .world_model()
+                        .iter()
+                        .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID))
+                        .map(|o| o.position - ego);
+                    let rep_rel = replica
+                        .iter()
+                        .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID))
+                        .map(|o| o.position);
+                    if let (Some(a), Some(r)) = (ads_rel, rep_rel) {
+                        let d = a.distance(r);
+                        replica_divergence = Some(replica_divergence.map_or(d, |m: f64| m.max(d)));
+                    }
+                }
                 if entered_eb {
                     record.push_event(world.time(), Event::EmergencyBrake);
                 }
                 if attack_seen {
-                    let d = perceived_in_path_delta(&ads, &config.safety)
-                        .unwrap_or(f64::INFINITY);
+                    let d = perceived_in_path_delta(&ads, &config.safety).unwrap_or(f64::INFINITY);
                     perceived_window[perceived_idx % 3] = d;
                     perceived_idx += 1;
                     if perceived_idx >= 3 {
@@ -326,8 +386,9 @@ pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome 
                     }
                 }
                 let (delta, _) = ground_truth_delta(&config.safety, &world, HORIZON_M);
-                let target_gap =
-                    world.separation_to_ego(scenario.target).unwrap_or(f64::INFINITY);
+                let target_gap = world
+                    .separation_to_ego(scenario.target)
+                    .unwrap_or(f64::INFINITY);
                 record.push_sample(Sample {
                     t: world.time(),
                     ego_speed: world.ego().speed,
@@ -363,7 +424,9 @@ pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome 
     }
 
     let min_delta_post_attack = stats.launched_at.and_then(|t0| record.min_delta_since(t0));
-    let attack_end_t = record.first_event(Event::AttackEnded).unwrap_or(world.time());
+    let attack_end_t = record
+        .first_event(Event::AttackEnded)
+        .unwrap_or(world.time());
     let min_delta_attack_window = stats.launched_at.map(|t0| {
         record
             .samples
@@ -372,10 +435,12 @@ pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome 
             .map(|s| s.delta)
             .fold(f64::INFINITY, f64::min)
     });
-    let accident = collided
-        || min_delta_post_attack.is_some_and(|d| config.safety.is_accident(d));
+    let accident = collided || min_delta_post_attack.is_some_and(|d| config.safety.is_accident(d));
     let eb_after_attack = stats.launched_at.is_some_and(|t0| {
-        record.events.iter().any(|(t, e)| *e == Event::EmergencyBrake && *t >= t0 - 1e-9)
+        record
+            .events
+            .iter()
+            .any(|(t, e)| *e == Event::EmergencyBrake && *t >= t0 - 1e-9)
     });
     let eb_any = record.has_event(Event::EmergencyBrake);
 
@@ -395,6 +460,9 @@ pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome 
         min_perceived_delta_post_attack: min_perceived_delta,
         k_prime_ads,
         ids_alarms: ids.alarms().to_vec(),
+        faults: *tap.stats(),
+        stale_frames: ads.perception().stale_frames(),
+        replica_divergence,
     }
 }
 
@@ -418,7 +486,9 @@ fn perceived_in_path_delta(ads: &Ads, safety: &SafetyConfig) -> Option<f64> {
             }
             Some((ox0 - ego_front).max(0.0))
         })
-        .fold(None, |acc: Option<f64>, g| Some(acc.map_or(g, |a| a.min(g))))
+        .fold(None, |acc: Option<f64>, g| {
+            Some(acc.map_or(g, |a| a.min(g)))
+        })
         .map(|gap| safety.delta(gap, v))
 }
 

@@ -102,7 +102,12 @@ pub fn fit_exponential(xs: &[f64]) -> Option<ExponentialFit> {
     let loc = xs.iter().copied().fold(f64::INFINITY, f64::min);
     let m = mean(xs);
     let spread = (m - loc).max(1e-9);
-    Some(ExponentialFit { loc, lambda: 1.0 / spread, p99: percentile(xs, 0.99), n: xs.len() })
+    Some(ExponentialFit {
+        loc,
+        lambda: 1.0 / spread,
+        p99: percentile(xs, 0.99),
+        n: xs.len(),
+    })
 }
 
 /// Fitted Gaussian (Fig. 5 c–f).
@@ -123,7 +128,12 @@ pub fn fit_normal(xs: &[f64]) -> Option<NormalFit> {
     if xs.len() < 2 {
         return None;
     }
-    Some(NormalFit { mean: mean(xs), std_dev: std_dev(xs), p99: percentile(xs, 0.99), n: xs.len() })
+    Some(NormalFit {
+        mean: mean(xs),
+        std_dev: std_dev(xs),
+        p99: percentile(xs, 0.99),
+        n: xs.len(),
+    })
 }
 
 /// A simple fixed-width histogram (for log-count plots like Fig. 5 a–b).
@@ -139,7 +149,9 @@ pub fn histogram(xs: &[f64], bin_width: f64, max_bins: usize) -> Vec<(f64, usize
         bins[idx] += 1;
         top = top.max(idx);
     }
-    (0..=top).map(|i| (lo + bin_width * i as f64, bins[i])).collect()
+    (0..=top)
+        .map(|i| (lo + bin_width * i as f64, bins[i]))
+        .collect()
 }
 
 /// Fraction of `xs` that satisfies `pred`, as a percentage.

@@ -31,7 +31,11 @@ pub struct Args {
 impl Args {
     /// Parses `--runs N`, `--quick`, `--seed S` from `std::env::args`.
     pub fn parse() -> Args {
-        let mut args = Args { runs: 120, quick: false, seed: 2020 };
+        let mut args = Args {
+            runs: 120,
+            quick: false,
+            seed: 2020,
+        };
         let mut iter = std::env::args().skip(1);
         while let Some(a) = iter.next() {
             match a.as_str() {
@@ -87,7 +91,10 @@ pub fn oracle_for(
             );
             (OracleSpec::Nn(trained.oracle), desc)
         }
-        None => (OracleSpec::Kinematic, "kinematic fallback (insufficient data)".into()),
+        None => (
+            OracleSpec::Kinematic,
+            "kinematic fallback (insufficient data)".into(),
+        ),
     }
 }
 
@@ -103,7 +110,10 @@ pub fn run_r_campaign(
     run_campaign(&Campaign::new(
         name,
         scenario,
-        AttackerSpec::RoboTack { vector: Some(vector), oracle },
+        AttackerSpec::RoboTack {
+            vector: Some(vector),
+            oracle,
+        },
         runs,
         seed,
     ))
@@ -120,7 +130,9 @@ pub fn run_nosh_campaign(
     run_campaign(&Campaign::new(
         name,
         scenario,
-        AttackerSpec::RoboTackNoSh { vector: Some(vector) },
+        AttackerSpec::RoboTackNoSh {
+            vector: Some(vector),
+        },
         runs,
         seed,
     ))
@@ -144,8 +156,14 @@ mod tests {
     #[test]
     fn arms_cover_the_paper_matrix() {
         assert_eq!(ARMS.len(), 6);
-        let disappear = ARMS.iter().filter(|(_, v, _)| *v == AttackVector::Disappear).count();
-        let move_in = ARMS.iter().filter(|(_, v, _)| *v == AttackVector::MoveIn).count();
+        let disappear = ARMS
+            .iter()
+            .filter(|(_, v, _)| *v == AttackVector::Disappear)
+            .count();
+        let move_in = ARMS
+            .iter()
+            .filter(|(_, v, _)| *v == AttackVector::MoveIn)
+            .count();
         assert_eq!(disappear, 2);
         assert_eq!(move_in, 2);
         assert!(ARMS.iter().all(|(_, _, n)| n.ends_with("-R")));
@@ -153,8 +171,18 @@ mod tests {
 
     #[test]
     fn quick_sweep_is_small() {
-        let quick = Args { runs: 5, quick: true, seed: 1 }.sweep();
-        let full = Args { runs: 100, quick: false, seed: 1 }.sweep();
+        let quick = Args {
+            runs: 5,
+            quick: true,
+            seed: 1,
+        }
+        .sweep();
+        let full = Args {
+            runs: 100,
+            quick: false,
+            seed: 1,
+        }
+        .sweep();
         assert!(quick.delta_injects.len() < full.delta_injects.len());
         assert!(quick.ks.len() < full.ks.len());
     }

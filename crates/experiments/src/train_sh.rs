@@ -35,7 +35,9 @@ pub struct SweepConfig {
 impl Default for SweepConfig {
     fn default() -> Self {
         SweepConfig {
-            delta_injects: vec![4.0, 6.0, 8.0, 10.0, 14.0, 18.0, 22.0, 26.0, 30.0, 36.0, 42.0, 50.0, 60.0],
+            delta_injects: vec![
+                4.0, 6.0, 8.0, 10.0, 14.0, 18.0, 22.0, 26.0, 30.0, 36.0, 42.0, 50.0, 60.0,
+            ],
             ks: vec![5, 10, 15, 20, 25, 35, 45, 55, 59, 65, 80],
             seeds_per_cell: 5,
             base_seed: 0x5EED,
@@ -70,11 +72,7 @@ pub struct TrainedOracle {
 ///
 /// Each run contributes one example: the malware-replica features at launch
 /// (plus k) → the ground-truth target safety potential at attack end.
-pub fn collect_dataset(
-    scenario: ScenarioId,
-    vector: AttackVector,
-    sweep: &SweepConfig,
-) -> Dataset {
+pub fn collect_dataset(scenario: ScenarioId, vector: AttackVector, sweep: &SweepConfig) -> Dataset {
     let mut cells = Vec::new();
     for &delta_inject in &sweep.delta_injects {
         for &k in &sweep.ks {
@@ -98,7 +96,11 @@ pub fn collect_dataset(
                 for (slot, &(delta_inject, k, seed)) in slice.iter_mut().zip(cell_chunk) {
                     let outcome = run_once(
                         &RunConfig::new(scenario, seed),
-                        &AttackerSpec::AtDelta { vector: Some(vector), delta_inject, k },
+                        &AttackerSpec::AtDelta {
+                            vector: Some(vector),
+                            delta_inject,
+                            k,
+                        },
                     );
                     *slot = example_from(&outcome);
                 }
@@ -125,7 +127,10 @@ fn example_from(outcome: &RunOutcome) -> Option<(Vec<f64>, Vec<f64>)> {
     };
     // Clamp: anything above ~40 m means "the attack had no effect" — the
     // exact clear-road value is irrelevant and would dominate the MSE.
-    Some((features.to_input(outcome.attack.k), vec![label.clamp(-10.0, 40.0)]))
+    Some((
+        features.to_input(outcome.attack.k),
+        vec![label.clamp(-10.0, 40.0)],
+    ))
 }
 
 /// Trains the per-〈scenario, vector〉 oracle (§IV-B protocol: paper
@@ -158,7 +163,11 @@ pub fn train_oracle_on(data: &Dataset) -> Option<TrainedOracle> {
     train(
         &mut net,
         &train_n,
-        &TrainConfig { epochs: 300, batch_size: 16, learning_rate: 1e-3 },
+        &TrainConfig {
+            epochs: 300,
+            batch_size: 16,
+            learning_rate: 1e-3,
+        },
         &mut rng,
     );
     let val_mse = mse(&net, &val_n);
@@ -204,7 +213,12 @@ mod tests {
         assert!(trained.val_mse < 6.0, "val mse {}", trained.val_mse);
         // Prediction decreases with k.
         use robotack::safety_hijacker::{AttackFeatures, SafetyOracle};
-        let f = AttackFeatures { delta: 25.0, v_rel_lon: -3.0, v_rel_lat: 0.0, a_rel_lon: 0.0 };
+        let f = AttackFeatures {
+            delta: 25.0,
+            v_rel_lon: -3.0,
+            v_rel_lat: 0.0,
+            a_rel_lon: 0.0,
+        };
         let d10 = trained.oracle.predict_delta(&f, 10);
         let d80 = trained.oracle.predict_delta(&f, 80);
         assert!(d80 < d10, "monotone-ish in k: {d10} vs {d80}");

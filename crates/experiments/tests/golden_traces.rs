@@ -1,0 +1,132 @@
+//! Golden-trace regression suite: fixed-seed golden runs of every scenario
+//! digest to committed fixtures, so any behavioral drift anywhere in the
+//! stack (world, sensors, perception, planner, scheduler, RNG) fails loudly
+//! here rather than silently shifting the paper's numbers.
+//!
+//! The digest ([`av_simkit::recorder::RunRecord::digest`]) folds every
+//! sample field bit-exactly (`f64::to_bits`) plus the event sequence, so a
+//! fixture mismatch means the trajectory changed down to the last ULP. If a
+//! change is *intentional* (e.g. a planner retune), regenerate the constants
+//! with:
+//!
+//! ```text
+//! cargo test -p av-experiments --test golden_traces -- --nocapture print_digests --ignored
+//! ```
+
+use av_experiments::runner::{run_once, AttackerSpec, RunConfig};
+use av_faults::{FaultKind, FaultPlan, FaultSpec};
+use av_simkit::scenario::ScenarioId;
+
+/// 〈scenario, seed, expected digest〉 for every driving scenario.
+const GOLDEN: [(ScenarioId, u64, &str); 5] = [
+    (ScenarioId::Ds1, 7, "88fd3971a1e3db6f"),
+    (ScenarioId::Ds2, 7, "8ac9cef96c26d7c6"),
+    (ScenarioId::Ds3, 7, "a7da8c6ce2fbf298"),
+    (ScenarioId::Ds4, 7, "a3119dae4c2710e6"),
+    (ScenarioId::Ds5, 7, "cfdbc2735d4a6661"),
+];
+
+fn golden_run(scenario: ScenarioId, seed: u64) -> String {
+    run_once(&RunConfig::new(scenario, seed), &AttackerSpec::None)
+        .record
+        .digest()
+}
+
+#[test]
+#[ignore = "helper: prints current digests for fixture regeneration"]
+fn print_digests() {
+    for (scenario, seed, _) in GOLDEN {
+        println!(
+            "    (ScenarioId::{scenario:?}, {seed}, \"{}\"),",
+            golden_run(scenario, seed)
+        );
+    }
+}
+
+#[test]
+fn golden_traces_match_committed_fixtures() {
+    for (scenario, seed, expected) in GOLDEN {
+        let digest = golden_run(scenario, seed);
+        assert_eq!(
+            digest, expected,
+            "{scenario:?} seed {seed}: trace drifted from fixture — if intentional, \
+             regenerate with the ignored print_digests test"
+        );
+    }
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_baseline() {
+    for (scenario, seed, _) in GOLDEN {
+        let base = golden_run(scenario, seed);
+        let with_empty_plan = run_once(
+            &RunConfig::new(scenario, seed).with_faults(FaultPlan::none()),
+            &AttackerSpec::None,
+        )
+        .record
+        .digest();
+        assert_eq!(
+            base, with_empty_plan,
+            "{scenario:?}: empty plan must be transparent"
+        );
+    }
+}
+
+#[test]
+fn never_active_fault_window_is_bit_identical_to_baseline() {
+    // A plan whose window opens long after the run ends must also be
+    // bit-transparent: out-of-window specs draw no randomness, and the
+    // injector's RNG stream is separate from the run's in any case.
+    let plan = FaultPlan::none()
+        .with(FaultSpec::windowed(
+            FaultKind::CameraFrameDrop { probability: 1.0 },
+            1e6,
+            2e6,
+        ))
+        .with(FaultSpec::windowed(
+            FaultKind::LidarDropout { probability: 1.0 },
+            1e6,
+            2e6,
+        ))
+        .with(FaultSpec::windowed(
+            FaultKind::GpsBias {
+                bias: 5.0,
+                drift_per_s: 1.0,
+            },
+            1e6,
+            2e6,
+        ));
+    for (scenario, seed, _) in GOLDEN {
+        let base = golden_run(scenario, seed);
+        let gated = run_once(
+            &RunConfig::new(scenario, seed).with_faults(plan.clone()),
+            &AttackerSpec::None,
+        );
+        assert_eq!(
+            base,
+            gated.record.digest(),
+            "{scenario:?}: gated plan must be transparent"
+        );
+        assert_eq!(
+            gated.faults.total(),
+            0,
+            "{scenario:?}: nothing may have fired"
+        );
+    }
+}
+
+#[test]
+fn active_faults_change_the_trace() {
+    // Sanity check on the digest itself: a plan that actually fires must not
+    // collide with the golden fixture.
+    let plan = FaultPlan::single(FaultSpec::always(FaultKind::CameraFrameDrop {
+        probability: 0.3,
+    }));
+    let base = golden_run(ScenarioId::Ds1, 7);
+    let faulted = run_once(
+        &RunConfig::new(ScenarioId::Ds1, 7).with_faults(plan),
+        &AttackerSpec::None,
+    );
+    assert_ne!(base, faulted.record.digest());
+    assert!(faulted.faults.camera_frames_dropped > 0);
+}

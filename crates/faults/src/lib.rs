@@ -1,0 +1,34 @@
+//! # av-faults — deterministic seeded sensor fault injection
+//!
+//! A fault-injection subsystem that sits between the sensor models in
+//! [`av_sensing`] and the perception pipeline, implementing the
+//! [`av_sensing::tap::SensorTap`] hook. A [`FaultPlan`] is a list of
+//! [`FaultSpec`]s — per-sensor faults with activation windows and seeded
+//! stochastic triggers.
+//!
+//! Two properties anchor the whole design:
+//!
+//! - **Determinism.** The injector draws from its *own* RNG stream, derived
+//!   from the run seed through the same SplitMix64 mix as every other
+//!   per-run stream ([`av_simkit::rng::mix`]). The same seed and plan
+//!   therefore produce the same fault schedule, and the injector never
+//!   perturbs the run's main RNG.
+//! - **Transparency when empty.** An empty plan makes zero RNG draws and
+//!   never touches a measurement, so a run with `FaultPlan::none()` is
+//!   bit-identical to a run without the subsystem (the golden-trace
+//!   regression fixtures pin this).
+//!
+//! The complementary half — *graceful degradation* — lives downstream: the
+//! perception pipeline coasts on frozen/replayed frames and surfaces camera
+//! staleness, and the planner caps speed (and ultimately brakes) as the
+//! staleness grows. The `resilience` binary in `av-experiments` sweeps fault
+//! intensity × scenario × attacker to answer whether RoboTack's mirrored
+//! replica diverges under sensor faults.
+
+#![warn(missing_docs)]
+
+pub mod injector;
+pub mod plan;
+
+pub use injector::{FaultInjector, FaultStats, FAULT_STREAM};
+pub use plan::{FaultKind, FaultPlan, FaultSpec, FaultWindow};

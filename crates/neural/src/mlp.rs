@@ -2,7 +2,7 @@
 
 use crate::matrix::Matrix;
 use av_simkit::rng as simrng;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// One dense layer: `y = x·Wᵀ + b`, optionally followed by ReLU.
@@ -51,7 +51,11 @@ impl Mlp {
             for v in w.as_mut_slice() {
                 *v = simrng::normal(rng, 0.0, std);
             }
-            layers.push(Dense { w, b: vec![0.0; fan_out], relu: i + 2 < sizes.len() });
+            layers.push(Dense {
+                w,
+                b: vec![0.0; fan_out],
+                relu: i + 2 < sizes.len(),
+            });
         }
         Mlp { layers, dropout }
     }
@@ -79,7 +83,13 @@ impl Mlp {
         for layer in &self.layers {
             let mut y = layer.b.clone();
             for (o, yo) in y.iter_mut().enumerate() {
-                *yo += layer.w.row(o).iter().zip(&x).map(|(w, xi)| w * xi).sum::<f64>();
+                *yo += layer
+                    .w
+                    .row(o)
+                    .iter()
+                    .zip(&x)
+                    .map(|(w, xi)| w * xi)
+                    .sum::<f64>();
                 if layer.relu && *yo < 0.0 {
                     *yo = 0.0;
                 }
@@ -104,8 +114,13 @@ impl Mlp {
             let mut y = Matrix::zeros(x.rows(), layer.b.len());
             for r in 0..x.rows() {
                 for (o, &bias) in layer.b.iter().enumerate() {
-                    let dot: f64 =
-                        layer.w.row(o).iter().zip(x.row(r)).map(|(w, xi)| w * xi).sum();
+                    let dot: f64 = layer
+                        .w
+                        .row(o)
+                        .iter()
+                        .zip(x.row(r))
+                        .map(|(w, xi)| w * xi)
+                        .sum();
                     y.set(r, o, dot + bias);
                 }
             }
@@ -180,15 +195,14 @@ impl Mlp {
 
     /// Total number of scalar parameters.
     pub fn param_count(&self) -> usize {
-        self.layers.iter().map(|l| l.w.as_slice().len() + l.b.len()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.w.as_slice().len() + l.b.len())
+            .sum()
     }
 
     /// Applies `f` to every (parameter, gradient) pair, layer by layer.
-    pub fn apply_grads<F: FnMut(&mut f64, f64)>(
-        &mut self,
-        grads: &[(Matrix, Vec<f64>)],
-        mut f: F,
-    ) {
+    pub fn apply_grads<F: FnMut(&mut f64, f64)>(&mut self, grads: &[(Matrix, Vec<f64>)], mut f: F) {
         for (layer, (dw, db)) in self.layers.iter_mut().zip(grads) {
             for (p, g) in layer.w.as_mut_slice().iter_mut().zip(dw.as_slice()) {
                 f(p, *g);
@@ -261,10 +275,9 @@ mod tests {
             analytic.extend_from_slice(db);
         }
         let eps = 1e-6;
-        let mut idx = 0;
         let mut max_err: f64 = 0.0;
-        let n = net.param_count();
-        for _ in 0..n {
+        assert_eq!(analytic.len(), net.param_count());
+        for (idx, &analytic_grad) in analytic.iter().enumerate() {
             // Perturb parameter `idx` via apply_grads indexing trick.
             let mut i = 0;
             net.apply_grads(&grads, |p, _| {
@@ -290,8 +303,7 @@ mod tests {
                 i += 1;
             });
             let numeric = (lp - lm) / (2.0 * eps);
-            max_err = max_err.max((numeric - analytic[idx]).abs());
-            idx += 1;
+            max_err = max_err.max((numeric - analytic_grad).abs());
         }
         assert!(max_err < 1e-4, "max gradient error {max_err}");
     }

@@ -38,7 +38,11 @@ impl Adam {
     pub fn step(&mut self) -> AdamStep<'_> {
         self.t += 1;
         let t = self.t;
-        AdamStep { adam: self, idx: 0, t }
+        AdamStep {
+            adam: self,
+            idx: 0,
+            t,
+        }
     }
 
     /// Number of optimization steps taken.
@@ -65,7 +69,10 @@ impl AdamStep<'_> {
     pub fn update(&mut self, param: &mut f64, grad: f64) {
         let a = &mut *self.adam;
         let i = self.idx;
-        assert!(i < a.m.len(), "more parameters than the optimizer was sized for");
+        assert!(
+            i < a.m.len(),
+            "more parameters than the optimizer was sized for"
+        );
         a.m[i] = a.beta1 * a.m[i] + (1.0 - a.beta1) * grad;
         a.v[i] = a.beta2 * a.v[i] + (1.0 - a.beta2) * grad * grad;
         let m_hat = a.m[i] / (1.0 - a.beta1.powi(self.t as i32));

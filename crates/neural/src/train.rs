@@ -74,7 +74,10 @@ impl Normalizer {
     ///
     /// Panics if the dataset is empty.
     pub fn fit(data: &Dataset) -> Self {
-        assert!(!data.is_empty(), "cannot fit a normalizer to an empty dataset");
+        assert!(
+            !data.is_empty(),
+            "cannot fit a normalizer to an empty dataset"
+        );
         let dim = data.inputs[0].len();
         let n = data.len() as f64;
         let mut mean = vec![0.0; dim];
@@ -119,7 +122,11 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 100, batch_size: 32, learning_rate: 1e-3 }
+        TrainConfig {
+            epochs: 100,
+            batch_size: 32,
+            learning_rate: 1e-3,
+        }
     }
 }
 
@@ -176,7 +183,11 @@ pub fn train<R: Rng + ?Sized>(
         }
         last_loss = epoch_loss;
     }
-    TrainReport { final_train_loss: last_loss, examples: data.len(), epochs: config.epochs }
+    TrainReport {
+        final_train_loss: last_loss,
+        examples: data.len(),
+        epochs: config.epochs,
+    }
 }
 
 /// Mean squared error of `net` over a dataset (validation metric).
@@ -187,7 +198,11 @@ pub fn mse(net: &Mlp, data: &Dataset) -> f64 {
     let mut total = 0.0;
     for (x, y) in data.inputs.iter().zip(&data.targets) {
         let out = net.forward(x);
-        total += out.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
+        total += out
+            .iter()
+            .zip(y)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>();
     }
     total / data.len() as f64
 }
@@ -212,10 +227,18 @@ mod tests {
         let report = train(
             &mut net,
             &data,
-            &TrainConfig { epochs: 600, batch_size: 32, learning_rate: 3e-3 },
+            &TrainConfig {
+                epochs: 600,
+                batch_size: 32,
+                learning_rate: 3e-3,
+            },
             &mut r,
         );
-        assert!(report.final_train_loss < 5e-3, "loss {}", report.final_train_loss);
+        assert!(
+            report.final_train_loss < 5e-3,
+            "loss {}",
+            report.final_train_loss
+        );
         let y = net.forward(&[0.5])[0];
         assert!((y - 0.5).abs() < 0.15, "f(0.5) = {y}");
     }
@@ -231,7 +254,11 @@ mod tests {
         train(
             &mut net,
             &data,
-            &TrainConfig { epochs: 400, batch_size: 32, learning_rate: 2e-3 },
+            &TrainConfig {
+                epochs: 400,
+                batch_size: 32,
+                learning_rate: 2e-3,
+            },
             &mut r,
         );
         let err = mse(&net, &data);

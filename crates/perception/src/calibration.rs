@@ -69,16 +69,36 @@ impl DetectorCalibration {
     pub fn paper() -> Self {
         DetectorCalibration {
             vehicle: ClassCalibration {
-                center_x: Gaussian { mean: 0.023, std_dev: 0.464 },
-                center_y: Gaussian { mean: 0.094, std_dev: 0.586 },
-                misdetect_streak: Exponential { loc: 1.0, lambda: 0.327, p99: 59.4 },
+                center_x: Gaussian {
+                    mean: 0.023,
+                    std_dev: 0.464,
+                },
+                center_y: Gaussian {
+                    mean: 0.094,
+                    std_dev: 0.586,
+                },
+                misdetect_streak: Exponential {
+                    loc: 1.0,
+                    lambda: 0.327,
+                    p99: 59.4,
+                },
                 misdetect_start: 0.02,
                 size_jitter: 0.03,
             },
             pedestrian: ClassCalibration {
-                center_x: Gaussian { mean: 0.254, std_dev: 2.010 },
-                center_y: Gaussian { mean: 0.186, std_dev: 0.409 },
-                misdetect_streak: Exponential { loc: 1.0, lambda: 0.717, p99: 31.0 },
+                center_x: Gaussian {
+                    mean: 0.254,
+                    std_dev: 2.010,
+                },
+                center_y: Gaussian {
+                    mean: 0.186,
+                    std_dev: 0.409,
+                },
+                misdetect_streak: Exponential {
+                    loc: 1.0,
+                    lambda: 0.717,
+                    p99: 31.0,
+                },
                 misdetect_start: 0.03,
                 size_jitter: 0.04,
             },
@@ -89,13 +109,27 @@ impl DetectorCalibration {
     /// A noise-free calibration (useful for deterministic pipeline tests).
     pub fn ideal() -> Self {
         let noiseless = ClassCalibration {
-            center_x: Gaussian { mean: 0.0, std_dev: 0.0 },
-            center_y: Gaussian { mean: 0.0, std_dev: 0.0 },
-            misdetect_streak: Exponential { loc: 1.0, lambda: 1.0, p99: 1.0 },
+            center_x: Gaussian {
+                mean: 0.0,
+                std_dev: 0.0,
+            },
+            center_y: Gaussian {
+                mean: 0.0,
+                std_dev: 0.0,
+            },
+            misdetect_streak: Exponential {
+                loc: 1.0,
+                lambda: 1.0,
+                p99: 1.0,
+            },
             misdetect_start: 0.0,
             size_jitter: 0.0,
         };
-        DetectorCalibration { vehicle: noiseless, pedestrian: noiseless, min_box_area: 0.0 }
+        DetectorCalibration {
+            vehicle: noiseless,
+            pedestrian: noiseless,
+            min_box_area: 0.0,
+        }
     }
 
     /// The class model for an actor kind.

@@ -15,7 +15,7 @@ use av_sensing::bbox::BBox;
 use av_sensing::frame::CameraFrame;
 use av_simkit::actor::ActorId;
 use av_simkit::rng;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::HashMap;
 
 /// Stochastic detector with per-object misdetection streak state.
@@ -29,7 +29,10 @@ pub struct Detector {
 impl Detector {
     /// Creates a detector with the given calibration.
     pub fn new(calibration: DetectorCalibration) -> Self {
-        Detector { calibration, streaks: HashMap::new() }
+        Detector {
+            calibration,
+            streaks: HashMap::new(),
+        }
     }
 
     /// The active calibration.

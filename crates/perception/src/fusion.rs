@@ -120,17 +120,45 @@ impl Entry {
             // LiDAR owns the range entirely; just coast x between scans.
             self.position.x += self.velocity.x * dt;
         } else {
-            ab_update(&mut self.position.x, &mut self.velocity.x, z.x, dt, alpha, beta);
+            ab_update(
+                &mut self.position.x,
+                &mut self.velocity.x,
+                z.x,
+                dt,
+                alpha,
+                beta,
+            );
         }
-        ab_update(&mut self.position.y, &mut self.velocity.y, z.y, dt, alpha, beta);
+        ab_update(
+            &mut self.position.y,
+            &mut self.velocity.y,
+            z.y,
+            dt,
+            alpha,
+            beta,
+        );
         self.last_update_t = t;
     }
 
     /// Fuses a full LiDAR position measurement (sustain mode).
     fn lidar_update(&mut self, z: Vec2, t: f64, alpha: f64, beta: f64) {
         let dt = (t - self.last_update_t).max(0.05);
-        ab_update(&mut self.position.x, &mut self.velocity.x, z.x, dt, alpha, beta);
-        ab_update(&mut self.position.y, &mut self.velocity.y, z.y, dt, alpha, beta);
+        ab_update(
+            &mut self.position.x,
+            &mut self.velocity.x,
+            z.x,
+            dt,
+            alpha,
+            beta,
+        );
+        ab_update(
+            &mut self.position.y,
+            &mut self.velocity.y,
+            z.y,
+            dt,
+            alpha,
+            beta,
+        );
         self.last_update_t = t;
     }
 
@@ -175,7 +203,12 @@ pub struct Fusion {
 impl Fusion {
     /// Creates an empty fusion stage.
     pub fn new(config: FusionConfig) -> Self {
-        Fusion { config, entries: Vec::new(), candidates: Vec::new(), next_id: 0 }
+        Fusion {
+            config,
+            entries: Vec::new(),
+            candidates: Vec::new(),
+            next_id: 0,
+        }
     }
 
     /// The fusion configuration.
@@ -190,8 +223,10 @@ impl Fusion {
         // Update entries that already follow a camera track.
         for entry in &mut self.entries {
             let Some(track) = entry.track else { continue };
-            if let Some((i, obs)) =
-                observations.iter().enumerate().find(|(_, o)| o.track == track)
+            if let Some((i, obs)) = observations
+                .iter()
+                .enumerate()
+                .find(|(_, o)| o.track == track)
             {
                 claimed[i] = true;
                 entry.camera_update(obs.position, t, self.config.alpha, self.config.beta);
@@ -459,7 +494,10 @@ mod tests {
             t,
             objects: positions
                 .iter()
-                .map(|&(x, y)| LidarObject { position: Vec2::new(x, y), extent: (4.6, 1.9) })
+                .map(|&(x, y)| LidarObject {
+                    position: Vec2::new(x, y),
+                    extent: (4.6, 1.9),
+                })
                 .collect(),
         }
     }
@@ -486,7 +524,11 @@ mod tests {
         f.on_lidar(&scan(0.05, &[(30.0, 0.0)]));
         let wm = f.world_model();
         assert_eq!(wm[0].support, Support::CameraAndLidar);
-        assert!((wm[0].position.x - 30.0).abs() < 0.5, "LiDAR range used: {}", wm[0].position.x);
+        assert!(
+            (wm[0].position.x - 30.0).abs() < 0.5,
+            "LiDAR range used: {}",
+            wm[0].position.x
+        );
         assert!((wm[0].position.y - 0.4).abs() < 1e-9, "camera lateral kept");
     }
 
@@ -506,7 +548,11 @@ mod tests {
         }
         let wm = f.world_model();
         let steered = wm.iter().find(|o| o.support != Support::LidarOnly).unwrap();
-        assert!(steered.position.y > 2.5, "object followed camera: y = {}", steered.position.y);
+        assert!(
+            steered.position.y > 2.5,
+            "object followed camera: y = {}",
+            steered.position.y
+        );
     }
 
     #[test]
@@ -527,7 +573,11 @@ mod tests {
         let wm = f.world_model();
         assert_eq!(wm.len(), 1);
         assert_eq!(wm[0].support, Support::LidarOnly);
-        assert_eq!(wm[0].kind, ActorKind::Car, "unknown obstacles reported as vehicles");
+        assert_eq!(
+            wm[0].kind,
+            ActorKind::Car,
+            "unknown obstacles reported as vehicles"
+        );
     }
 
     #[test]

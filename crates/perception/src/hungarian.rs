@@ -30,8 +30,9 @@ pub fn solve(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
 
     // The potential algorithm needs rows <= cols; transpose if necessary.
     if n > m {
-        let transposed: Vec<Vec<f64>> =
-            (0..m).map(|j| (0..n).map(|i| cost[i][j]).collect()).collect();
+        let transposed: Vec<Vec<f64>> = (0..m)
+            .map(|j| (0..n).map(|i| cost[i][j]).collect())
+            .collect();
         let col_assign = solve(&transposed);
         let mut assignment = vec![None; n];
         for (j, a) in col_assign.into_iter().enumerate() {

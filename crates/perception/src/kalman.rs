@@ -65,13 +65,20 @@ pub struct Kalman {
 impl Kalman {
     /// Initializes the filter at a measured position with zero velocity.
     pub fn new(config: KalmanConfig, cx: f64, cy: f64) -> Self {
-        let r = config.measurement_noise_x.max(config.measurement_noise_y).powi(2);
+        let r = config
+            .measurement_noise_x
+            .max(config.measurement_noise_y)
+            .powi(2);
         let mut p = [[0.0; 4]; 4];
         p[0][0] = r;
         p[1][1] = r;
         p[2][2] = config.initial_velocity_var;
         p[3][3] = config.initial_velocity_var;
-        Kalman { config, x: [cx, cy, 0.0, 0.0], p }
+        Kalman {
+            config,
+            x: [cx, cy, 0.0, 0.0],
+            p,
+        }
     }
 
     /// Estimated position `(cx, cy)`.
@@ -138,8 +145,8 @@ impl Kalman {
             }
         }
         let y = [zx - self.x[0], zy - self.x[1]];
-        for i in 0..4 {
-            self.x[i] += k[i][0] * y[0] + k[i][1] * y[1];
+        for (xi, ki) in self.x.iter_mut().zip(&k) {
+            *xi += ki[0] * y[0] + ki[1] * y[1];
         }
         // P = (I − K H) P
         let mut ikh = [[0.0f64; 4]; 4];

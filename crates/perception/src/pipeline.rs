@@ -39,6 +39,7 @@ pub struct Perception {
     fusion: Fusion,
     last_camera_t: Option<f64>,
     last_detections: Vec<crate::types::Detection>,
+    stale_frames: u64,
 }
 
 impl Perception {
@@ -51,6 +52,7 @@ impl Perception {
             fusion: Fusion::new(config.fusion),
             last_camera_t: None,
             last_detections: Vec::new(),
+            stale_frames: 0,
         }
     }
 
@@ -68,9 +70,21 @@ impl Perception {
         ego_position: Vec2,
         rng: &mut R,
     ) {
+        // Graceful degradation: a frozen or replayed feed re-delivers a frame
+        // with a non-advancing timestamp. Updating on it would collapse the
+        // tracker's dt (velocity estimates explode) for zero new information
+        // — coast instead and let the staleness surface to the planner.
+        if let Some(t0) = self.last_camera_t {
+            if frame.t <= t0 + 1e-9 {
+                self.stale_frames += 1;
+                return;
+            }
+        }
         let dt = self
             .last_camera_t
-            .map_or(1.0 / av_simkit::units::CAMERA_HZ, |t0| (frame.t - t0).max(1e-3));
+            .map_or(1.0 / av_simkit::units::CAMERA_HZ, |t0| {
+                (frame.t - t0).max(1e-3)
+            });
         self.last_camera_t = Some(frame.t);
 
         let detections = self.detector.detect(frame, rng);
@@ -118,6 +132,24 @@ impl Perception {
         self.fusion.world_model()
     }
 
+    /// Capture time of the newest camera frame that actually updated the
+    /// pipeline (`None` before the first frame).
+    pub fn last_camera_t(&self) -> Option<f64> {
+        self.last_camera_t
+    }
+
+    /// Seconds of camera silence as of `now`: how long the pipeline has been
+    /// coasting without fresh camera information. `0` before the first frame
+    /// (startup is not degradation).
+    pub fn camera_staleness(&self, now: f64) -> f64 {
+        self.last_camera_t.map_or(0.0, |t0| (now - t0).max(0.0))
+    }
+
+    /// Number of frames rejected as stale (frozen/replayed feed).
+    pub fn stale_frames(&self) -> u64 {
+        self.stale_frames
+    }
+
     /// The raw detector output of the most recent camera frame — the
     /// observable an external IDS monitors.
     pub fn last_detections(&self) -> &[crate::types::Detection] {
@@ -141,6 +173,7 @@ impl Perception {
         self.fusion.reset();
         self.last_camera_t = None;
         self.last_detections.clear();
+        self.stale_frames = 0;
     }
 }
 
@@ -195,11 +228,19 @@ mod tests {
         assert_eq!(wm.len(), 1);
         let obj = &wm[0];
         let truth = w.actor(ActorId(1)).unwrap();
-        assert!((obj.position.x - truth.pose.position.x).abs() < 3.0,
-            "x: {} vs {}", obj.position.x, truth.pose.position.x);
+        assert!(
+            (obj.position.x - truth.pose.position.x).abs() < 3.0,
+            "x: {} vs {}",
+            obj.position.x,
+            truth.pose.position.x
+        );
         assert!(obj.position.y.abs() < 1.0);
         // Relative speed estimate: target does 6 m/s in world coordinates.
-        assert!((obj.velocity.x - 6.0).abs() < 2.5, "vx = {}", obj.velocity.x);
+        assert!(
+            (obj.velocity.x - 6.0).abs() < 2.5,
+            "vx = {}",
+            obj.velocity.x
+        );
         assert_eq!(obj.provenance, Some(ActorId(1)));
     }
 
@@ -240,8 +281,38 @@ mod tests {
     }
 
     #[test]
+    fn stale_frames_coast_instead_of_updating() {
+        let mut w = world();
+        let mut p = Perception::new(ideal_config());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let dt = 1.0 / 15.0;
+        let mut last_fresh = None;
+        for seq in 0..20 {
+            let frame = capture(&p.config.camera, &w, seq, false);
+            last_fresh = Some(frame.clone());
+            p.on_camera_frame(&frame, w.ego().pose.position, &mut rng);
+            w.step(dt, 0.0);
+        }
+        let tracks_before: Vec<_> = p.tracks().iter().map(|t| (t.id, t.bbox())).collect();
+        let t_before = p.last_camera_t();
+        // Replay the same (frozen) frame repeatedly: the pipeline must not
+        // advance, and velocity estimates must not blow up.
+        let frozen = last_fresh.unwrap();
+        for _ in 0..10 {
+            p.on_camera_frame(&frozen, w.ego().pose.position, &mut rng);
+        }
+        assert_eq!(p.stale_frames(), 10);
+        assert_eq!(p.last_camera_t(), t_before);
+        let tracks_after: Vec<_> = p.tracks().iter().map(|t| (t.id, t.bbox())).collect();
+        assert_eq!(tracks_before, tracks_after, "coasted, state untouched");
+        // Staleness is measured against the wall clock, not frame count.
+        let now = t_before.unwrap() + 2.0;
+        assert!((p.camera_staleness(now) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn reset_clears_world_model() {
-        let w = world();
+        let mut w = world();
         let mut p = Perception::new(ideal_config());
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         // Enough frames to confirm the track and pass the fusion
@@ -249,6 +320,7 @@ mod tests {
         for seq in 0..12 {
             let frame = capture(&p.config.camera, &w, seq, false);
             p.on_camera_frame(&frame, w.ego().pose.position, &mut rng);
+            w.step(1.0 / 15.0, 0.0);
         }
         assert!(!p.world_model().is_empty());
         p.reset();

@@ -125,7 +125,11 @@ pub fn association_cost(
         return f64::INFINITY;
     }
     let iou = track_bbox.iou(det_bbox);
-    let cost = if iou > 0.0 { 1.0 - iou } else { 1.0 + dist / gate };
+    let cost = if iou > 0.0 {
+        1.0 - iou
+    } else {
+        1.0 + dist / gate
+    };
     if cost > config.lambda {
         f64::INFINITY
     } else {
@@ -146,7 +150,12 @@ impl Tracker {
     /// Creates a tracker; `calibration` provides the per-class measurement
     /// noise that sizes each track's Kalman `R`.
     pub fn new(config: TrackerConfig, calibration: DetectorCalibration) -> Self {
-        Tracker { config, calibration, tracks: Vec::new(), next_id: 0 }
+        Tracker {
+            config,
+            calibration,
+            tracks: Vec::new(),
+            next_id: 0,
+        }
     }
 
     /// The tracker configuration.
@@ -307,7 +316,10 @@ mod tests {
         t.step(DT, &[]); // miss
         let tr = &t.tracks()[0];
         assert_eq!(tr.state, TrackState::Coasting);
-        assert!(tr.bbox().center().0 > x_before, "keeps moving while coasting");
+        assert!(
+            tr.bbox().center().0 > x_before,
+            "keeps moving while coasting"
+        );
     }
 
     #[test]

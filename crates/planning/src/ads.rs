@@ -45,7 +45,11 @@ impl Ads {
             planner: Planner::new(config.planner),
             actuation_pid: Pid::new(1.0, 0.2, 0.0).with_output_limit(config.planner.eb_decel),
             last_fix: None,
-            latest_plan: PlanOutput { accel: 0.0, mode: PlannerMode::Cruise, required_decel: 0.0 },
+            latest_plan: PlanOutput {
+                accel: 0.0,
+                mode: PlannerMode::Cruise,
+                required_decel: 0.0,
+            },
             actuation: 0.0,
             eb_entries: 0,
             was_eb: false,
@@ -78,14 +82,23 @@ impl Ads {
         self.last_fix = Some(fix);
     }
 
-    /// Runs one planning cycle (nominally 10 Hz). Returns `true` when this
-    /// cycle *entered* emergency braking (a new forced-EB event).
+    /// Runs one planning cycle (nominally 10 Hz) assuming the newest camera
+    /// frame is current. Returns `true` when this cycle *entered* emergency
+    /// braking (a new forced-EB event).
     pub fn plan_tick(&mut self) -> bool {
+        let now = self.perception.last_camera_t().unwrap_or(0.0);
+        self.plan_tick_at(now)
+    }
+
+    /// Runs one planning cycle at wall time `now`, surfacing camera
+    /// staleness to the planner for graceful degradation.
+    pub fn plan_tick_at(&mut self, now: f64) -> bool {
         let objects = self.perception.world_model();
         let input = PlanInput {
             ego_position: self.ego_position(),
             ego_speed: self.ego_speed(),
             objects: &objects,
+            camera_staleness: self.perception.camera_staleness(now),
         };
         self.latest_plan = self.planner.plan(&input);
         let is_eb = self.latest_plan.mode == PlannerMode::EmergencyBrake;
@@ -144,7 +157,11 @@ impl Ads {
         self.planner.reset();
         self.actuation_pid.reset();
         self.last_fix = None;
-        self.latest_plan = PlanOutput { accel: 0.0, mode: PlannerMode::Cruise, required_decel: 0.0 };
+        self.latest_plan = PlanOutput {
+            accel: 0.0,
+            mode: PlannerMode::Cruise,
+            required_decel: 0.0,
+        };
         self.actuation = 0.0;
         self.eb_entries = 0;
         self.was_eb = false;
@@ -175,7 +192,10 @@ mod tests {
     fn drive(mut world: World, mut ads: Ads, seconds: f64) -> (World, Ads) {
         let camera = Camera::default();
         let lidar = Lidar::default();
-        let gps = GpsImu { position_noise: 0.0, speed_noise: 0.0 };
+        let gps = GpsImu {
+            position_noise: 0.0,
+            speed_noise: 0.0,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let dt = 1.0 / 30.0;
         let steps = (seconds * 30.0) as u64;
@@ -202,7 +222,11 @@ mod tests {
         let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 5.0, Behavior::Ego);
         let world = World::new(Road::default(), ego);
         let (world, ads) = drive(world, ads(), 15.0);
-        assert!((world.ego().speed - 12.5).abs() < 0.5, "speed {}", world.ego().speed);
+        assert!(
+            (world.ego().speed - 12.5).abs() < 0.5,
+            "speed {}",
+            world.ego().speed
+        );
         assert_eq!(ads.eb_entries(), 0);
     }
 
@@ -225,7 +249,11 @@ mod tests {
         let gap = world.in_path_obstacle(0.3).unwrap().gap;
         assert!(gap > 10.0, "keeps a safe gap: {gap}");
         assert!(gap < 35.0, "actually follows: {gap}");
-        assert!((world.ego().speed - v_tv).abs() < 1.0, "matched speed: {}", world.ego().speed);
+        assert!(
+            (world.ego().speed - v_tv).abs() < 1.0,
+            "matched speed: {}",
+            world.ego().speed
+        );
         assert_eq!(ads.eb_entries(), 0, "golden run has no emergency braking");
     }
 
@@ -249,9 +277,42 @@ mod tests {
     }
 
     #[test]
+    fn camera_silence_degrades_gracefully() {
+        let mut a = ads();
+        let camera = Camera::default();
+        let gps = GpsImu {
+            position_noise: 0.0,
+            speed_noise: 0.0,
+        };
+        let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 12.5, Behavior::Ego);
+        let mut world = World::new(Road::default(), ego);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // Healthy warm-up: frames arriving on schedule.
+        for i in 0..10 {
+            let frame = capture(&camera, &world, i, false);
+            a.on_gps(gps.fix(&world, &mut rng));
+            a.on_camera_frame(&frame, &mut rng);
+            world.step(1.0 / 15.0, 0.0);
+        }
+        let fresh = a.plan_tick_at(world.time());
+        assert!(!fresh);
+        assert_ne!(a.plan().mode, PlannerMode::Degraded);
+        // Camera goes silent: staleness grows past the blind threshold.
+        let blind_at = world.time() + a.planner.config().staleness_blind + 0.1;
+        a.plan_tick_at(blind_at);
+        assert_eq!(a.plan().mode, PlannerMode::Degraded);
+        assert!(a.plan().accel <= -a.planner.config().comfort_decel + 1e-9);
+    }
+
+    #[test]
     fn reset_restores_initial_state() {
         let mut a = ads();
-        a.on_gps(GpsImuFix { t: 0.0, position: Vec2::new(5.0, 0.0), speed: 3.0, accel: 0.0 });
+        a.on_gps(GpsImuFix {
+            t: 0.0,
+            position: Vec2::new(5.0, 0.0),
+            speed: 3.0,
+            accel: 0.0,
+        });
         a.plan_tick();
         a.reset();
         assert_eq!(a.ego_position(), Vec2::ZERO);

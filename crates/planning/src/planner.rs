@@ -29,6 +29,9 @@ pub enum PlannerMode {
     EmergencyBrake,
     /// Stopped, waiting for the path to clear.
     Hold,
+    /// Graceful degradation: camera data too stale to trust — slowing to a
+    /// stop at the comfort envelope on the last known world model.
+    Degraded,
 }
 
 /// Planner configuration.
@@ -87,6 +90,12 @@ pub struct PlannerConfig {
     pub accel_ramp_jerk: f64,
     /// Planning tick period (s).
     pub tick_dt: f64,
+    /// Camera staleness (s) past which the planner stops accelerating and
+    /// caps speed at the caution speed (graceful degradation, stage 1).
+    pub staleness_caution: f64,
+    /// Camera staleness (s) past which the planner treats perception as
+    /// blind and brakes to a stop at the comfort envelope (stage 2).
+    pub staleness_blind: f64,
     /// Safety model (for diagnostics and `d_safe,min`).
     pub safety: SafetyConfig,
 }
@@ -118,6 +127,8 @@ impl Default for PlannerConfig {
             consider_range: 80.0,
             accel_ramp_jerk: 0.25,
             tick_dt: 0.1,
+            staleness_caution: 0.4,
+            staleness_blind: 1.2,
             safety: SafetyConfig::default(),
         }
     }
@@ -132,6 +143,10 @@ pub struct PlanInput<'a> {
     pub ego_speed: f64,
     /// Fused world model `Wt`.
     pub objects: &'a [WorldObject],
+    /// Seconds since the perception pipeline last received a fresh camera
+    /// frame (0 = fresh). Drives graceful degradation: the world model in
+    /// `objects` is this many seconds old.
+    pub camera_staleness: f64,
 }
 
 /// Output of one planning cycle.
@@ -192,12 +207,24 @@ impl Planner {
         let v = input.ego_speed.max(0.0);
         let ego_front = input.ego_position.x + cfg.ego_half_length;
         let corridor_half = cfg.ego_half_width + cfg.corridor_margin;
-        let (cy0, cy1) = (input.ego_position.y - corridor_half, input.ego_position.y + corridor_half);
+        let (cy0, cy1) = (
+            input.ego_position.y - corridor_half,
+            input.ego_position.y + corridor_half,
+        );
 
         let mut speed_target = cfg.cruise_speed;
         let mut best_accel = cfg.accel_limit;
         let mut mode = PlannerMode::Cruise;
         let mut required_decel: f64 = 0.0;
+
+        // Graceful degradation, stage 1: with a stale world model the
+        // planner will not speed up into the unknown — cap the target at
+        // the caution speed and forbid positive acceleration (below).
+        let degraded_caution = input.camera_staleness >= cfg.staleness_caution;
+        let degraded_blind = input.camera_staleness >= cfg.staleness_blind;
+        if degraded_caution {
+            speed_target = speed_target.min(cfg.caution_speed);
+        }
 
         // Drop state for objects that vanished from the world model.
         let live: std::collections::HashSet<u64> = input.objects.iter().map(|o| o.id).collect();
@@ -268,7 +295,9 @@ impl Planner {
                 }
             };
 
-            let Some((margin, follow_speed)) = constraint else { continue };
+            let Some((margin, follow_speed)) = constraint else {
+                continue;
+            };
 
             // A constrained obstacle inside the minimum safety envelope
             // (plus half a second of headway) while a hard stop would be
@@ -318,8 +347,7 @@ impl Planner {
             }
         }
         // Cruise / caution speed tracking competes with the constraints.
-        let a_cruise =
-            (0.8 * (speed_target - v)).clamp(-cfg.comfort_decel, cfg.accel_limit);
+        let a_cruise = (0.8 * (speed_target - v)).clamp(-cfg.comfort_decel, cfg.accel_limit);
         if a_cruise < best_accel {
             best_accel = a_cruise;
             // Only claim Cruise mode if no constraint was binding.
@@ -339,6 +367,21 @@ impl Planner {
             mode = PlannerMode::EmergencyBrake;
         }
 
+        // Graceful degradation, stage 2: perception is effectively blind —
+        // brake to a stop at the comfort envelope on whatever constraint is
+        // already binding. Emergency braking (stronger) keeps priority.
+        if mode != PlannerMode::EmergencyBrake {
+            if degraded_blind {
+                best_accel = best_accel.min(-cfg.comfort_decel);
+                mode = PlannerMode::Degraded;
+            } else if degraded_caution && best_accel > 0.0 {
+                best_accel = 0.0;
+                if mode == PlannerMode::Cruise {
+                    mode = PlannerMode::Degraded;
+                }
+            }
+        }
+
         // Jerk-limited cruise recovery: positive acceleration ramps up
         // slowly after any slowdown.
         if best_accel > 0.0 {
@@ -355,7 +398,11 @@ impl Planner {
             mode = PlannerMode::Hold;
         }
 
-        PlanOutput { accel: best_accel, mode, required_decel }
+        PlanOutput {
+            accel: best_accel,
+            mode,
+            required_decel,
+        }
     }
 
     /// Clears planner state (between runs).
@@ -374,7 +421,11 @@ mod tests {
     use av_simkit::actor::ActorKind;
 
     fn obj(id: u64, kind: ActorKind, x: f64, y: f64, vx: f64, vy: f64) -> WorldObject {
-        let extent = if kind.is_vehicle() { (4.6, 1.9) } else { (0.5, 0.6) };
+        let extent = if kind.is_vehicle() {
+            (4.6, 1.9)
+        } else {
+            (0.5, 0.6)
+        };
         WorldObject {
             id,
             kind,
@@ -388,7 +439,21 @@ mod tests {
     }
 
     fn plan(planner: &mut Planner, v: f64, objects: &[WorldObject]) -> PlanOutput {
-        planner.plan(&PlanInput { ego_position: Vec2::ZERO, ego_speed: v, objects })
+        planner.plan(&PlanInput {
+            ego_position: Vec2::ZERO,
+            ego_speed: v,
+            objects,
+            camera_staleness: 0.0,
+        })
+    }
+
+    fn plan_stale(planner: &mut Planner, v: f64, staleness: f64) -> PlanOutput {
+        planner.plan(&PlanInput {
+            ego_position: Vec2::ZERO,
+            ego_speed: v,
+            objects: &[],
+            camera_staleness: staleness,
+        })
     }
 
     #[test]
@@ -477,7 +542,10 @@ mod tests {
         let ped = obj(7, ActorKind::Pedestrian, 30.0, 0.0, 0.0, 0.0);
         plan(&mut p, 12.5, &[ped]);
         let out = plan(&mut p, 12.5, &[ped]);
-        assert!(matches!(out.mode, PlannerMode::Brake | PlannerMode::EmergencyBrake));
+        assert!(matches!(
+            out.mode,
+            PlannerMode::Brake | PlannerMode::EmergencyBrake
+        ));
     }
 
     #[test]
@@ -487,7 +555,11 @@ mod tests {
         let ped = obj(7, ActorKind::Pedestrian, 30.0, -3.3, -1.4, 0.0);
         for _ in 0..5 {
             let out = plan(&mut p, 12.5, &[ped]);
-            assert_ne!(out.mode, PlannerMode::Brake, "no hard brake for DS-4 golden");
+            assert_ne!(
+                out.mode,
+                PlannerMode::Brake,
+                "no hard brake for DS-4 golden"
+            );
             assert!(out.accel < 0.0, "slows toward caution speed");
         }
         // At caution speed the planner no longer decelerates.
@@ -525,7 +597,75 @@ mod tests {
         let mut p = Planner::new(PlannerConfig::default());
         let lead = obj(1, ActorKind::Car, 14.0, 0.0, 2.0, 0.0);
         let out = plan(&mut p, 12.0, &[lead]);
-        assert!(out.required_decel > 4.0, "closing fast: {}", out.required_decel);
+        assert!(
+            out.required_decel > 4.0,
+            "closing fast: {}",
+            out.required_decel
+        );
+    }
+
+    #[test]
+    fn fresh_data_keeps_full_authority() {
+        let mut p = Planner::new(PlannerConfig::default());
+        let out = plan_stale(&mut p, 10.0, 0.0);
+        assert_eq!(out.mode, PlannerMode::Cruise);
+        assert!(out.accel > 0.0);
+    }
+
+    #[test]
+    fn caution_staleness_stops_accelerating() {
+        let mut p = Planner::new(PlannerConfig::default());
+        let cfg = *p.config();
+        // Below cruise speed, fresh data would accelerate; stale data holds.
+        let out = plan_stale(&mut p, 8.0, cfg.staleness_caution + 0.01);
+        assert_eq!(out.accel, 0.0, "no acceleration into a stale world");
+        assert_eq!(out.mode, PlannerMode::Degraded);
+        // Above the caution speed the cap actively slows the EV.
+        let out = plan_stale(&mut p, cfg.cruise_speed, cfg.staleness_caution + 0.01);
+        assert!(
+            out.accel < 0.0,
+            "slowing toward caution speed: {}",
+            out.accel
+        );
+    }
+
+    #[test]
+    fn blind_staleness_brakes_to_a_stop() {
+        let mut p = Planner::new(PlannerConfig::default());
+        let cfg = *p.config();
+        let out = plan_stale(&mut p, 12.5, cfg.staleness_blind + 0.01);
+        assert_eq!(out.mode, PlannerMode::Degraded);
+        assert!(
+            out.accel <= -cfg.comfort_decel + 1e-9,
+            "comfort-envelope stop"
+        );
+        // Once stopped, hold rather than command further deceleration.
+        let stopped = plan_stale(&mut p, 0.0, cfg.staleness_blind + 0.01);
+        assert_eq!(stopped.mode, PlannerMode::Hold);
+        assert_eq!(stopped.accel, 0.0);
+    }
+
+    #[test]
+    fn emergency_braking_outranks_degradation() {
+        let mut p = Planner::new(PlannerConfig::default());
+        let fake = obj(1, ActorKind::Car, 15.0, 0.0, 0.0, 0.0);
+        let n = p.config().vehicle_persistence + 1;
+        for _ in 0..n {
+            plan(&mut p, 12.5, &[fake]);
+        }
+        assert!(p.emergency_braking());
+        let out = p.plan(&PlanInput {
+            ego_position: Vec2::ZERO,
+            ego_speed: 12.5,
+            objects: &[fake],
+            camera_staleness: 10.0,
+        });
+        assert_eq!(
+            out.mode,
+            PlannerMode::EmergencyBrake,
+            "EB wins over Degraded"
+        );
+        assert!(out.accel <= -(p.config().eb_decel - 0.1));
     }
 
     #[test]

@@ -79,7 +79,9 @@ pub fn ground_truth_delta(
     // d_safe is the instantaneous gap (the paper's longitudinal safety
     // envelope); see DESIGN.md for the calibration of the comfortable
     // deceleration in d_stop.
-    let gap = world.in_path_obstacle(0.3).map_or(horizon, |o| o.gap.min(horizon));
+    let gap = world
+        .in_path_obstacle(0.3)
+        .map_or(horizon, |o| o.gap.min(horizon));
     (config.delta(gap, v), gap)
 }
 

@@ -25,7 +25,10 @@ impl BBox {
     ///
     /// Panics in debug builds if the edges are inverted.
     pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
-        debug_assert!(x0 <= x1 && y0 <= y1, "inverted bbox ({x0},{y0})-({x1},{y1})");
+        debug_assert!(
+            x0 <= x1 && y0 <= y1,
+            "inverted bbox ({x0},{y0})-({x1},{y1})"
+        );
         BBox { x0, y0, x1, y1 }
     }
 
@@ -83,7 +86,12 @@ impl BBox {
 
     /// The box translated by `(dx, dy)` pixels.
     pub fn translated(&self, dx: f64, dy: f64) -> BBox {
-        BBox { x0: self.x0 + dx, y0: self.y0 + dy, x1: self.x1 + dx, y1: self.y1 + dy }
+        BBox {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
     }
 
     /// The box clipped to an image of `width`×`height` pixels, or `None`
@@ -148,13 +156,24 @@ mod tests {
     #[test]
     fn translated_moves_box() {
         let b = BBox::new(0.0, 0.0, 10.0, 10.0).translated(5.0, -2.0);
-        assert_eq!(b, BBox { x0: 5.0, y0: -2.0, x1: 15.0, y1: 8.0 });
+        assert_eq!(
+            b,
+            BBox {
+                x0: 5.0,
+                y0: -2.0,
+                x1: 15.0,
+                y1: 8.0
+            }
+        );
     }
 
     #[test]
     fn clipped_behaviour() {
         let b = BBox::new(-5.0, -5.0, 10.0, 10.0);
-        assert_eq!(b.clipped(100.0, 100.0).unwrap(), BBox::new(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(
+            b.clipped(100.0, 100.0).unwrap(),
+            BBox::new(0.0, 0.0, 10.0, 10.0)
+        );
         let out = BBox::new(200.0, 200.0, 300.0, 300.0);
         assert!(out.clipped(100.0, 100.0).is_none());
     }

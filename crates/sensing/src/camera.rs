@@ -126,7 +126,13 @@ mod tests {
     }
 
     fn car(x: f64, y: f64) -> Actor {
-        Actor::new(ActorId(1), ActorKind::Car, Vec2::new(x, y), 0.0, Behavior::Parked)
+        Actor::new(
+            ActorId(1),
+            ActorKind::Car,
+            Vec2::new(x, y),
+            0.0,
+            Behavior::Parked,
+        )
     }
 
     #[test]

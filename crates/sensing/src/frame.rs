@@ -91,7 +91,12 @@ pub fn capture(camera: &Camera, world: &World, seq: u64, with_raster: bool) -> C
     }
 
     let raster = with_raster.then(|| render(camera, &truth));
-    CameraFrame { seq, t: world.time(), truth, raster }
+    CameraFrame {
+        seq,
+        t: world.time(),
+        truth,
+        raster,
+    }
 }
 
 /// Renders the ground-truth boxes into a fresh raster, far-to-near so nearer
@@ -122,7 +127,9 @@ impl CameraFrame {
     /// Boxes the detector can plausibly see: not suppressed, not occluded
     /// beyond [`OCCLUSION_LIMIT`].
     pub fn visible(&self) -> impl Iterator<Item = &TruthBox> {
-        self.truth.iter().filter(|t| !t.suppressed && t.occlusion < OCCLUSION_LIMIT)
+        self.truth
+            .iter()
+            .filter(|t| !t.suppressed && t.occlusion < OCCLUSION_LIMIT)
     }
 }
 
@@ -183,7 +190,11 @@ mod tests {
         }
         let frame = capture(&Camera::default(), &w, 0, false);
         let far = frame.truth_for(ActorId(2)).unwrap();
-        assert!(far.occlusion > OCCLUSION_LIMIT, "occlusion = {}", far.occlusion);
+        assert!(
+            far.occlusion > OCCLUSION_LIMIT,
+            "occlusion = {}",
+            far.occlusion
+        );
         assert_eq!(frame.visible().count(), 1);
     }
 

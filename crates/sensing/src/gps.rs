@@ -30,7 +30,10 @@ pub struct GpsImu {
 
 impl Default for GpsImu {
     fn default() -> Self {
-        GpsImu { position_noise: 0.02, speed_noise: 0.05 }
+        GpsImu {
+            position_noise: 0.02,
+            speed_noise: 0.05,
+        }
     }
 }
 
@@ -61,7 +64,13 @@ mod tests {
 
     #[test]
     fn fix_tracks_ego_closely() {
-        let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::new(12.0, 0.0), 9.0, Behavior::Ego);
+        let ego = Actor::new(
+            ActorId(0),
+            ActorKind::Car,
+            Vec2::new(12.0, 0.0),
+            9.0,
+            Behavior::Ego,
+        );
         let world = World::new(Road::default(), ego);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let fix = GpsImu::default().fix(&world, &mut rng);

@@ -25,7 +25,11 @@ pub struct Raster {
 impl Raster {
     /// Creates a raster filled with `background` luminance.
     pub fn new(width: usize, height: usize, background: f32) -> Self {
-        Raster { width, height, data: vec![background; width * height] }
+        Raster {
+            width,
+            height,
+            data: vec![background; width * height],
+        }
     }
 
     /// Raster width in cells.
@@ -147,7 +151,11 @@ impl Raster {
         for _ in 0..width * height {
             data.push(payload.get_f32_le());
         }
-        Some(Raster { width, height, data })
+        Some(Raster {
+            width,
+            height,
+            data,
+        })
     }
 }
 

@@ -25,6 +25,7 @@ pub mod frame;
 pub mod gps;
 pub mod image;
 pub mod lidar;
+pub mod tap;
 
 pub use bbox::BBox;
 pub use camera::Camera;
@@ -32,3 +33,4 @@ pub use frame::{CameraFrame, TruthBox};
 pub use gps::{GpsImu, GpsImuFix};
 pub use image::Raster;
 pub use lidar::{Lidar, LidarObject, LidarScan};
+pub use tap::{CameraTapVerdict, NullTap, SensorTap};

@@ -54,7 +54,12 @@ pub struct Lidar {
 
 impl Default for Lidar {
     fn default() -> Self {
-        Lidar { vehicle_range: 80.0, pedestrian_range: 25.0, rolloff: 5.0, position_noise: 0.1 }
+        Lidar {
+            vehicle_range: 80.0,
+            pedestrian_range: 25.0,
+            rolloff: 5.0,
+            position_noise: 0.1,
+        }
     }
 }
 
@@ -97,10 +102,16 @@ impl Lidar {
                     rng::normal(rng_, 0.0, self.position_noise),
                 );
                 let Size { length, width, .. } = actor.size;
-                Some(LidarObject { position: actor.pose.position + noise, extent: (length, width) })
+                Some(LidarObject {
+                    position: actor.pose.position + noise,
+                    extent: (length, width),
+                })
             })
             .collect();
-        LidarScan { t: world.time(), objects }
+        LidarScan {
+            t: world.time(),
+            objects,
+        }
     }
 }
 
@@ -115,7 +126,14 @@ mod tests {
     fn world_with_actor(kind: ActorKind, x: f64) -> World {
         let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 10.0, Behavior::Ego);
         let mut w = World::new(Road::default(), ego);
-        w.add_actor(Actor::new(ActorId(1), kind, Vec2::new(x, 0.0), 0.0, Behavior::Parked)).unwrap();
+        w.add_actor(Actor::new(
+            ActorId(1),
+            kind,
+            Vec2::new(x, 0.0),
+            0.0,
+            Behavior::Parked,
+        ))
+        .unwrap();
         w
     }
 

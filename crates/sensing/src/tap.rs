@@ -1,0 +1,92 @@
+//! In-line sensor taps: hooks between capture and delivery.
+//!
+//! A [`SensorTap`] sits on the sensor side of the E/E network — *before* any
+//! man-in-the-middle attacker and before the ADS perception stack — and may
+//! rewrite or withhold each measurement. The fault-injection subsystem
+//! (`av-faults`) implements this trait; [`NullTap`] is the no-op used by
+//! unfaulted runs and is guaranteed not to touch the data.
+
+use crate::frame::CameraFrame;
+use crate::gps::GpsImuFix;
+use crate::lidar::LidarScan;
+
+/// What happens to a camera frame after passing through a tap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CameraTapVerdict {
+    /// Deliver the (possibly rewritten) frame downstream.
+    Deliver,
+    /// The frame is lost: neither the attacker nor the ADS sees it.
+    Drop,
+}
+
+/// A hook on the sensor capture paths.
+///
+/// Default implementations deliver everything untouched, so implementors
+/// override only the channels they care about.
+pub trait SensorTap {
+    /// Inspects/rewrites one camera frame; returns whether it is delivered.
+    fn on_camera(&mut self, _frame: &mut CameraFrame) -> CameraTapVerdict {
+        CameraTapVerdict::Deliver
+    }
+
+    /// Inspects/rewrites one LiDAR sweep; `false` drops the whole scan.
+    fn on_lidar(&mut self, _scan: &mut LidarScan) -> bool {
+        true
+    }
+
+    /// Inspects/rewrites one GPS/IMU fix (always delivered — the bus does
+    /// not drop fixes, but a fault may bias them).
+    fn on_gps(&mut self, _fix: &mut GpsImuFix) {}
+}
+
+/// The identity tap: every measurement passes through bit-identical.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTap;
+
+impl SensorTap for NullTap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::Camera;
+    use crate::frame::capture;
+    use av_simkit::actor::{Actor, ActorId, ActorKind};
+    use av_simkit::behavior::Behavior;
+    use av_simkit::math::Vec2;
+    use av_simkit::road::Road;
+    use av_simkit::world::World;
+
+    #[test]
+    fn null_tap_passes_everything_unchanged() {
+        let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 10.0, Behavior::Ego);
+        let mut world = World::new(Road::default(), ego);
+        world
+            .add_actor(Actor::new(
+                ActorId(1),
+                ActorKind::Car,
+                Vec2::new(30.0, 0.0),
+                5.0,
+                Behavior::CruiseStraight { speed: 5.0 },
+            ))
+            .unwrap();
+        let mut tap = NullTap;
+
+        let original = capture(&Camera::default(), &world, 0, false);
+        let mut frame = original.clone();
+        assert_eq!(tap.on_camera(&mut frame), CameraTapVerdict::Deliver);
+        assert_eq!(frame, original);
+
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let lidar = crate::lidar::Lidar::default();
+        let original = lidar.scan(&world, &mut rng);
+        let mut scan = original.clone();
+        assert!(tap.on_lidar(&mut scan));
+        assert_eq!(scan, original);
+
+        let gps = crate::gps::GpsImu::default();
+        let original = gps.fix(&world, &mut rng);
+        let mut fix = original;
+        tap.on_gps(&mut fix);
+        assert_eq!(fix, original);
+    }
+}

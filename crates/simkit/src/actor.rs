@@ -45,11 +45,23 @@ pub struct Size {
 
 impl Size {
     /// A typical passenger car (similar to the LGSVL sedan asset).
-    pub const CAR: Size = Size { length: 4.6, width: 1.9, height: 1.5 };
+    pub const CAR: Size = Size {
+        length: 4.6,
+        width: 1.9,
+        height: 1.5,
+    };
     /// A larger SUV/bus-class vehicle.
-    pub const TRUCK: Size = Size { length: 6.5, width: 2.3, height: 2.6 };
+    pub const TRUCK: Size = Size {
+        length: 6.5,
+        width: 2.3,
+        height: 2.6,
+    };
     /// An adult pedestrian.
-    pub const PEDESTRIAN: Size = Size { length: 0.5, width: 0.6, height: 1.75 };
+    pub const PEDESTRIAN: Size = Size {
+        length: 0.5,
+        width: 0.6,
+        height: 1.75,
+    };
 
     /// The default size for a [`ActorKind`].
     pub fn for_kind(kind: ActorKind) -> Size {
@@ -82,7 +94,13 @@ pub struct Actor {
 
 impl Actor {
     /// Creates an actor with the default size for its kind, heading +x.
-    pub fn new(id: ActorId, kind: ActorKind, position: Vec2, speed: f64, behavior: Behavior) -> Self {
+    pub fn new(
+        id: ActorId,
+        kind: ActorKind,
+        position: Vec2,
+        speed: f64,
+        behavior: Behavior,
+    ) -> Self {
         Actor {
             id,
             kind,
@@ -143,7 +161,13 @@ mod tests {
     use crate::behavior::Behavior;
 
     fn car_at(x: f64, y: f64) -> Actor {
-        Actor::new(ActorId(1), ActorKind::Car, Vec2::new(x, y), 0.0, Behavior::Parked)
+        Actor::new(
+            ActorId(1),
+            ActorKind::Car,
+            Vec2::new(x, y),
+            0.0,
+            Behavior::Parked,
+        )
     }
 
     #[test]

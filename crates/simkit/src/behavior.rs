@@ -59,7 +59,11 @@ pub enum Behavior {
 impl Behavior {
     /// Convenience constructor for a waypoint script.
     pub fn waypoints(points: Vec<Waypoint>, on_finish: OnFinish) -> Behavior {
-        Behavior::Waypoints { points, next: 0, on_finish }
+        Behavior::Waypoints {
+            points,
+            next: 0,
+            on_finish,
+        }
     }
 
     /// Advances `pose`/`speed` by `dt` seconds according to the script.
@@ -74,7 +78,11 @@ impl Behavior {
                 let fwd = pose.forward();
                 (Pose::new(pose.position + fwd * (*s * dt), pose.heading), *s)
             }
-            Behavior::Waypoints { points, next, on_finish } => {
+            Behavior::Waypoints {
+                points,
+                next,
+                on_finish,
+            } => {
                 if *next >= points.len() {
                     return match on_finish {
                         OnFinish::Stop => (pose, 0.0),
@@ -91,7 +99,11 @@ impl Behavior {
                 let step_len = wp.speed * dt;
                 if dist <= step_len || dist < 1e-9 {
                     *next += 1;
-                    let heading = if dist > 1e-9 { to_target.y.atan2(to_target.x) } else { pose.heading };
+                    let heading = if dist > 1e-9 {
+                        to_target.y.atan2(to_target.x)
+                    } else {
+                        pose.heading
+                    };
                     // Land exactly on the waypoint; remaining budget is dropped
                     // (sub-step precision is irrelevant at 30 Hz).
                     (Pose::new(wp.target, heading), wp.speed)
@@ -108,7 +120,11 @@ impl Behavior {
     pub fn is_settled(&self) -> bool {
         match self {
             Behavior::Parked => true,
-            Behavior::Waypoints { points, next, on_finish: OnFinish::Stop } => *next >= points.len(),
+            Behavior::Waypoints {
+                points,
+                next,
+                on_finish: OnFinish::Stop,
+            } => *next >= points.len(),
             _ => false,
         }
     }
@@ -140,7 +156,10 @@ mod tests {
     #[test]
     fn waypoints_walk_and_stop() {
         let mut b = Behavior::waypoints(
-            vec![Waypoint::new(Vec2::new(0.0, 2.0), 1.0), Waypoint::new(Vec2::new(0.0, 4.0), 1.0)],
+            vec![
+                Waypoint::new(Vec2::new(0.0, 2.0), 1.0),
+                Waypoint::new(Vec2::new(0.0, 4.0), 1.0),
+            ],
             OnFinish::Stop,
         );
         let mut pose = Pose::new(Vec2::ZERO, 0.0);
@@ -157,7 +176,10 @@ mod tests {
 
     #[test]
     fn waypoints_continue_keeps_last_speed() {
-        let mut b = Behavior::waypoints(vec![Waypoint::new(Vec2::new(1.0, 0.0), 2.0)], OnFinish::Continue);
+        let mut b = Behavior::waypoints(
+            vec![Waypoint::new(Vec2::new(1.0, 0.0), 2.0)],
+            OnFinish::Continue,
+        );
         let mut pose = Pose::new(Vec2::ZERO, 0.0);
         for _ in 0..20 {
             let (p, _) = b.step(pose, 0.0, 0.1);
@@ -168,7 +190,10 @@ mod tests {
 
     #[test]
     fn waypoint_heading_points_at_target() {
-        let mut b = Behavior::waypoints(vec![Waypoint::new(Vec2::new(0.0, 10.0), 1.0)], OnFinish::Stop);
+        let mut b = Behavior::waypoints(
+            vec![Waypoint::new(Vec2::new(0.0, 10.0), 1.0)],
+            OnFinish::Stop,
+        );
         let (p, _) = b.step(Pose::new(Vec2::ZERO, 0.0), 0.0, 0.1);
         assert!(approx_eq(p.heading, std::f64::consts::FRAC_PI_2, 1e-9));
     }

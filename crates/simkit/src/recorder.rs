@@ -63,7 +63,10 @@ impl RunRecord {
 
     /// Time of the first occurrence of `event`, if any.
     pub fn first_event(&self, event: Event) -> Option<f64> {
-        self.events.iter().find(|(_, e)| *e == event).map(|(t, _)| *t)
+        self.events
+            .iter()
+            .find(|(_, e)| *e == event)
+            .map(|(t, _)| *t)
     }
 
     /// Whether `event` occurred at least once.
@@ -94,6 +97,47 @@ impl RunRecord {
             _ => 0.0,
         }
     }
+
+    /// Order-sensitive 64-bit FNV-1a digest of the whole record: every
+    /// sample field bit-exact (`f64::to_bits`) plus the event sequence.
+    ///
+    /// Two records digest equal iff their trajectories are bit-identical,
+    /// so the golden-trace regression suite can commit this one hex string
+    /// per 〈scenario, seed〉 instead of a full trace dump.
+    pub fn digest(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = fnv_u64(h, self.samples.len() as u64);
+        for s in &self.samples {
+            h = fnv_u64(h, s.t.to_bits());
+            h = fnv_u64(h, s.ego_speed.to_bits());
+            h = fnv_u64(h, s.ego_accel.to_bits());
+            h = fnv_u64(h, s.delta.to_bits());
+            h = fnv_u64(h, s.target_gap.to_bits());
+            h = fnv_u64(h, u64::from(s.attack_active));
+            h = fnv_u64(h, u64::from(s.emergency_braking));
+        }
+        h = fnv_u64(h, self.events.len() as u64);
+        for (t, event) in &self.events {
+            h = fnv_u64(h, t.to_bits());
+            let tag = match event {
+                Event::AttackStarted => 1u64,
+                Event::AttackEnded => 2,
+                Event::EmergencyBrake => 3,
+                Event::Collision => 4,
+            };
+            h = fnv_u64(h, tag);
+        }
+        format!("{h:016x}")
+    }
+}
+
+/// Folds one 64-bit word into an FNV-1a state, byte by byte.
+fn fnv_u64(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -131,6 +175,30 @@ mod tests {
         assert_eq!(r.first_event(Event::AttackStarted), Some(1.5));
         assert!(r.has_event(Event::EmergencyBrake));
         assert!(!r.has_event(Event::Collision));
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let mut a = RunRecord::new();
+        a.push_sample(sample(0.0, 10.0, false));
+        a.push_event(1.0, Event::AttackStarted);
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest(), "equal records, equal digests");
+        assert_eq!(a.digest().len(), 16);
+
+        // One ULP of one field changes the digest.
+        b.samples[0].delta = f64::from_bits(b.samples[0].delta.to_bits() + 1);
+        assert_ne!(a.digest(), b.digest());
+
+        // Event order matters.
+        let mut c = a.clone();
+        c.push_event(2.0, Event::EmergencyBrake);
+        let mut d = a.clone();
+        d.push_event(2.0, Event::Collision);
+        assert_ne!(c.digest(), d.digest());
+
+        // Empty record digests to a fixed, non-trivial value.
+        assert_ne!(RunRecord::new().digest(), a.digest());
     }
 
     #[test]

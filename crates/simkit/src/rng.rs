@@ -6,7 +6,7 @@
 //! caller controls seeding and reproducibility.
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Derives a per-run RNG from a campaign seed and a run index.
 ///
@@ -54,7 +54,10 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
 ///
 /// Panics in debug builds if `lambda` is not strictly positive.
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, loc: f64, lambda: f64) -> f64 {
-    debug_assert!(lambda > 0.0, "exponential: lambda must be > 0, got {lambda}");
+    debug_assert!(
+        lambda > 0.0,
+        "exponential: lambda must be > 0, got {lambda}"
+    );
     let u: f64 = 1.0 - rng.random::<f64>();
     loc - u.ln() / lambda
 }
@@ -85,7 +88,9 @@ mod tests {
     fn run_rng_differs_across_runs() {
         let mut a = run_rng(1, 2);
         let mut b = run_rng(1, 3);
-        let same = (0..16).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..16)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -12,7 +12,6 @@ use crate::rng;
 use crate::road::Road;
 use crate::units::kph_to_mps;
 use crate::world::World;
-use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a driving scenario from the paper (§V-C, Fig. 4).
@@ -94,7 +93,13 @@ impl Scenario {
         let cruise = kph_to_mps(45.0);
         let jitter = |rng: &mut rand::rngs::StdRng| rng.random_range(-2.0..2.0);
 
-        let ego = Actor::new(EGO_ID, ActorKind::Car, Vec2::new(0.0, 0.0), cruise, Behavior::Ego);
+        let ego = Actor::new(
+            EGO_ID,
+            ActorKind::Car,
+            Vec2::new(0.0, 0.0),
+            cruise,
+            Behavior::Ego,
+        );
         let mut world = World::new(road, ego);
 
         let (target, duration) = match id {
@@ -119,15 +124,23 @@ impl Scenario {
                     ActorKind::Pedestrian,
                     Vec2::new(x0, -6.5),
                     walk,
-                    Behavior::waypoints(vec![Waypoint::new(Vec2::new(x0, 6.5), walk)], OnFinish::Stop),
+                    Behavior::waypoints(
+                        vec![Waypoint::new(Vec2::new(x0, 6.5), walk)],
+                        OnFinish::Stop,
+                    ),
                 );
                 world.add_actor(ped).expect("fresh world");
                 (TARGET_ID, 30.0)
             }
             ScenarioId::Ds3 => {
                 let x0 = 90.0 + jitter(&mut rng);
-                let tv =
-                    Actor::new(TARGET_ID, ActorKind::Car, Vec2::new(x0, -3.5), 0.0, Behavior::Parked);
+                let tv = Actor::new(
+                    TARGET_ID,
+                    ActorKind::Car,
+                    Vec2::new(x0, -3.5),
+                    0.0,
+                    Behavior::Parked,
+                );
                 world.add_actor(tv).expect("fresh world");
                 (TARGET_ID, 20.0)
             }
@@ -165,9 +178,12 @@ impl Scenario {
                 // never drive through each other (no NPC-NPC collision
                 // model in the plan-view world).
                 let n_oncoming = rng.random_range(2..=4usize);
-                let mut xs: Vec<f64> = (0..n_oncoming).map(|_| rng.random_range(60.0..240.0)).collect();
-                let mut vs: Vec<f64> =
-                    (0..n_oncoming).map(|_| kph_to_mps(rng.random_range(20.0..40.0))).collect();
+                let mut xs: Vec<f64> = (0..n_oncoming)
+                    .map(|_| rng.random_range(60.0..240.0))
+                    .collect();
+                let mut vs: Vec<f64> = (0..n_oncoming)
+                    .map(|_| kph_to_mps(rng.random_range(20.0..40.0)))
+                    .collect();
                 xs.sort_by(|a, b| a.total_cmp(b));
                 vs.sort_by(|a, b| b.total_cmp(a));
                 for (i, (x, v)) in xs.into_iter().zip(vs).enumerate() {
@@ -194,7 +210,13 @@ impl Scenario {
             }
         };
 
-        Scenario { id, world, target, cruise_speed: cruise, duration }
+        Scenario {
+            id,
+            world,
+            target,
+            cruise_speed: cruise,
+            duration,
+        }
     }
 
     /// Consumes the scenario and returns just the world (handy in doctests).

@@ -43,7 +43,11 @@ impl Scheduler {
     /// Panics if `period_us` is zero.
     pub fn add_task(&mut self, name: &'static str, period_us: u64) -> Task {
         assert!(period_us > 0, "task {name}: zero period");
-        self.entries.push(Entry { name, period_us, next_fire_us: 0 });
+        self.entries.push(Entry {
+            name,
+            period_us,
+            next_fire_us: 0,
+        });
         Task(self.entries.len() - 1)
     }
 

@@ -48,6 +48,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn sensor_rates_divide_sim_rate_sensibly() {
         // The scheduler uses integer microsecond periods; just sanity-check
         // the constants stay in the expected ballpark.

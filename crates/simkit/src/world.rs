@@ -39,7 +39,12 @@ impl World {
     /// The ego's behavior is forced to [`Behavior::Ego`].
     pub fn new(road: Road, mut ego: Actor) -> Self {
         ego.behavior = Behavior::Ego;
-        World { road, time_us: 0, actors: vec![ego], ego_index: 0 }
+        World {
+            road,
+            time_us: 0,
+            actors: vec![ego],
+            ego_index: 0,
+        }
     }
 
     /// Adds a non-ego actor.
@@ -145,8 +150,12 @@ impl World {
             }
             let gap = (ox0 - ego_front).max(0.0);
             let closing = ego_vx - other.velocity().x;
-            if best.map_or(true, |b| gap < b.gap) {
-                best = Some(InPathObstacle { id: other.id, gap, closing_speed: closing });
+            if best.is_none_or(|b| gap < b.gap) {
+                best = Some(InPathObstacle {
+                    id: other.id,
+                    gap,
+                    closing_speed: closing,
+                });
             }
         }
         best
@@ -166,7 +175,9 @@ impl World {
     /// (`f64::INFINITY` when the ego is alone).
     pub fn min_separation_to_ego(&self) -> f64 {
         let ego = self.ego();
-        self.others().map(|o| separation(ego, o)).fold(f64::INFINITY, f64::min)
+        self.others()
+            .map(|o| separation(ego, o))
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Relative velocity of `id` with respect to the ego (other − ego).
@@ -195,7 +206,13 @@ mod tests {
     }
 
     fn cruiser(id: u32, x: f64, y: f64, speed: f64) -> Actor {
-        Actor::new(ActorId(id), ActorKind::Car, Vec2::new(x, y), speed, Behavior::CruiseStraight { speed })
+        Actor::new(
+            ActorId(id),
+            ActorKind::Car,
+            Vec2::new(x, y),
+            speed,
+            Behavior::CruiseStraight { speed },
+        )
     }
 
     #[test]

@@ -23,7 +23,13 @@ fn main() {
     let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 12.5, Behavior::Ego);
     let mut world = World::new(Road::default(), ego);
     world
-        .add_actor(Actor::new(ActorId(1), ActorKind::Car, Vec2::new(30.0, 0.0), 7.0, Behavior::CruiseStraight { speed: 7.0 }))
+        .add_actor(Actor::new(
+            ActorId(1),
+            ActorKind::Car,
+            Vec2::new(30.0, 0.0),
+            7.0,
+            Behavior::CruiseStraight { speed: 7.0 },
+        ))
         .expect("fresh world");
 
     let camera = Camera::default();
@@ -67,7 +73,10 @@ fn main() {
     patch::suppress(&mut suppressed, &truth.bbox);
     match patch::detect(&suppressed, &truth.bbox) {
         None => println!("suppressed  : detector no longer sees the car (Disappear)"),
-        Some(b) => println!("suppressed  : detector still sees a box at u = {:.0}?!", b.center().0),
+        Some(b) => println!(
+            "suppressed  : detector still sees a box at u = {:.0}?!",
+            b.center().0
+        ),
     }
     println!(
         "suppression : L1 = {:.1} (patch confined to the {:.0}×{:.0} px box)",

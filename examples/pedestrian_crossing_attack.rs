@@ -31,7 +31,10 @@ fn main() {
     for seed in 0..runs {
         let out = run_once(
             &RunConfig::new(ScenarioId::Ds2, 9000 + seed),
-            &AttackerSpec::RoboTack { vector: Some(AttackVector::MoveOut), oracle: oracle.clone() },
+            &AttackerSpec::RoboTack {
+                vector: Some(AttackVector::MoveOut),
+                oracle: oracle.clone(),
+            },
         );
         eb += u64::from(out.eb_after_attack);
         crashes += u64::from(out.accident);

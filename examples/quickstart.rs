@@ -19,8 +19,12 @@ fn main() {
 
     // A golden (attack-free) run first.
     let golden = run_once(&RunConfig::new(ScenarioId::Ds1, 7), &AttackerSpec::None);
-    let golden_min_delta =
-        golden.record.samples.iter().map(|s| s.delta).fold(f64::INFINITY, f64::min);
+    let golden_min_delta = golden
+        .record
+        .samples
+        .iter()
+        .map(|s| s.delta)
+        .fold(f64::INFINITY, f64::min);
     println!(
         "Golden DS-1 run: {:.1} s simulated, min safety potential {:.1} m, \
          emergency braking: {}, collision: {}\n",
@@ -40,7 +44,10 @@ fn main() {
     println!("Attacked DS-1 run (Move_Out):");
     match attacked.attack.launched_at {
         Some(t) => {
-            let f = attacked.attack.features_at_launch.expect("features recorded");
+            let f = attacked
+                .attack
+                .features_at_launch
+                .expect("features recorded");
             println!("  t = {t:.1} s: safety hijacker fired");
             println!(
                 "    perceived state: δ = {:.1} m, v_rel = {:.1} m/s",

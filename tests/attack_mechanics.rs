@@ -16,10 +16,18 @@ use robotack::trajectory_hijacker::{ThConfig, TrajectoryHijacker};
 use robotack::vector::AttackVector;
 
 fn world_with_car(x: f64, y: f64) -> World {
-    let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 12.5, Behavior::Ego);
+    // Ego parked: tests step the world to advance sensor timestamps without
+    // changing the scene geometry.
+    let ego = Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 0.0, Behavior::Ego);
     let mut w = World::new(Road::default(), ego);
-    w.add_actor(Actor::new(ActorId(1), ActorKind::Car, Vec2::new(x, y), 0.0, Behavior::Parked))
-        .expect("fresh world");
+    w.add_actor(Actor::new(
+        ActorId(1),
+        ActorKind::Car,
+        Vec2::new(x, y),
+        0.0,
+        Behavior::Parked,
+    ))
+    .expect("fresh world");
     w
 }
 
@@ -36,20 +44,23 @@ fn perception() -> Perception {
 /// though the real car never moves.
 #[test]
 fn hijacked_frames_steer_the_world_model() {
-    let world = world_with_car(35.0, -3.5);
+    let mut world = world_with_car(35.0, -3.5);
     let mut p = perception();
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     // Warm up: let the track confirm and pass the fusion registration gate.
     for seq in 0..15 {
         let frame = capture(&Camera::default(), &world, seq, false);
         p.on_camera_frame(&frame, Vec2::ZERO, &mut rng);
+        world.step(1.0 / 15.0, 0.0);
     }
-    let mut th = TrajectoryHijacker::launch(AttackVector::MoveIn, ActorId(1), 60, ThConfig::default());
+    let mut th =
+        TrajectoryHijacker::launch(AttackVector::MoveIn, ActorId(1), 60, ThConfig::default());
     let mut perceived_y = Vec::new();
     for seq in 15..75 {
         let mut frame = capture(&Camera::default(), &world, seq, false);
         th.apply(&mut frame);
         p.on_camera_frame(&frame, Vec2::ZERO, &mut rng);
+        world.step(1.0 / 15.0, 0.0);
         if let Some(obj) = p.world_model().first() {
             perceived_y.push(obj.position.y);
         }
@@ -64,26 +75,35 @@ fn hijacked_frames_steer_the_world_model() {
 /// coast window, and it returns after the attack ends.
 #[test]
 fn disappear_empties_and_restores_the_world_model() {
-    let world = world_with_car(35.0, 0.0);
+    let mut world = world_with_car(35.0, 0.0);
     let mut p = perception();
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     // Warm up: the object must be established in the world model first.
     for seq in 0..15 {
         let frame = capture(&Camera::default(), &world, seq, false);
         p.on_camera_frame(&frame, Vec2::ZERO, &mut rng);
+        world.step(1.0 / 15.0, 0.0);
     }
-    assert!(!p.world_model().is_empty(), "object established before the attack");
+    assert!(
+        !p.world_model().is_empty(),
+        "object established before the attack"
+    );
     let k = 30;
-    let mut th = TrajectoryHijacker::launch(AttackVector::Disappear, ActorId(1), k, ThConfig::default());
+    let mut th =
+        TrajectoryHijacker::launch(AttackVector::Disappear, ActorId(1), k, ThConfig::default());
     let mut present = Vec::new();
     for seq in 15..110 {
         let mut frame = capture(&Camera::default(), &world, seq, false);
         th.apply(&mut frame);
         p.on_camera_frame(&frame, Vec2::ZERO, &mut rng);
+        world.step(1.0 / 15.0, 0.0);
         present.push(!p.world_model().is_empty());
     }
     assert!(!present[15], "object gone mid-attack");
-    assert!(*present.last().expect("nonempty"), "object re-registered after the attack");
+    assert!(
+        *present.last().expect("nonempty"),
+        "object re-registered after the attack"
+    );
 }
 
 /// §IV-C stealth: every per-frame displacement of the *detected* box against
@@ -103,7 +123,10 @@ fn per_frame_steps_stay_within_the_association_envelope() {
         if let Some((lu, lv)) = last_center {
             let step = (u - lu).hypot(v - lv);
             let gate = config.tracker.gate_diagonals * bbox.width().hypot(bbox.height());
-            assert!(step < gate, "frame {seq}: step {step} px exceeds gate {gate} px");
+            assert!(
+                step < gate,
+                "frame {seq}: step {step} px exceeds gate {gate} px"
+            );
         }
         last_center = Some((u, v));
     }
@@ -139,14 +162,27 @@ fn raster_patch_realizes_the_metadata_shift() {
     let mut last_frame = None;
     for seq in 0..20 {
         let mut frame = capture(&config.camera, &world, seq, true);
-        let clean_u = frame.truth_for(ActorId(1)).expect("in view").bbox.center().0;
+        let clean_u = frame
+            .truth_for(ActorId(1))
+            .expect("in view")
+            .bbox
+            .center()
+            .0;
         th.apply(&mut frame);
         last_frame = Some((frame, clean_u));
     }
     let (frame, clean_u) = last_frame.expect("frames processed");
-    let meta_u = frame.truth_for(ActorId(1)).expect("in view").bbox.center().0;
+    let meta_u = frame
+        .truth_for(ActorId(1))
+        .expect("in view")
+        .bbox
+        .center()
+        .0;
     let meta_shift = meta_u - clean_u;
-    assert!(meta_shift.abs() > 30.0, "metadata box moved: {meta_shift} px");
+    assert!(
+        meta_shift.abs() > 30.0,
+        "metadata box moved: {meta_shift} px"
+    );
 
     let raster = frame.raster.as_ref().expect("raster rendered");
     let roi = frame.truth_for(ActorId(1)).expect("in view").bbox;

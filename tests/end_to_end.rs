@@ -21,11 +21,21 @@ fn golden_runs_are_safe_across_scenarios() {
 #[test]
 fn golden_ds2_yields_to_pedestrian() {
     let out = run_once(&RunConfig::new(ScenarioId::Ds2, 3), &AttackerSpec::None);
-    let min_speed =
-        out.record.samples.iter().map(|s| s.ego_speed).fold(f64::INFINITY, f64::min);
-    assert!(min_speed < 1.0, "EV stopped for the pedestrian: {min_speed}");
+    let min_speed = out
+        .record
+        .samples
+        .iter()
+        .map(|s| s.ego_speed)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_speed < 1.0,
+        "EV stopped for the pedestrian: {min_speed}"
+    );
     let final_speed = out.record.samples.last().expect("samples").ego_speed;
-    assert!(final_speed > 8.0, "EV resumed after the crossing: {final_speed}");
+    assert!(
+        final_speed > 8.0,
+        "EV resumed after the crossing: {final_speed}"
+    );
 }
 
 /// A timed Move_Out attack on the crossing pedestrian causes the paper's
@@ -34,10 +44,18 @@ fn golden_ds2_yields_to_pedestrian() {
 fn timed_move_out_attack_on_pedestrian_causes_accident() {
     let out = run_once(
         &RunConfig::new(ScenarioId::Ds2, 0),
-        &AttackerSpec::AtDelta { vector: Some(AttackVector::MoveOut), delta_inject: 24.0, k: 60 },
+        &AttackerSpec::AtDelta {
+            vector: Some(AttackVector::MoveOut),
+            delta_inject: 24.0,
+            k: 60,
+        },
     );
     assert!(out.attack.launched_at.is_some(), "attack launched");
-    assert!(out.accident, "min δ dipped below 4 m: {:?}", out.min_delta_post_attack);
+    assert!(
+        out.accident,
+        "min δ dipped below 4 m: {:?}",
+        out.min_delta_post_attack
+    );
     // And the same scenario without the attack is safe.
     let golden = run_once(&RunConfig::new(ScenarioId::Ds2, 0), &AttackerSpec::None);
     assert!(!golden.accident && !golden.collided);
@@ -49,13 +67,19 @@ fn timed_move_out_attack_on_pedestrian_causes_accident() {
 fn timed_move_in_attack_forces_emergency_braking_only() {
     let out = run_once(
         &RunConfig::new(ScenarioId::Ds3, 0),
-        &AttackerSpec::AtDelta { vector: Some(AttackVector::MoveIn), delta_inject: 8.0, k: 40 },
+        &AttackerSpec::AtDelta {
+            vector: Some(AttackVector::MoveIn),
+            delta_inject: 8.0,
+            k: 40,
+        },
     );
     assert!(out.eb_after_attack, "forced emergency braking");
     assert!(!out.collided, "no real obstacle to hit");
     // The EV *believed* it was about to crash ...
     assert!(
-        out.min_perceived_delta_post_attack.expect("perceived δ tracked") < 4.0,
+        out.min_perceived_delta_post_attack
+            .expect("perceived δ tracked")
+            < 4.0,
         "perceived δ dipped below the accident threshold"
     );
     // ... while the path was actually clear.

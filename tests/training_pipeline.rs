@@ -21,7 +21,11 @@ fn sweep_collects_labeled_examples() {
         assert_eq!(y.len(), 1);
         assert!(x[0].is_finite() && y[0].is_finite());
         assert!((-10.0..=40.0).contains(&y[0]), "label clamped: {}", y[0]);
-        assert!(x[4] == 20.0 || x[4] == 50.0, "k feature preserved: {}", x[4]);
+        assert!(
+            x[4] == 20.0 || x[4] == 50.0,
+            "k feature preserved: {}",
+            x[4]
+        );
     }
 }
 
@@ -42,7 +46,12 @@ fn trained_oracle_learns_that_longer_attacks_hurt_more() {
     let mut long = 0.0;
     let mut n = 0.0;
     for delta in [15.0, 22.0, 30.0] {
-        let f = AttackFeatures { delta, v_rel_lon: -11.0, v_rel_lat: 0.0, a_rel_lon: 0.0 };
+        let f = AttackFeatures {
+            delta,
+            v_rel_lon: -11.0,
+            v_rel_lat: 0.0,
+            a_rel_lon: 0.0,
+        };
         short += trained.oracle.predict_delta(&f, 10);
         long += trained.oracle.predict_delta(&f, 60);
         n += 1.0;

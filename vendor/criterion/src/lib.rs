@@ -1,0 +1,229 @@
+//! Minimal offline stand-in for the `criterion` benchmarking harness.
+//!
+//! Implements exactly the API subset the workspace benches use: timing is a
+//! straightforward best-of-N wall-clock measurement with a text report, not
+//! criterion's statistical machinery. The point is that `cargo bench` compiles
+//! and runs without the network; numbers are indicative only.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement iterations per benchmark (before per-iteration scaling).
+const DEFAULT_SAMPLES: usize = 20;
+
+/// How an input is cleared between `iter_batched` runs; all variants behave
+/// identically here (each batch is one setup + one routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone (`group/param`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with both a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-call duration, filled in by `iter`/`iter_batched`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample budget and records the median call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        self.elapsed = times[times.len() / 2];
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            times.push(start.elapsed());
+        }
+        times.sort();
+        self.elapsed = times[times.len() / 2];
+    }
+}
+
+fn report(name: &str, elapsed: Duration) {
+    println!("{name:<48} {:>12.3} µs/iter", elapsed.as_secs_f64() * 1e6);
+}
+
+/// A named set of related benchmarks sharing a sample budget.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed calls per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Times one closure-defined benchmark.
+    pub fn bench_function<S: Display, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.elapsed);
+        self
+    }
+
+    /// Times one benchmark parameterized by `input`.
+    pub fn bench_with_input<S: Display, I: ?Sized, F>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.elapsed);
+        self
+    }
+
+    /// Ends the group (accepted for API parity; nothing to flush).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// The benchmark driver handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Times one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: DEFAULT_SAMPLES,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(id, b.elapsed);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).sum()
+    }
+
+    fn bench_sum(c: &mut Criterion) {
+        c.bench_function("sum_small", |b| b.iter(|| sum_to(100)));
+        let mut group = c.benchmark_group("sums");
+        group.sample_size(5);
+        for n in [10u64, 100] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, n| {
+                b.iter(|| sum_to(*n))
+            });
+        }
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 50u64, sum_to, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(demo, bench_sum);
+
+    #[test]
+    fn harness_subset_runs() {
+        demo();
+    }
+}

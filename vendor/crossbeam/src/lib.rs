@@ -1,0 +1,78 @@
+//! Offline stand-in for `crossbeam`, exposing the `thread::scope` API the
+//! campaign runner uses, backed by `std::thread::scope` (stable since Rust
+//! 1.63).
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention
+    //! (`scope(|s| { s.spawn(|_| ...); })` returning a `Result`).
+
+    /// Wrapper over [`std::thread::Scope`] passing itself to spawned
+    /// closures, as crossbeam does.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so nested
+        /// spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// `scope` returns.
+    ///
+    /// Unlike crossbeam, a panic in a spawned thread propagates as a panic
+    /// out of this call (std semantics) instead of an `Err`; callers here
+    /// only ever `.expect()` the result, so the observable behavior — abort
+    /// the run with the worker's panic — is the same.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_fill_disjoint_chunks() {
+            let mut data = vec![0u64; 64];
+            super::scope(|scope| {
+                for (i, chunk) in data.chunks_mut(16).enumerate() {
+                    scope.spawn(move |_| {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            *slot = (i * 16 + j) as u64;
+                        }
+                    });
+                }
+            })
+            .expect("workers succeeded");
+            assert_eq!(data, (0..64).collect::<Vec<u64>>());
+        }
+
+        #[test]
+        fn scope_returns_closure_value() {
+            let v = super::scope(|scope| {
+                let h = scope.spawn(|_| 21u32);
+                h.join().expect("join") * 2
+            })
+            .expect("scope");
+            assert_eq!(v, 42);
+        }
+    }
+}

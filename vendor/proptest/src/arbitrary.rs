@@ -1,0 +1,73 @@
+//! `any::<T>()` — full-domain strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value covering the full domain of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random::<u64>() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn any_u64_spans_high_bits() {
+        let mut rng = case_rng(3, 0);
+        let strat = any::<u64>();
+        let high = (0..100)
+            .filter(|_| strat.generate(&mut rng) > u64::MAX / 2)
+            .count();
+        assert!((20..80).contains(&high), "high-half draws: {high}");
+    }
+
+    #[test]
+    fn any_bool_hits_both() {
+        let mut rng = case_rng(4, 0);
+        let strat = any::<bool>();
+        let trues = (0..100).filter(|_| strat.generate(&mut rng)).count();
+        assert!((20..80).contains(&trues));
+    }
+}

@@ -1,0 +1,102 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Accepted lengths for a generated collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (exclusive).
+    pub max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "collection size range is empty");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "collection size range is empty");
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = if self.size.min + 1 >= self.size.max_exclusive {
+            self.size.min
+        } else {
+            rng.random_range(self.size.min..self.size.max_exclusive)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `Vec` strategy: `size` may be a fixed `usize` or a `Range<usize>`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn fixed_size_is_exact() {
+        let strat = vec(0.0..1.0f64, 5);
+        let mut rng = case_rng(5, 0);
+        assert_eq!(strat.generate(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn ranged_size_stays_in_bounds() {
+        let strat = vec(0..10u32, 2..9);
+        let mut rng = case_rng(6, 0);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_vec_composes() {
+        let strat = vec(vec(0.0..1.0f64, 3), 4);
+        let mut rng = case_rng(8, 0);
+        let m = strat.generate(&mut rng);
+        assert_eq!(m.len(), 4);
+        assert!(m.iter().all(|row| row.len() == 3));
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro, range/`any`/`Just`/tuple/`prop_oneof!`/
+//! `prop::collection::vec` strategies, `prop_map`, and the `prop_assert*` /
+//! `prop_assume!` macros. Cases are generated from a deterministic seed
+//! derived from the test name, so failures reproduce exactly; there is no
+//! shrinking — the failing case's values are printed instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Runs each contained `#[test]` function over many generated cases.
+///
+/// Grammar (subset of proptest's):
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, n in any::<u64>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            const CASES: u64 = 256;
+            const MAX_REJECTS: u64 = 65_536;
+            let base = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut rejects: u64 = 0;
+            let mut case: u64 = 0;
+            let mut attempts: u64 = 0;
+            while case < CASES {
+                let mut rng = $crate::test_runner::case_rng(base, attempts);
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => { case += 1; }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        assert!(
+                            rejects < MAX_REJECTS,
+                            "proptest {}: too many prop_assume! rejections ({})",
+                            stringify!($name),
+                            rejects
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {} (seed base {:#x}, attempt {}): {}",
+                            stringify!($name), case, base, attempts - 1, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case with an assertion message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($a), stringify!($b), left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "{} (left: {:?}, right: {:?})",
+            ::std::format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Fails the current case unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($a), stringify!($b), left
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "{} (both: {:?})",
+            ::std::format!($($fmt)+), left
+        );
+    }};
+}
+
+/// Discards the current case (it is regenerated, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniformly picks one of several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::strategy::Union::new(arms)
+    }};
+}

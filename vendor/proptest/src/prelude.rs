@@ -1,0 +1,12 @@
+//! One-stop imports for property tests: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{Just, Strategy, Union};
+pub use crate::test_runner::{TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// The `prop::` namespace (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}

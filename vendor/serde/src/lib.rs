@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, and nothing in the
+//! workspace actually serializes — the `#[derive(Serialize, Deserialize)]`
+//! annotations only declare intent. This crate keeps those annotations
+//! compiling: the derives (re-exported from the sibling `serde_derive`
+//! stand-in) expand to nothing, and the traits are blanket-implemented
+//! markers so bounds like `T: Serialize` hold for every type.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so they are wire-ready once a real serde is available, but
+//! nothing in-tree performs serialization. These derives expand to nothing;
+//! the traits in the `serde` stand-in are blanket-implemented instead.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -3,12 +3,10 @@
 //! the full-size outputs).
 
 use av_experiments::characterize::characterize_detector;
+use av_experiments::prelude::*;
 use av_experiments::report::render_table1;
-use av_experiments::runner::{run_once, AttackerSpec, OracleSpec, RunConfig};
 use av_experiments::stats::{fit_exponential, fit_normal};
-use av_simkit::scenario::ScenarioId;
 use criterion::{criterion_group, criterion_main, Criterion};
-use robotack::vector::AttackVector;
 use std::hint::black_box;
 
 /// Table I: the scenario-matching map (pure rule evaluation + rendering).
@@ -23,30 +21,31 @@ fn bench_table2_cell(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
     group.bench_function("run_ds1_golden", |b| {
-        b.iter(|| {
-            black_box(run_once(
-                &RunConfig::new(ScenarioId::Ds1, 3),
-                &AttackerSpec::None,
-            ))
-        })
+        b.iter(|| black_box(SimSession::builder(ScenarioId::Ds1).seed(3).build().run()))
     });
     group.bench_function("run_ds2_robotack_kinematic", |b| {
         b.iter(|| {
-            black_box(run_once(
-                &RunConfig::new(ScenarioId::Ds2, 3),
-                &AttackerSpec::RoboTack {
-                    vector: Some(AttackVector::MoveOut),
-                    oracle: OracleSpec::Kinematic,
-                },
-            ))
+            black_box(
+                SimSession::builder(ScenarioId::Ds2)
+                    .seed(3)
+                    .attacker(AttackerSpec::RoboTack {
+                        vector: Some(AttackVector::MoveOut),
+                        oracle: OracleSpec::Kinematic,
+                    })
+                    .build()
+                    .run(),
+            )
         })
     });
     group.bench_function("run_ds5_random_baseline", |b| {
         b.iter(|| {
-            black_box(run_once(
-                &RunConfig::new(ScenarioId::Ds5, 3),
-                &AttackerSpec::Random,
-            ))
+            black_box(
+                SimSession::builder(ScenarioId::Ds5)
+                    .seed(3)
+                    .attacker(AttackerSpec::Random)
+                    .build()
+                    .run(),
+            )
         })
     });
     group.finish();
@@ -76,19 +75,21 @@ fn bench_fig6_pair(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("r_vs_nosh_pair", |b| {
         b.iter(|| {
-            let r = run_once(
-                &RunConfig::new(ScenarioId::Ds1, 5),
-                &AttackerSpec::RoboTack {
+            let r = SimSession::builder(ScenarioId::Ds1)
+                .seed(5)
+                .attacker(AttackerSpec::RoboTack {
                     vector: Some(AttackVector::Disappear),
                     oracle: OracleSpec::Kinematic,
-                },
-            );
-            let nosh = run_once(
-                &RunConfig::new(ScenarioId::Ds1, 5),
-                &AttackerSpec::RoboTackNoSh {
+                })
+                .build()
+                .run();
+            let nosh = SimSession::builder(ScenarioId::Ds1)
+                .seed(5)
+                .attacker(AttackerSpec::RoboTackNoSh {
                     vector: Some(AttackVector::Disappear),
-                },
-            );
+                })
+                .build()
+                .run();
             black_box((r.min_delta_post_attack, nosh.min_delta_post_attack))
         })
     });
@@ -101,14 +102,15 @@ fn bench_fig7_kprime(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("kprime_measurement_run", |b| {
         b.iter(|| {
-            let out = run_once(
-                &RunConfig::new(ScenarioId::Ds3, 0),
-                &AttackerSpec::AtDelta {
+            let out = SimSession::builder(ScenarioId::Ds3)
+                .seed(0)
+                .attacker(AttackerSpec::AtDelta {
                     vector: Some(AttackVector::MoveIn),
                     delta_inject: 8.0,
                     k: 40,
-                },
-            );
+                })
+                .build()
+                .run();
             black_box(out.k_prime_ads)
         })
     });
@@ -121,14 +123,15 @@ fn bench_fig8_sweep_cell(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("sweep_cell_run", |b| {
         b.iter(|| {
-            let out = run_once(
-                &RunConfig::new(ScenarioId::Ds1, 9),
-                &AttackerSpec::AtDelta {
+            let out = SimSession::builder(ScenarioId::Ds1)
+                .seed(9)
+                .attacker(AttackerSpec::AtDelta {
                     vector: Some(AttackVector::MoveOut),
                     delta_inject: 30.0,
                     k: 50,
-                },
-            );
+                })
+                .build()
+                .run();
             black_box(out.min_delta_attack_window)
         })
     });

@@ -8,10 +8,9 @@
 //!    the malware commits its single shot.
 //! 4. **K search** — binary (Eq. 2) vs linear; result equivalence.
 
-use av_experiments::runner::{run_once, AttackerSpec, RunConfig};
+use av_experiments::prelude::*;
 use av_experiments::stats::median;
 use av_experiments::suite::{oracle_for, Args};
-use av_simkit::scenario::ScenarioId;
 use robotack::safety_hijacker::{
     AttackFeatures, KinematicOracle, SafetyHijacker, SafetyHijackerConfig,
 };
@@ -30,14 +29,15 @@ fn main() {
         for seed in 0..runs {
             let mut cfg = RunConfig::new(ScenarioId::Ds3, seed);
             cfg.sigma_fraction = sigma;
-            let out = run_once(
-                &cfg,
-                &AttackerSpec::AtDelta {
+            let out = SimSession::builder(ScenarioId::Ds3)
+                .config(cfg)
+                .attacker(AttackerSpec::AtDelta {
                     vector: Some(AttackVector::MoveIn),
                     delta_inject: 8.0,
                     k: 40,
-                },
-            );
+                })
+                .build()
+                .run();
             if let Some(kp) = out.k_prime_ads {
                 kprimes.push(f64::from(kp));
             }
@@ -59,14 +59,15 @@ fn main() {
         for seed in 0..runs {
             let mut cfg = RunConfig::new(ScenarioId::Ds1, seed);
             cfg.fusion.lidar_register = register;
-            let out = run_once(
-                &cfg,
-                &AttackerSpec::AtDelta {
+            let out = SimSession::builder(ScenarioId::Ds1)
+                .config(cfg)
+                .attacker(AttackerSpec::AtDelta {
                     vector: Some(AttackVector::MoveOut),
                     delta_inject: 30.0,
                     k: 90,
-                },
-            );
+                })
+                .build()
+                .run();
             accidents += u64::from(out.accident);
             if let Some(d) = out.min_delta_post_attack {
                 deltas.push(d);
@@ -91,13 +92,14 @@ fn main() {
         for seed in 0..runs {
             let mut cfg = RunConfig::new(ScenarioId::Ds2, 4000 + seed);
             cfg.sh.gamma = gamma;
-            let out = run_once(
-                &cfg,
-                &AttackerSpec::RoboTack {
+            let out = SimSession::builder(ScenarioId::Ds2)
+                .config(cfg)
+                .attacker(AttackerSpec::RoboTack {
                     vector: Some(AttackVector::MoveOut),
                     oracle: oracle.clone(),
-                },
-            );
+                })
+                .build()
+                .run();
             launched += u64::from(out.attack.launched_at.is_some());
             eb += u64::from(out.eb_after_attack);
             accidents += u64::from(out.accident);

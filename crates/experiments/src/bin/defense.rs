@@ -12,7 +12,7 @@
 //!    what point of the attack.
 
 use av_defense::ids::AlarmKind;
-use av_experiments::runner::{run_once, AttackerSpec, RunConfig};
+use av_experiments::prelude::*;
 use av_experiments::suite::{oracle_for, Args, ARMS};
 
 fn main() {
@@ -22,11 +22,11 @@ fn main() {
 
     println!("=== IDS false positives (golden runs, {runs} runs/scenario) ===\n");
     println!("scenario | runs w/ any alarm | innovation | streak | cross-sensor | kinematics");
-    for scenario in av_simkit::scenario::ScenarioId::ALL {
+    for scenario in ScenarioId::ALL {
         let mut any = 0u64;
         let mut by_kind = [0u64; 4];
         for seed in 0..runs {
-            let out = run_once(&RunConfig::new(scenario, seed), &AttackerSpec::None);
+            let out = SimSession::builder(scenario).seed(seed).build().run();
             any += u64::from(!out.ids_alarms.is_empty());
             for a in &out.ids_alarms {
                 let idx = match a.kind {
@@ -57,13 +57,14 @@ fn main() {
         let mut flagged = 0u64;
         let mut kinds: std::collections::HashMap<AlarmKind, u64> = Default::default();
         for seed in 0..runs {
-            let out = run_once(
-                &RunConfig::new(scenario, 7000 + seed),
-                &AttackerSpec::RoboTack {
+            let out = SimSession::builder(scenario)
+                .seed(7000 + seed)
+                .attacker(AttackerSpec::RoboTack {
                     vector: Some(vector),
                     oracle: oracle.clone(),
-                },
-            );
+                })
+                .build()
+                .run();
             let Some(t0) = out.attack.launched_at else {
                 continue;
             };
@@ -96,14 +97,15 @@ fn main() {
     );
     let mut flagged = 0u64;
     for seed in 0..runs {
-        let out = run_once(
-            &RunConfig::new(av_simkit::scenario::ScenarioId::Ds2, seed),
-            &AttackerSpec::AtDelta {
-                vector: Some(robotack::vector::AttackVector::Disappear),
+        let out = SimSession::builder(ScenarioId::Ds2)
+            .seed(seed)
+            .attacker(AttackerSpec::AtDelta {
+                vector: Some(AttackVector::Disappear),
                 delta_inject: 24.0,
                 k: 62,
-            },
-        );
+            })
+            .build()
+            .run();
         if out.attack.launched_at.is_some() {
             flagged += u64::from(out.ids_alarms.iter().any(|a| a.kind == AlarmKind::Streak));
         }

@@ -2,12 +2,10 @@
 //! probability vs binned prediction error; (b) predicted vs ground-truth δ
 //! after k attacked frames (DS-1 Move_Out).
 
+use av_experiments::prelude::*;
 use av_experiments::report::{render_fig8a, render_fig8b};
-use av_experiments::runner::{run_once, AttackerSpec, OracleSpec, RunConfig};
 use av_experiments::suite::{oracle_for, run_r_campaign, Args};
-use av_simkit::scenario::ScenarioId;
 use robotack::safety_hijacker::SafetyOracle;
-use robotack::vector::AttackVector;
 
 fn main() {
     let args = Args::parse();
@@ -68,14 +66,15 @@ fn main() {
     };
     let mut rows = Vec::new();
     for k in ks {
-        let outcome = run_once(
-            &RunConfig::new(ScenarioId::Ds1, args.seed + u64::from(k)),
-            &AttackerSpec::AtDelta {
+        let outcome = SimSession::builder(ScenarioId::Ds1)
+            .seed(args.seed + u64::from(k))
+            .attacker(AttackerSpec::AtDelta {
                 vector: Some(AttackVector::MoveOut),
                 delta_inject: delta0,
                 k,
-            },
-        );
+            })
+            .build()
+            .run();
         if let (Some(features), Some(actual)) = (
             outcome.attack.features_at_launch,
             outcome.min_delta_attack_window,

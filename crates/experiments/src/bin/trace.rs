@@ -1,0 +1,107 @@
+//! Replays one fully-instrumented simulation run: the structured event
+//! stream goes out as JSONL (stdout or `--out FILE`), the per-stage latency
+//! table and a one-line outcome summary go to stderr.
+//!
+//! Defaults to the paper's highest-impact case — DS-2 (crossing pedestrian)
+//! under a timed Move_Out attack — so a bare `cargo run --bin trace` shows
+//! every layer of the pipeline reporting: scheduler ticks, sensor samples,
+//! detector output, track updates, the attack launch and phase changes,
+//! planner mode transitions, and the emergency stop.
+//!
+//! ```text
+//! trace [--scenario ds1..ds5] [--seed N] [--golden] [--out FILE]
+//! ```
+
+use av_experiments::prelude::*;
+use std::io::Write;
+
+struct TraceArgs {
+    scenario: ScenarioId,
+    seed: u64,
+    golden: bool,
+    out: Option<String>,
+}
+
+fn parse_scenario(s: &str) -> Option<ScenarioId> {
+    match s.to_ascii_lowercase().as_str() {
+        "ds1" | "ds-1" => Some(ScenarioId::Ds1),
+        "ds2" | "ds-2" => Some(ScenarioId::Ds2),
+        "ds3" | "ds-3" => Some(ScenarioId::Ds3),
+        "ds4" | "ds-4" => Some(ScenarioId::Ds4),
+        "ds5" | "ds-5" => Some(ScenarioId::Ds5),
+        _ => None,
+    }
+}
+
+fn parse_args() -> TraceArgs {
+    let mut args = TraceArgs {
+        scenario: ScenarioId::Ds2,
+        seed: 0,
+        golden: false,
+        out: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--scenario" => {
+                if let Some(s) = iter.next().as_deref().and_then(parse_scenario) {
+                    args.scenario = s;
+                } else {
+                    eprintln!("--scenario expects ds1..ds5");
+                }
+            }
+            "--seed" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    args.seed = v;
+                }
+            }
+            "--golden" => args.golden = true,
+            "--out" => args.out = iter.next(),
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let attacker = if args.golden {
+        AttackerSpec::None
+    } else {
+        // A timed Move_Out attack that reliably launches without any oracle
+        // training (the same configuration the integration tests pin).
+        AttackerSpec::AtDelta {
+            vector: Some(AttackVector::MoveOut),
+            delta_inject: 24.0,
+            k: 60,
+        }
+    };
+
+    let writer: Box<dyn Write + Send> = match &args.out {
+        Some(path) => Box::new(std::fs::File::create(path).expect("create --out file")),
+        None => Box::new(std::io::stdout()),
+    };
+    let telemetry = Telemetry::with_sink(JsonlSink::new(std::io::BufWriter::new(writer)));
+
+    let outcome = SimSession::builder(args.scenario)
+        .seed(args.seed)
+        .attacker(attacker)
+        .telemetry(telemetry.clone())
+        .build()
+        .run();
+
+    eprintln!(
+        "trace: {} seed {} — {:.1} s simulated, digest {}, attack launch {:?}, \
+         EB {}, collision {}",
+        args.scenario.name(),
+        args.seed,
+        outcome.sim_seconds,
+        outcome.record.digest(),
+        outcome.attack.launched_at,
+        outcome.eb_any,
+        outcome.collided,
+    );
+    if let Some(snapshot) = telemetry.metrics() {
+        eprintln!("\n{}", snapshot.render_latency_table());
+    }
+}

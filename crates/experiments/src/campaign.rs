@@ -1,9 +1,34 @@
 //! Seeded campaigns: batches of runs with Table II / Fig. 6 / Fig. 7 metrics.
 
-use crate::runner::{run_once, AttackerSpec, RunConfig, RunOutcome};
+use crate::runner::{AttackerSpec, RunConfig, RunOutcome};
+use crate::session::SimSession;
 use crate::stats;
 use av_faults::FaultPlan;
 use av_simkit::scenario::ScenarioId;
+use av_telemetry::{MetricsRegistry, MetricsSnapshot, Telemetry};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a campaign could not be executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// `threads == 0` was requested. Historical behavior silently clamped
+    /// this to sequential execution; the caller now has to pick a real
+    /// worker count (1 = sequential).
+    ZeroThreads,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::ZeroThreads => {
+                write!(f, "campaign requires at least one worker thread (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
 
 /// A campaign: one 〈scenario, attacker〉 pair executed over many seeds, like
 /// the paper's 150–200 runs per experimental campaign (§VI-C).
@@ -21,6 +46,10 @@ pub struct Campaign {
     pub base_seed: u64,
     /// Sensor faults injected into every run (empty = healthy sensors).
     pub faults: FaultPlan,
+    /// Collect per-stage timing metrics across all workers (merged into
+    /// [`CampaignResult::metrics`]). Off by default: the campaign then runs
+    /// with telemetry fully disabled, the zero-cost path.
+    pub collect_metrics: bool,
 }
 
 impl Campaign {
@@ -39,6 +68,7 @@ impl Campaign {
             runs,
             base_seed,
             faults: FaultPlan::none(),
+            collect_metrics: false,
         }
     }
 
@@ -46,6 +76,13 @@ impl Campaign {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// The same campaign with per-stage timing collection enabled.
+    #[must_use]
+    pub fn with_metrics(mut self) -> Self {
+        self.collect_metrics = true;
         self
     }
 }
@@ -59,6 +96,11 @@ pub struct CampaignResult {
     pub scenario: ScenarioId,
     /// All run outcomes, in seed order.
     pub outcomes: Vec<RunOutcome>,
+    /// Per-stage timing + event counts merged across all worker threads
+    /// (`Some` only when the campaign was built [`Campaign::with_metrics`]).
+    /// The deterministic projection ([`MetricsSnapshot::deterministic_counts`])
+    /// is thread-count invariant; durations are wall-clock and are not.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl CampaignResult {
@@ -130,6 +172,7 @@ impl CampaignResult {
 /// Executes a campaign, parallelized across worker threads.
 pub fn run_campaign(campaign: &Campaign) -> CampaignResult {
     run_campaign_with_threads(campaign, default_threads())
+        .expect("default_threads() is always at least 1")
 }
 
 /// Reasonable worker count for this host.
@@ -141,25 +184,54 @@ pub fn default_threads() -> usize {
 }
 
 /// Executes a campaign on exactly `threads` workers (1 = sequential).
-pub fn run_campaign_with_threads(campaign: &Campaign, threads: usize) -> CampaignResult {
+///
+/// # Errors
+///
+/// Returns [`CampaignError::ZeroThreads`] for `threads == 0` — previously
+/// this was silently clamped to sequential execution.
+pub fn run_campaign_with_threads(
+    campaign: &Campaign,
+    threads: usize,
+) -> Result<CampaignResult, CampaignError> {
+    if threads == 0 {
+        return Err(CampaignError::ZeroThreads);
+    }
     let indices: Vec<u64> = (0..campaign.runs).collect();
     let mut outcomes: Vec<Option<RunOutcome>> = Vec::new();
     outcomes.resize_with(indices.len(), || None);
+    // One registry per worker: workers record lock-free into their own and
+    // the merge at the end is associative + commutative, so the merged
+    // deterministic counters are identical for any thread count.
+    let registries: Vec<Arc<MetricsRegistry>> = if campaign.collect_metrics {
+        (0..threads.max(1))
+            .map(|_| Arc::new(MetricsRegistry::new()))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let worker_telemetry = |worker: usize| -> Telemetry {
+        registries
+            .get(worker)
+            .map_or_else(Telemetry::disabled, |r| Telemetry::with_registry(r.clone()))
+    };
 
-    if threads <= 1 {
+    if threads == 1 {
+        let tele = worker_telemetry(0);
         for (slot, &i) in outcomes.iter_mut().zip(&indices) {
-            *slot = Some(run_one(campaign, i));
+            *slot = Some(run_one(campaign, i, &tele));
         }
     } else {
         let chunk = indices.len().div_ceil(threads);
         crossbeam::thread::scope(|scope| {
-            for (slice, idx) in outcomes
+            for (worker, (slice, idx)) in outcomes
                 .chunks_mut(chunk.max(1))
                 .zip(indices.chunks(chunk.max(1)))
+                .enumerate()
             {
+                let tele = worker_telemetry(worker);
                 scope.spawn(move |_| {
                     for (slot, &i) in slice.iter_mut().zip(idx) {
-                        *slot = Some(run_one(campaign, i));
+                        *slot = Some(run_one(campaign, i, &tele));
                     }
                 });
             }
@@ -167,20 +239,33 @@ pub fn run_campaign_with_threads(campaign: &Campaign, threads: usize) -> Campaig
         .expect("campaign worker panicked");
     }
 
-    CampaignResult {
+    let metrics = registries.split_first().map(|(first, rest)| {
+        for r in rest {
+            first.merge_from(r);
+        }
+        first.snapshot()
+    });
+
+    Ok(CampaignResult {
         name: campaign.name.clone(),
         scenario: campaign.scenario,
         outcomes: outcomes
             .into_iter()
             .map(|o| o.expect("all runs filled"))
             .collect(),
-    }
+        metrics,
+    })
 }
 
-fn run_one(campaign: &Campaign, index: u64) -> RunOutcome {
+fn run_one(campaign: &Campaign, index: u64, telemetry: &Telemetry) -> RunOutcome {
     let config = RunConfig::new(campaign.scenario, campaign.base_seed + index)
         .with_faults(campaign.faults.clone());
-    run_once(&config, &campaign.attacker)
+    SimSession::builder(campaign.scenario)
+        .config(config)
+        .attacker(campaign.attacker.clone())
+        .telemetry(telemetry.clone())
+        .build()
+        .run()
 }
 
 #[cfg(test)]
@@ -205,11 +290,11 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let campaign = Campaign::new("test-golden", ScenarioId::Ds3, AttackerSpec::None, 4, 100);
-        let seq = run_campaign_with_threads(&campaign, 1);
+        let seq = run_campaign_with_threads(&campaign, 1).unwrap();
         // Thread count must never affect results — including more workers
         // than runs (empty chunks) and odd counts (uneven chunks).
         for threads in [2, 3, 4, 8, 16] {
-            let par = run_campaign_with_threads(&campaign, threads);
+            let par = run_campaign_with_threads(&campaign, threads).unwrap();
             assert_same_outcomes(&seq, &par, &format!("{threads} threads"));
         }
     }
@@ -221,14 +306,14 @@ mod tests {
         ));
         let campaign =
             Campaign::new("faulted", ScenarioId::Ds1, AttackerSpec::None, 3, 500).with_faults(plan);
-        let seq = run_campaign_with_threads(&campaign, 1);
+        let seq = run_campaign_with_threads(&campaign, 1).unwrap();
         assert!(
             seq.outcomes
                 .iter()
                 .any(|o| o.faults.camera_frames_dropped > 0),
             "the fault plan must actually fire"
         );
-        let par = run_campaign_with_threads(&campaign, 8);
+        let par = run_campaign_with_threads(&campaign, 8).unwrap();
         assert_same_outcomes(&seq, &par, "faulted, 8 threads");
         for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
             assert_eq!(a.faults, b.faults, "fault schedule, seed {}", a.seed);
@@ -239,16 +324,25 @@ mod tests {
     fn zero_runs_campaign_is_empty() {
         let campaign = Campaign::new("empty", ScenarioId::Ds1, AttackerSpec::None, 0, 0);
         for threads in [1, 4] {
-            let result = run_campaign_with_threads(&campaign, threads);
+            let result = run_campaign_with_threads(&campaign, threads).unwrap();
             assert!(result.outcomes.is_empty());
             assert_eq!(result.n_launched(), 0);
         }
     }
 
     #[test]
+    fn zero_threads_is_a_typed_error() {
+        let campaign = Campaign::new("bad", ScenarioId::Ds1, AttackerSpec::None, 1, 0);
+        assert_eq!(
+            run_campaign_with_threads(&campaign, 0).unwrap_err(),
+            CampaignError::ZeroThreads
+        );
+    }
+
+    #[test]
     fn metrics_on_golden_campaign_are_zero() {
         let campaign = Campaign::new("golden", ScenarioId::Ds1, AttackerSpec::None, 3, 0);
-        let result = run_campaign_with_threads(&campaign, 2);
+        let result = run_campaign_with_threads(&campaign, 2).unwrap();
         assert_eq!(result.n_launched(), 0);
         assert_eq!(result.eb(), (0, 0.0));
         assert_eq!(result.crashes(), (0, 0.0));

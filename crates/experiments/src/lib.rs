@@ -2,11 +2,17 @@
 //!
 //! Regenerates every table and figure of the paper's evaluation (§VI):
 //!
-//! - [`runner`]: one end-to-end simulation run — scenario world, multi-rate
-//!   sensor scheduling, the man-in-the-middle attacker on the camera link,
-//!   the ADS, ground-truth safety recording, and the collision halt.
+//! - [`session`]: the [`SimSession`] builder — one end-to-end simulation run
+//!   (scenario world, multi-rate sensor scheduling, the man-in-the-middle
+//!   attacker on the camera link, the ADS, ground-truth safety recording,
+//!   the collision halt) with an optional `av-telemetry` handle observing
+//!   every pipeline stage.
+//! - [`runner`]: the run-level types (configuration, attacker spec, outcome)
+//!   and the deprecated `run_once` shim.
 //! - [`campaign`]: seeded batches of runs with the Table II / Fig. 6 / Fig. 7
-//!   metrics, parallelized with crossbeam.
+//!   metrics, parallelized with crossbeam; per-worker metrics registries are
+//!   merged into the campaign result.
+//! - [`prelude`]: one-stop imports for experiment binaries.
 //! - [`train_sh`]: the safety-hijacker training pipeline (§IV-B) — δ_inject/k
 //!   sweeps to collect the ADS-response dataset, then Adam training of the
 //!   per-vector NN oracle.
@@ -15,18 +21,23 @@
 //! - [`report`]: plain-text renderers that print each table/figure in the
 //!   paper's shape next to the paper's reference numbers.
 //!
-//! Binaries: `table2`, `fig5`, `fig6`, `fig7`, `fig8` (one per experiment).
+//! Binaries: `table2`, `fig5`, `fig6`, `fig7`, `fig8`, `ablations`,
+//! `defense`, `resilience` (one per experiment) and `trace` (replay one run
+//! with full telemetry: JSONL event stream + per-stage latency table).
 
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod characterize;
+pub mod prelude;
 pub mod report;
 pub mod runner;
+pub mod session;
 pub mod stats;
 pub mod suite;
 pub mod train_sh;
 
-pub use campaign::{Campaign, CampaignResult};
-pub use runner::{run_once, AttackerSpec, RunConfig, RunOutcome};
+pub use campaign::{Campaign, CampaignError, CampaignResult};
+pub use runner::{AttackerSpec, RunConfig, RunOutcome};
+pub use session::{SimSession, SimSessionBuilder};
 pub use train_sh::{train_oracle, TrainedOracle};

@@ -1,0 +1,25 @@
+//! One-stop imports for writing experiments.
+//!
+//! ```
+//! use av_experiments::prelude::*;
+//! let out = SimSession::builder(ScenarioId::Ds2).seed(7).build().run();
+//! assert!(!out.collided);
+//! ```
+//!
+//! Re-exports the session builder, the run/campaign types, the telemetry
+//! layer, and the scenario ids — everything the `src/bin` experiment
+//! binaries need for their main loops.
+
+pub use crate::campaign::{
+    default_threads, run_campaign, run_campaign_with_threads, Campaign, CampaignError,
+    CampaignResult,
+};
+pub use crate::runner::{AttackerSpec, OracleSpec, RunConfig, RunOutcome};
+pub use crate::session::{SimSession, SimSessionBuilder};
+pub use crate::train_sh::{train_oracle, TrainedOracle};
+pub use av_simkit::scenario::ScenarioId;
+pub use av_telemetry::{
+    EventKind, JsonlSink, MetricsRegistry, MetricsSnapshot, NullSink, RingBufferSink, SharedSink,
+    Stage, StageSummary, Telemetry, TraceEvent, TraceRecord, TraceSink,
+};
+pub use robotack::vector::AttackVector;

@@ -1,27 +1,17 @@
-//! One end-to-end simulation run: world + sensors + attacker + ADS.
+//! Run-level types (configuration, attacker spec, outcome) and the
+//! deprecated [`run_once`] shim.
 //!
-//! The loop reproduces the paper's testbed timing (§V-B): the base physics
-//! tick is 30 Hz; the camera fires at 15 Hz, LiDAR at 10 Hz, GPS/IMU at
-//! 12.5 Hz and the planner at 10 Hz through the multi-rate scheduler. Every
-//! camera frame passes through the attacker's man-in-the-middle hook before
-//! the ADS sees it. Ground-truth safety (δ, target gap) is sampled at every
-//! planning cycle, and the run halts on contact — the LGSVL behavior the
-//! paper works around with its 4 m accident threshold.
+//! The simulation loop itself lives in [`crate::session`]; construct a
+//! [`crate::session::SimSession`] via its builder instead of calling
+//! [`run_once`].
 
-use av_defense::ids::{Alarm, Ids, IdsConfig};
-use av_faults::{FaultInjector, FaultPlan, FaultStats};
+use av_defense::ids::Alarm;
+use av_faults::{FaultPlan, FaultStats};
 use av_perception::calibration::DetectorCalibration;
-use av_planning::ads::{Ads, AdsConfig};
-use av_planning::safety::{ground_truth_delta, SafetyConfig};
-use av_sensing::camera::Camera;
-use av_sensing::frame::capture;
-use av_sensing::gps::GpsImu;
-use av_sensing::lidar::Lidar;
-use av_sensing::tap::{CameraTapVerdict, SensorTap};
-use av_simkit::recorder::{Event, RunRecord, Sample};
-use av_simkit::rng::run_rng;
+use av_planning::safety::SafetyConfig;
+use av_simkit::recorder::RunRecord;
 use av_simkit::scenario::{Scenario, ScenarioId};
-use av_simkit::units::{CAMERA_HZ, GPS_HZ, LIDAR_HZ, PLANNER_HZ, SIM_DT};
+use av_simkit::units::CAMERA_HZ;
 use rand::rngs::StdRng;
 use robotack::baseline::{NoAttacker, RandomAttacker};
 use robotack::malware::{Attacker, RoboTack, RoboTackConfig, TimingPolicy};
@@ -179,7 +169,7 @@ pub struct RunOutcome {
 
 impl AttackerSpec {
     /// Builds the per-run attacker.
-    fn build(
+    pub(crate) fn build(
         &self,
         scenario: &Scenario,
         config: &RunConfig,
@@ -227,329 +217,36 @@ impl AttackerSpec {
     }
 }
 
-/// Tracks when the ADS world model reflects the hijacked trajectory (the
-/// Fig. 7 `K′` measurement).
-fn k_prime_reached(vector: AttackVector, ads: &Ads, target_truth: av_simkit::math::Vec2) -> bool {
-    let world = ads.world_model();
-    let perceived = world
-        .iter()
-        .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID));
-    match vector {
-        AttackVector::Disappear => {
-            // Gone when nothing is published near the true position.
-            !world
-                .iter()
-                .any(|o| o.position.distance(target_truth) < 3.0)
-        }
-        AttackVector::MoveOut => perceived
-            .map(|o| (o.position.y - target_truth.y).abs() >= 1.6)
-            .unwrap_or(true),
-        AttackVector::MoveIn => perceived
-            .map(|o| o.position.y.abs() <= 1.25)
-            .unwrap_or(false),
-    }
-}
-
 /// Executes one full simulation run.
+///
+/// Deprecated shim over the session API: equivalent to
+/// `SimSession::builder(config.scenario).config(config.clone())
+/// .attacker(attacker_spec.clone()).build().run()` with telemetry disabled.
+#[deprecated(
+    since = "0.1.0",
+    note = "use crate::session::SimSession::builder(..) instead"
+)]
 pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome {
-    let scenario = Scenario::build(config.scenario, config.seed);
-    let mut rng = run_rng(config.seed, 0xA77ACC);
-    let mut attacker = attacker_spec.build(&scenario, config, &mut rng);
-    // The injector draws from its own seeded stream, so the main run RNG
-    // sequence is identical whether or not faults fire.
-    let mut tap = FaultInjector::new(config.faults.clone(), config.seed);
-
-    let mut ads_config = AdsConfig::default();
-    ads_config.perception.calibration = config.calibration;
-    ads_config.perception.fusion = config.fusion;
-    ads_config.planner.cruise_speed = scenario.cruise_speed;
-    let mut ads = Ads::new(ads_config);
-
-    let camera = Camera::default();
-    let lidar = Lidar::default();
-    let gps = GpsImu::default();
-
-    let mut ids = Ids::new(IdsConfig {
-        calibration: config.calibration,
-        ..IdsConfig::default()
-    });
-
-    let mut scheduler = av_simkit::scheduler::Scheduler::new();
-    let task_gps = scheduler.add_task_hz("gps", GPS_HZ);
-    let task_camera = scheduler.add_task_hz("camera", CAMERA_HZ);
-    let task_lidar = scheduler.add_task_hz("lidar", LIDAR_HZ);
-    let task_planner = scheduler.add_task_hz("planner", PLANNER_HZ);
-
-    let mut world = scenario.world.clone();
-    let mut record = RunRecord::new();
-    let mut seq: u64 = 0;
-    let mut collided = false;
-    let mut attack_seen = false;
-    let mut k_prime_ads: Option<u32> = None;
-    let mut frames_since_launch: u32 = 0;
-    let mut target_delta_at_attack_end = None;
-    let mut min_perceived_delta: Option<f64> = None;
-    let mut replica_divergence: Option<f64> = None;
-    // Rolling window so one-tick phantom dips don't pollute the minimum.
-    let mut perceived_window: [f64; 3] = [f64::INFINITY; 3];
-    let mut perceived_idx = 0usize;
-
-    let steps = (scenario.duration / SIM_DT).ceil() as u64;
-    for _ in 0..steps {
-        for task in scheduler.advance_to(world.time_us()) {
-            if task == task_gps {
-                let mut fix = gps.fix(&world, &mut rng);
-                tap.on_gps(&mut fix);
-                ads.on_gps(fix);
-            } else if task == task_camera {
-                let mut frame = capture(&camera, &world, seq, false);
-                seq += 1;
-                // Faults act on the sensor side of the E/E network: a
-                // dropped frame never reaches the attacker's MITM hook, and
-                // a rewritten frame is what the malware replica sees too.
-                if tap.on_camera(&mut frame) == CameraTapVerdict::Drop {
-                    continue;
-                }
-                attacker.process_frame(&mut frame, world.ego().speed, &mut rng);
-                ads.on_camera_frame(&frame, &mut rng);
-                ids.on_camera(world.time(), ads.perception().last_detections());
-
-                // Attack bookkeeping at camera rate.
-                let stats = attacker.stats();
-                if let Some(t0) = stats.launched_at {
-                    if !attack_seen {
-                        attack_seen = true;
-                        record.push_event(t0, Event::AttackStarted);
-                    }
-                    frames_since_launch += 1;
-                    if k_prime_ads.is_none() {
-                        if let (Some(vector), Some(target)) = (stats.vector, stats.target) {
-                            if let Some(truth) = world.actor(target) {
-                                if k_prime_reached(vector, &ads, truth.pose.position) {
-                                    k_prime_ads = Some(frames_since_launch);
-                                }
-                            }
-                        }
-                    }
-                    // Label for the SH training set: δ w.r.t. the target at
-                    // the frame the attack window closes.
-                    if target_delta_at_attack_end.is_none() && stats.frames_perturbed >= stats.k {
-                        record.push_event(world.time(), Event::AttackEnded);
-                        target_delta_at_attack_end = av_planning::safety::target_delta(
-                            &config.safety,
-                            &world,
-                            scenario.target,
-                        );
-                    }
-                }
-            } else if task == task_lidar {
-                let mut scan = lidar.scan(&world, &mut rng);
-                if tap.on_lidar(&mut scan) {
-                    ads.on_lidar(&scan);
-                    ids.on_lidar(world.time(), &scan, &ads.world_model());
-                }
-            } else if task == task_planner {
-                let entered_eb = ads.plan_tick_at(world.time());
-                // Mirrored-replica divergence: both models estimate the
-                // scripted target ego-relative; track the worst disagreement.
-                if let Some(replica) = attacker.replica_world() {
-                    let ego = ads.ego_position();
-                    let ads_rel = ads
-                        .world_model()
-                        .iter()
-                        .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID))
-                        .map(|o| o.position - ego);
-                    let rep_rel = replica
-                        .iter()
-                        .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID))
-                        .map(|o| o.position);
-                    if let (Some(a), Some(r)) = (ads_rel, rep_rel) {
-                        let d = a.distance(r);
-                        replica_divergence = Some(replica_divergence.map_or(d, |m: f64| m.max(d)));
-                    }
-                }
-                if entered_eb {
-                    record.push_event(world.time(), Event::EmergencyBrake);
-                }
-                if attack_seen {
-                    let d = perceived_in_path_delta(&ads, &config.safety).unwrap_or(f64::INFINITY);
-                    perceived_window[perceived_idx % 3] = d;
-                    perceived_idx += 1;
-                    if perceived_idx >= 3 {
-                        // A dip only counts if it persisted 3 planner ticks.
-                        let sustained = perceived_window.iter().copied().fold(f64::MIN, f64::max);
-                        if sustained.is_finite() {
-                            min_perceived_delta = Some(
-                                min_perceived_delta.map_or(sustained, |m: f64| m.min(sustained)),
-                            );
-                        }
-                    }
-                }
-                let (delta, _) = ground_truth_delta(&config.safety, &world, HORIZON_M);
-                let target_gap = world
-                    .separation_to_ego(scenario.target)
-                    .unwrap_or(f64::INFINITY);
-                record.push_sample(Sample {
-                    t: world.time(),
-                    ego_speed: world.ego().speed,
-                    ego_accel: ads.plan().accel,
-                    delta,
-                    target_gap,
-                    attack_active: attacker.attacking(),
-                    emergency_braking: ads.emergency_braking(),
-                });
-            }
-        }
-
-        let accel = ads.control_tick(SIM_DT);
-        world.step(SIM_DT, accel);
-
-        // Contact halt (the LGSVL behavior): bumper-to-bumper contact with
-        // an in-path obstacle.
-        if let Some(o) = world.in_path_obstacle(0.0) {
-            if o.gap <= 0.05 && o.closing_speed > -0.1 {
-                record.push_event(world.time(), Event::Collision);
-                collided = true;
-                break;
-            }
-        }
-    }
-
-    // If the attack window never closed (run ended first), take the label at
-    // the end of the run.
-    let stats = *attacker.stats();
-    if stats.launched_at.is_some() && target_delta_at_attack_end.is_none() {
-        target_delta_at_attack_end =
-            av_planning::safety::target_delta(&config.safety, &world, scenario.target);
-    }
-
-    let min_delta_post_attack = stats.launched_at.and_then(|t0| record.min_delta_since(t0));
-    let attack_end_t = record
-        .first_event(Event::AttackEnded)
-        .unwrap_or(world.time());
-    let min_delta_attack_window = stats.launched_at.map(|t0| {
-        record
-            .samples
-            .iter()
-            .filter(|s| s.t >= t0 && s.t <= attack_end_t + 3.0)
-            .map(|s| s.delta)
-            .fold(f64::INFINITY, f64::min)
-    });
-    let accident = collided || min_delta_post_attack.is_some_and(|d| config.safety.is_accident(d));
-    let eb_after_attack = stats.launched_at.is_some_and(|t0| {
-        record
-            .events
-            .iter()
-            .any(|(t, e)| *e == Event::EmergencyBrake && *t >= t0 - 1e-9)
-    });
-    let eb_any = record.has_event(Event::EmergencyBrake);
-
-    RunOutcome {
-        scenario: config.scenario,
-        seed: config.seed,
-        sim_seconds: world.time(),
-        record,
-        attack: stats,
-        collided,
-        accident,
-        eb_after_attack,
-        eb_any,
-        min_delta_post_attack,
-        min_delta_attack_window,
-        target_delta_at_attack_end,
-        min_perceived_delta_post_attack: min_perceived_delta,
-        k_prime_ads,
-        ids_alarms: ids.alarms().to_vec(),
-        faults: *tap.stats(),
-        stale_frames: ads.perception().stale_frames(),
-        replica_divergence,
-    }
-}
-
-/// The EV's perceived in-path safety potential: nearest world-model object
-/// overlapping the ego corridor, minus the stopping distance.
-fn perceived_in_path_delta(ads: &Ads, safety: &SafetyConfig) -> Option<f64> {
-    let ego = ads.ego_position();
-    let v = ads.ego_speed();
-    let ego_front = ego.x + 2.3;
-    let (cy0, cy1) = (ego.y - 1.25, ego.y + 1.25);
-    ads.world_model()
-        .iter()
-        .filter_map(|o| {
-            let (oy0, oy1) = o.lateral_extent();
-            if av_simkit::math::interval_overlap(cy0, cy1, oy0, oy1) <= 0.0 {
-                return None;
-            }
-            let (ox0, ox1) = o.longitudinal_extent();
-            if ox1 < ego_front {
-                return None;
-            }
-            Some((ox0 - ego_front).max(0.0))
-        })
-        .fold(None, |acc: Option<f64>, g| {
-            Some(acc.map_or(g, |a| a.min(g)))
-        })
-        .map(|gap| safety.delta(gap, v))
+    crate::session::SimSession::builder(config.scenario)
+        .config(config.clone())
+        .attacker(attacker_spec.clone())
+        .build()
+        .run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::SimSession;
 
     #[test]
-    fn golden_ds1_is_safe() {
-        let out = run_once(&RunConfig::new(ScenarioId::Ds1, 3), &AttackerSpec::None);
-        assert!(!out.collided, "golden DS-1 must not collide");
-        assert!(!out.eb_any, "golden DS-1 must not emergency brake");
-        assert!(out.attack.launched_at.is_none());
-        assert!(out.record.samples.len() > 100);
-    }
-
-    #[test]
-    fn golden_ds2_stops_for_pedestrian() {
-        let out = run_once(&RunConfig::new(ScenarioId::Ds2, 3), &AttackerSpec::None);
-        assert!(!out.collided, "golden DS-2 must not hit the pedestrian");
-        // The EV must have actually slowed down substantially at some point.
-        let min_speed = out
-            .record
-            .samples
-            .iter()
-            .map(|s| s.ego_speed)
-            .fold(f64::INFINITY, f64::min);
-        assert!(min_speed < 2.0, "EV braked for the pedestrian: {min_speed}");
-    }
-
-    #[test]
-    fn golden_ds3_passes_parked_car() {
-        let out = run_once(&RunConfig::new(ScenarioId::Ds3, 3), &AttackerSpec::None);
-        assert!(!out.collided);
-        assert!(!out.eb_any, "parked car out of lane must not trigger EB");
-        // Maintains cruise: mean speed close to 45 kph.
-        let speeds: Vec<f64> = out.record.samples.iter().map(|s| s.ego_speed).collect();
-        assert!(crate::stats::mean(&speeds) > 10.0, "kept moving");
-    }
-
-    #[test]
-    fn golden_runs_are_reproducible() {
-        let a = run_once(&RunConfig::new(ScenarioId::Ds1, 7), &AttackerSpec::None);
-        let b = run_once(&RunConfig::new(ScenarioId::Ds1, 7), &AttackerSpec::None);
-        assert_eq!(a.record.samples.len(), b.record.samples.len());
-        let last_a = a.record.samples.last().unwrap();
-        let last_b = b.record.samples.last().unwrap();
-        assert_eq!(last_a.ego_speed, last_b.ego_speed);
-        assert_eq!(last_a.delta, last_b.delta);
-    }
-
-    #[test]
-    fn kinematic_robotack_attacks_ds1() {
-        let out = run_once(
-            &RunConfig::new(ScenarioId::Ds1, 11),
-            &AttackerSpec::RoboTack {
-                vector: Some(AttackVector::MoveOut),
-                oracle: OracleSpec::Kinematic,
-            },
-        );
-        assert!(out.attack.launched_at.is_some(), "attack launched");
-        assert!(out.min_delta_post_attack.is_some());
+    #[allow(deprecated)]
+    fn shim_matches_the_session_api_bit_for_bit() {
+        let config = RunConfig::new(ScenarioId::Ds1, 7);
+        let via_shim = run_once(&config, &AttackerSpec::None);
+        let via_session = SimSession::builder(ScenarioId::Ds1).seed(7).build().run();
+        assert_eq!(via_shim.record.digest(), via_session.record.digest());
+        assert_eq!(via_shim.sim_seconds, via_session.sim_seconds);
+        assert_eq!(via_shim.collided, via_session.collided);
     }
 }

@@ -1,0 +1,661 @@
+//! The [`SimSession`] builder — the redesigned single-run API.
+//!
+//! A session owns everything `run_once` used to take as loose parameters:
+//! the run configuration, the attacker, and (new) a [`Telemetry`] handle
+//! observing every pipeline stage. Construction is builder-style:
+//!
+//! ```
+//! use av_experiments::prelude::*;
+//! let outcome = SimSession::builder(ScenarioId::Ds1)
+//!     .seed(7)
+//!     .attacker(AttackerSpec::None)
+//!     .build()
+//!     .run();
+//! assert!(!outcome.collided);
+//! ```
+//!
+//! The loop reproduces the paper's testbed timing (§V-B): the base physics
+//! tick is 30 Hz; the camera fires at 15 Hz, LiDAR at 10 Hz, GPS/IMU at
+//! 12.5 Hz and the planner at 10 Hz through the multi-rate scheduler. Every
+//! camera frame passes through the attacker's man-in-the-middle hook before
+//! the ADS sees it. Ground-truth safety (δ, target gap) is sampled at every
+//! planning cycle, and the run halts on contact — the LGSVL behavior the
+//! paper works around with its 4 m accident threshold.
+//!
+//! With the default disabled telemetry handle the session is bit-identical
+//! to the historical `run_once` — the golden-trace suite pins that.
+
+use crate::runner::{AttackerSpec, RunConfig, RunOutcome, HORIZON_M};
+use av_defense::ids::{Ids, IdsConfig};
+use av_faults::{FaultInjector, FaultPlan, FaultStats};
+use av_perception::calibration::DetectorCalibration;
+use av_planning::ads::{Ads, AdsConfig};
+use av_planning::safety::{ground_truth_delta, SafetyConfig};
+use av_sensing::camera::Camera;
+use av_sensing::frame::capture;
+use av_sensing::gps::GpsImu;
+use av_sensing::lidar::Lidar;
+use av_sensing::tap::{CameraTapVerdict, SensorTap, TracingTap};
+use av_simkit::recorder::{Event, RunRecord, Sample};
+use av_simkit::rng::run_rng;
+use av_simkit::scenario::{Scenario, ScenarioId};
+use av_simkit::units::{CAMERA_HZ, GPS_HZ, LIDAR_HZ, PLANNER_HZ, SIM_DT};
+use av_telemetry::{SensorChannel, Stage, Telemetry, TraceEvent, TraceSink};
+use robotack::vector::AttackVector;
+
+/// Builder for a [`SimSession`].
+///
+/// Obtained from [`SimSession::builder`]; every knob of the historical
+/// `RunConfig` is reachable either through a dedicated setter or wholesale
+/// through [`SimSessionBuilder::config`].
+#[derive(Debug, Clone)]
+pub struct SimSessionBuilder {
+    config: RunConfig,
+    attacker: AttackerSpec,
+    telemetry: Telemetry,
+}
+
+impl SimSessionBuilder {
+    /// Sets the run seed (world jitter, every noise source, attacker
+    /// sampling). Defaults to 0.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Installs the attacker riding along. Defaults to [`AttackerSpec::None`]
+    /// (a golden run).
+    #[must_use]
+    pub fn attacker(mut self, attacker: AttackerSpec) -> Self {
+        self.attacker = attacker;
+        self
+    }
+
+    /// Injects sensor faults between capture and delivery. The empty plan is
+    /// bit-transparent.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Overrides the detector noise calibration (both the ADS and the
+    /// malware replica use it).
+    #[must_use]
+    pub fn calibration(mut self, calibration: DetectorCalibration) -> Self {
+        self.config.calibration = calibration;
+        self
+    }
+
+    /// Replaces the whole run configuration (scenario, seed, calibration,
+    /// fusion, σ-fraction, SH thresholds, faults) — the escape hatch for
+    /// ablation sweeps that mutate several fields at once.
+    #[must_use]
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a telemetry handle; the session threads it through the
+    /// scheduler, sensor tap, perception, planner, and attacker. Defaults
+    /// to [`Telemetry::disabled`], which is guaranteed not to perturb the
+    /// run (golden digests are bit-identical).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Convenience: full telemetry into `sink` (events + a fresh metrics
+    /// registry). Equivalent to `.telemetry(Telemetry::with_sink(sink))`.
+    #[must_use]
+    pub fn trace_sink(self, sink: impl TraceSink + Send + 'static) -> Self {
+        self.telemetry(Telemetry::with_sink(sink))
+    }
+
+    /// Finalizes the session.
+    pub fn build(self) -> SimSession {
+        SimSession {
+            config: self.config,
+            attacker: self.attacker,
+            telemetry: self.telemetry,
+        }
+    }
+}
+
+/// One configured end-to-end simulation run: world + sensors + attacker +
+/// ADS (+ observability).
+#[derive(Debug, Clone)]
+pub struct SimSession {
+    config: RunConfig,
+    attacker: AttackerSpec,
+    telemetry: Telemetry,
+}
+
+impl SimSession {
+    /// Starts building a session for `scenario`.
+    pub fn builder(scenario: ScenarioId) -> SimSessionBuilder {
+        SimSessionBuilder {
+            config: RunConfig::new(scenario, 0),
+            attacker: AttackerSpec::None,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// The run configuration this session will execute.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// The attached telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Executes the run. A session is reusable: running twice with the same
+    /// configuration produces bit-identical records (and, modulo wall-clock
+    /// metrics, identical event streams).
+    pub fn run(&self) -> RunOutcome {
+        let config = &self.config;
+        let tele = &self.telemetry;
+        let _run_timer = tele.time(Stage::Run);
+
+        let scenario = Scenario::build(config.scenario, config.seed);
+        let mut rng = run_rng(config.seed, 0xA77ACC);
+        let mut attacker = self.attacker.build(&scenario, config, &mut rng);
+        attacker.set_telemetry(tele.clone());
+        // The injector draws from its own seeded stream, so the main run RNG
+        // sequence is identical whether or not faults fire.
+        let mut tap = TracingTap::new(
+            FaultInjector::new(config.faults.clone(), config.seed),
+            tele.clone(),
+        );
+        let mut fault_stats_seen = FaultStats::default();
+
+        let mut ads_config = AdsConfig::default();
+        ads_config.perception.calibration = config.calibration;
+        ads_config.perception.fusion = config.fusion;
+        ads_config.planner.cruise_speed = scenario.cruise_speed;
+        let mut ads = Ads::new(ads_config);
+        ads.set_telemetry(tele.clone());
+
+        let camera = Camera::default();
+        let lidar = Lidar::default();
+        let gps = GpsImu::default();
+
+        let mut ids = Ids::new(IdsConfig {
+            calibration: config.calibration,
+            ..IdsConfig::default()
+        });
+
+        let mut scheduler = av_simkit::scheduler::Scheduler::new();
+        scheduler.set_telemetry(tele.clone());
+        let task_gps = scheduler.add_task_hz("gps", GPS_HZ);
+        let task_camera = scheduler.add_task_hz("camera", CAMERA_HZ);
+        let task_lidar = scheduler.add_task_hz("lidar", LIDAR_HZ);
+        let task_planner = scheduler.add_task_hz("planner", PLANNER_HZ);
+
+        let mut world = scenario.world.clone();
+        let mut record = RunRecord::new();
+        let mut seq: u64 = 0;
+        let mut collided = false;
+        let mut attack_seen = false;
+        let mut k_prime_ads: Option<u32> = None;
+        let mut frames_since_launch: u32 = 0;
+        let mut target_delta_at_attack_end = None;
+        let mut min_perceived_delta: Option<f64> = None;
+        let mut replica_divergence: Option<f64> = None;
+        // Rolling window so one-tick phantom dips don't pollute the minimum.
+        let mut perceived_window: [f64; 3] = [f64::INFINITY; 3];
+        let mut perceived_idx = 0usize;
+
+        tele.emit(0.0, || TraceEvent::RunStarted {
+            scenario: config.scenario.name(),
+            seed: config.seed,
+        });
+
+        let steps = (scenario.duration / SIM_DT).ceil() as u64;
+        for _ in 0..steps {
+            for task in scheduler.advance_to(world.time_us()) {
+                if task == task_gps {
+                    let mut fix = {
+                        let _t = tele.time(Stage::GpsSample);
+                        gps.fix(&world, &mut rng)
+                    };
+                    tap.on_gps(&mut fix);
+                    emit_fault_diffs(tele, world.time(), &mut fault_stats_seen, tap.inner());
+                    ads.on_gps(fix);
+                } else if task == task_camera {
+                    let mut frame = {
+                        let _t = tele.time(Stage::CameraCapture);
+                        capture(&camera, &world, seq, false)
+                    };
+                    seq += 1;
+                    // Faults act on the sensor side of the E/E network: a
+                    // dropped frame never reaches the attacker's MITM hook,
+                    // and a rewritten frame is what the malware replica sees
+                    // too.
+                    let verdict = tap.on_camera(&mut frame);
+                    emit_fault_diffs(tele, world.time(), &mut fault_stats_seen, tap.inner());
+                    if verdict == CameraTapVerdict::Drop {
+                        continue;
+                    }
+                    attacker.process_frame(&mut frame, world.ego().speed, &mut rng);
+                    ads.on_camera_frame(&frame, &mut rng);
+                    ids.on_camera(world.time(), ads.perception().last_detections());
+
+                    // Attack bookkeeping at camera rate.
+                    let stats = attacker.stats();
+                    if let Some(t0) = stats.launched_at {
+                        if !attack_seen {
+                            attack_seen = true;
+                            record.push_event(t0, Event::AttackStarted);
+                        }
+                        frames_since_launch += 1;
+                        if k_prime_ads.is_none() {
+                            if let (Some(vector), Some(target)) = (stats.vector, stats.target) {
+                                if let Some(truth) = world.actor(target) {
+                                    if k_prime_reached(vector, &ads, truth.pose.position) {
+                                        k_prime_ads = Some(frames_since_launch);
+                                    }
+                                }
+                            }
+                        }
+                        // Label for the SH training set: δ w.r.t. the target
+                        // at the frame the attack window closes.
+                        if target_delta_at_attack_end.is_none() && stats.frames_perturbed >= stats.k
+                        {
+                            record.push_event(world.time(), Event::AttackEnded);
+                            target_delta_at_attack_end = av_planning::safety::target_delta(
+                                &config.safety,
+                                &world,
+                                scenario.target,
+                            );
+                        }
+                    }
+                } else if task == task_lidar {
+                    let mut scan = {
+                        let _t = tele.time(Stage::LidarScan);
+                        lidar.scan(&world, &mut rng)
+                    };
+                    let delivered = tap.on_lidar(&mut scan);
+                    emit_fault_diffs(tele, world.time(), &mut fault_stats_seen, tap.inner());
+                    if delivered {
+                        ads.on_lidar(&scan);
+                        ids.on_lidar(world.time(), &scan, &ads.world_model());
+                    }
+                } else if task == task_planner {
+                    let entered_eb = ads.plan_tick_at(world.time());
+                    // Mirrored-replica divergence: both models estimate the
+                    // scripted target ego-relative; track the worst
+                    // disagreement.
+                    if let Some(replica) = attacker.replica_world() {
+                        let ego = ads.ego_position();
+                        let ads_rel = ads
+                            .world_model()
+                            .iter()
+                            .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID))
+                            .map(|o| o.position - ego);
+                        let rep_rel = replica
+                            .iter()
+                            .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID))
+                            .map(|o| o.position);
+                        if let (Some(a), Some(r)) = (ads_rel, rep_rel) {
+                            let d = a.distance(r);
+                            replica_divergence =
+                                Some(replica_divergence.map_or(d, |m: f64| m.max(d)));
+                        }
+                    }
+                    if entered_eb {
+                        record.push_event(world.time(), Event::EmergencyBrake);
+                    }
+                    if attack_seen {
+                        let d =
+                            perceived_in_path_delta(&ads, &config.safety).unwrap_or(f64::INFINITY);
+                        perceived_window[perceived_idx % 3] = d;
+                        perceived_idx += 1;
+                        if perceived_idx >= 3 {
+                            // A dip only counts if it persisted 3 planner
+                            // ticks.
+                            let sustained =
+                                perceived_window.iter().copied().fold(f64::MIN, f64::max);
+                            if sustained.is_finite() {
+                                min_perceived_delta = Some(
+                                    min_perceived_delta
+                                        .map_or(sustained, |m: f64| m.min(sustained)),
+                                );
+                            }
+                        }
+                    }
+                    let (delta, _) = ground_truth_delta(&config.safety, &world, HORIZON_M);
+                    let target_gap = world
+                        .separation_to_ego(scenario.target)
+                        .unwrap_or(f64::INFINITY);
+                    record.push_sample(Sample {
+                        t: world.time(),
+                        ego_speed: world.ego().speed,
+                        ego_accel: ads.plan().accel,
+                        delta,
+                        target_gap,
+                        attack_active: attacker.attacking(),
+                        emergency_braking: ads.emergency_braking(),
+                    });
+                }
+            }
+
+            let accel = ads.control_tick(SIM_DT);
+            {
+                let _t = tele.time(Stage::WorldStep);
+                world.step(SIM_DT, accel);
+            }
+
+            // Contact halt (the LGSVL behavior): bumper-to-bumper contact
+            // with an in-path obstacle.
+            if let Some(o) = world.in_path_obstacle(0.0) {
+                if o.gap <= 0.05 && o.closing_speed > -0.1 {
+                    record.push_event(world.time(), Event::Collision);
+                    tele.emit(world.time(), || TraceEvent::Collision);
+                    collided = true;
+                    break;
+                }
+            }
+        }
+
+        // If the attack window never closed (run ended first), take the
+        // label at the end of the run.
+        let stats = *attacker.stats();
+        if stats.launched_at.is_some() && target_delta_at_attack_end.is_none() {
+            target_delta_at_attack_end =
+                av_planning::safety::target_delta(&config.safety, &world, scenario.target);
+        }
+
+        let min_delta_post_attack = stats.launched_at.and_then(|t0| record.min_delta_since(t0));
+        let attack_end_t = record
+            .first_event(Event::AttackEnded)
+            .unwrap_or(world.time());
+        let min_delta_attack_window = stats.launched_at.map(|t0| {
+            record
+                .samples
+                .iter()
+                .filter(|s| s.t >= t0 && s.t <= attack_end_t + 3.0)
+                .map(|s| s.delta)
+                .fold(f64::INFINITY, f64::min)
+        });
+        let accident =
+            collided || min_delta_post_attack.is_some_and(|d| config.safety.is_accident(d));
+        let eb_after_attack = stats.launched_at.is_some_and(|t0| {
+            record
+                .events
+                .iter()
+                .any(|(t, e)| *e == Event::EmergencyBrake && *t >= t0 - 1e-9)
+        });
+        let eb_any = record.has_event(Event::EmergencyBrake);
+
+        let samples = record.samples.len() as u64;
+        tele.emit(world.time(), || TraceEvent::RunFinished {
+            sim_seconds: world.time(),
+            samples,
+        });
+        tele.flush();
+
+        RunOutcome {
+            scenario: config.scenario,
+            seed: config.seed,
+            sim_seconds: world.time(),
+            record,
+            attack: stats,
+            collided,
+            accident,
+            eb_after_attack,
+            eb_any,
+            min_delta_post_attack,
+            min_delta_attack_window,
+            target_delta_at_attack_end,
+            min_perceived_delta_post_attack: min_perceived_delta,
+            k_prime_ads,
+            ids_alarms: ids.alarms().to_vec(),
+            faults: *tap.inner().stats(),
+            stale_frames: ads.perception().stale_frames(),
+            replica_divergence,
+        }
+    }
+}
+
+/// Emits one [`TraceEvent::FaultInjected`] per injector counter that
+/// advanced since the previous call. The tracing tap cannot see injector
+/// internals generically, so the session diffs the public statistics after
+/// each tap invocation.
+fn emit_fault_diffs(tele: &Telemetry, t: f64, seen: &mut FaultStats, injector: &FaultInjector) {
+    if !tele.is_enabled() {
+        *seen = *injector.stats();
+        return;
+    }
+    let now = *injector.stats();
+    let diffs: [(SensorChannel, &'static str, u32); 8] = [
+        (
+            SensorChannel::Camera,
+            "camera_frames_dropped",
+            now.camera_frames_dropped - seen.camera_frames_dropped,
+        ),
+        (
+            SensorChannel::Camera,
+            "camera_frames_frozen",
+            now.camera_frames_frozen - seen.camera_frames_frozen,
+        ),
+        (
+            SensorChannel::Camera,
+            "camera_frames_delayed",
+            now.camera_frames_delayed - seen.camera_frames_delayed,
+        ),
+        (
+            SensorChannel::Camera,
+            "camera_boxes_noised",
+            now.camera_boxes_noised - seen.camera_boxes_noised,
+        ),
+        (
+            SensorChannel::Camera,
+            "camera_boxes_occluded",
+            now.camera_boxes_occluded - seen.camera_boxes_occluded,
+        ),
+        (
+            SensorChannel::Camera,
+            "camera_blackout_frames",
+            now.camera_blackout_frames - seen.camera_blackout_frames,
+        ),
+        (
+            SensorChannel::Lidar,
+            "lidar_scans_dropped",
+            now.lidar_scans_dropped - seen.lidar_scans_dropped,
+        ),
+        (
+            SensorChannel::Gps,
+            "gps_fixes_biased",
+            now.gps_fixes_biased - seen.gps_fixes_biased,
+        ),
+    ];
+    for (channel, what, count) in diffs {
+        if count > 0 {
+            tele.emit(t, || TraceEvent::FaultInjected {
+                channel,
+                what,
+                count,
+            });
+        }
+    }
+    *seen = now;
+}
+
+/// Tracks when the ADS world model reflects the hijacked trajectory (the
+/// Fig. 7 `K′` measurement).
+fn k_prime_reached(vector: AttackVector, ads: &Ads, target_truth: av_simkit::math::Vec2) -> bool {
+    let world = ads.world_model();
+    let perceived = world
+        .iter()
+        .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID));
+    match vector {
+        AttackVector::Disappear => {
+            // Gone when nothing is published near the true position.
+            !world
+                .iter()
+                .any(|o| o.position.distance(target_truth) < 3.0)
+        }
+        AttackVector::MoveOut => perceived
+            .map(|o| (o.position.y - target_truth.y).abs() >= 1.6)
+            .unwrap_or(true),
+        AttackVector::MoveIn => perceived
+            .map(|o| o.position.y.abs() <= 1.25)
+            .unwrap_or(false),
+    }
+}
+
+/// The EV's perceived in-path safety potential: nearest world-model object
+/// overlapping the ego corridor, minus the stopping distance.
+fn perceived_in_path_delta(ads: &Ads, safety: &SafetyConfig) -> Option<f64> {
+    let ego = ads.ego_position();
+    let v = ads.ego_speed();
+    let ego_front = ego.x + 2.3;
+    let (cy0, cy1) = (ego.y - 1.25, ego.y + 1.25);
+    ads.world_model()
+        .iter()
+        .filter_map(|o| {
+            let (oy0, oy1) = o.lateral_extent();
+            if av_simkit::math::interval_overlap(cy0, cy1, oy0, oy1) <= 0.0 {
+                return None;
+            }
+            let (ox0, ox1) = o.longitudinal_extent();
+            if ox1 < ego_front {
+                return None;
+            }
+            Some((ox0 - ego_front).max(0.0))
+        })
+        .fold(None, |acc: Option<f64>, g| {
+            Some(acc.map_or(g, |a| a.min(g)))
+        })
+        .map(|gap| safety.delta(gap, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_telemetry::{EventKind, RingBufferSink, SharedSink};
+
+    #[test]
+    fn golden_ds1_is_safe() {
+        let out = SimSession::builder(ScenarioId::Ds1).seed(3).build().run();
+        assert!(!out.collided, "golden DS-1 must not collide");
+        assert!(!out.eb_any, "golden DS-1 must not emergency brake");
+        assert!(out.attack.launched_at.is_none());
+        assert!(out.record.samples.len() > 100);
+    }
+
+    #[test]
+    fn golden_ds2_stops_for_pedestrian() {
+        let out = SimSession::builder(ScenarioId::Ds2).seed(3).build().run();
+        assert!(!out.collided, "golden DS-2 must not hit the pedestrian");
+        // The EV must have actually slowed down substantially at some point.
+        let min_speed = out
+            .record
+            .samples
+            .iter()
+            .map(|s| s.ego_speed)
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_speed < 2.0, "EV braked for the pedestrian: {min_speed}");
+    }
+
+    #[test]
+    fn golden_ds3_passes_parked_car() {
+        let out = SimSession::builder(ScenarioId::Ds3).seed(3).build().run();
+        assert!(!out.collided);
+        assert!(!out.eb_any, "parked car out of lane must not trigger EB");
+        // Maintains cruise: mean speed close to 45 kph.
+        let speeds: Vec<f64> = out.record.samples.iter().map(|s| s.ego_speed).collect();
+        assert!(crate::stats::mean(&speeds) > 10.0, "kept moving");
+    }
+
+    #[test]
+    fn golden_runs_are_reproducible() {
+        let session = SimSession::builder(ScenarioId::Ds1).seed(7).build();
+        let a = session.run();
+        let b = session.run();
+        assert_eq!(a.record.samples.len(), b.record.samples.len());
+        let last_a = a.record.samples.last().unwrap();
+        let last_b = b.record.samples.last().unwrap();
+        assert_eq!(last_a.ego_speed, last_b.ego_speed);
+        assert_eq!(last_a.delta, last_b.delta);
+    }
+
+    #[test]
+    fn kinematic_robotack_attacks_ds1() {
+        let out = SimSession::builder(ScenarioId::Ds1)
+            .seed(11)
+            .attacker(AttackerSpec::RoboTack {
+                vector: Some(AttackVector::MoveOut),
+                oracle: crate::runner::OracleSpec::Kinematic,
+            })
+            .build()
+            .run();
+        assert!(out.attack.launched_at.is_some(), "attack launched");
+        assert!(out.min_delta_post_attack.is_some());
+    }
+
+    #[test]
+    fn traced_run_brackets_the_stream_with_lifecycle_events() {
+        let sink = SharedSink::new(RingBufferSink::new(200_000));
+        let out = SimSession::builder(ScenarioId::Ds1)
+            .seed(3)
+            .telemetry(Telemetry::with_sink(sink.clone()))
+            .build()
+            .run();
+        let records = sink.lock().drain();
+        assert!(!records.is_empty());
+        assert_eq!(records[0].event.kind(), EventKind::RunStarted);
+        assert_eq!(records.last().unwrap().event.kind(), EventKind::RunFinished);
+        // The stream must cover the whole pipeline of a golden run.
+        for kind in [
+            EventKind::SchedulerTask,
+            EventKind::SensorSample,
+            EventKind::DetectionsEmitted,
+            EventKind::TrackUpdate,
+            EventKind::PlannerModeChanged,
+        ] {
+            assert!(
+                records.iter().any(|r| r.event.kind() == kind),
+                "missing {kind:?}"
+            );
+        }
+        // And telemetry must not have perturbed the run.
+        let bare = SimSession::builder(ScenarioId::Ds1).seed(3).build().run();
+        assert_eq!(out.record.digest(), bare.record.digest());
+    }
+
+    #[test]
+    fn faulted_traced_run_reports_injections() {
+        let plan = av_faults::FaultPlan::single(av_faults::FaultSpec::always(
+            av_faults::FaultKind::CameraFrameDrop { probability: 0.3 },
+        ));
+        let sink = SharedSink::new(RingBufferSink::new(200_000));
+        let out = SimSession::builder(ScenarioId::Ds1)
+            .seed(5)
+            .faults(plan)
+            .telemetry(Telemetry::with_sink(sink.clone()))
+            .build()
+            .run();
+        assert!(out.faults.camera_frames_dropped > 0, "plan fired");
+        let records = sink.lock().drain();
+        let injected = records
+            .iter()
+            .filter(|r| r.event.kind() == EventKind::FaultInjected)
+            .count() as u32;
+        assert_eq!(injected, out.faults.total(), "one event per fault unit");
+        // Dropped frames must be visible as undelivered camera samples.
+        assert!(records.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::SensorSample {
+                channel: SensorChannel::Camera,
+                delivered: false,
+                ..
+            }
+        )));
+    }
+}

@@ -10,7 +10,8 @@
 //! 100/100/50 network with a 60/40 train/validation split.
 
 use crate::campaign::default_threads;
-use crate::runner::{run_once, AttackerSpec, RunConfig, RunOutcome};
+use crate::runner::{AttackerSpec, RunOutcome};
+use crate::session::SimSession;
 use av_neural::mlp::Mlp;
 use av_neural::train::{mse, train, Dataset, Normalizer, TrainConfig};
 use av_simkit::scenario::ScenarioId;
@@ -94,14 +95,15 @@ pub fn collect_dataset(scenario: ScenarioId, vector: AttackVector, sweep: &Sweep
         for (slice, cell_chunk) in rows.chunks_mut(chunk).zip(cells.chunks(chunk)) {
             scope.spawn(move |_| {
                 for (slot, &(delta_inject, k, seed)) in slice.iter_mut().zip(cell_chunk) {
-                    let outcome = run_once(
-                        &RunConfig::new(scenario, seed),
-                        &AttackerSpec::AtDelta {
+                    let outcome = SimSession::builder(scenario)
+                        .seed(seed)
+                        .attacker(AttackerSpec::AtDelta {
                             vector: Some(vector),
                             delta_inject,
                             k,
-                        },
-                    );
+                        })
+                        .build()
+                        .run();
                     *slot = example_from(&outcome);
                 }
             });
@@ -184,14 +186,15 @@ mod tests {
 
     #[test]
     fn examples_require_launch_and_label() {
-        let outcome = run_once(
-            &RunConfig::new(ScenarioId::Ds1, 1),
-            &AttackerSpec::AtDelta {
+        let outcome = SimSession::builder(ScenarioId::Ds1)
+            .seed(1)
+            .attacker(AttackerSpec::AtDelta {
                 vector: Some(AttackVector::MoveOut),
                 delta_inject: 25.0,
                 k: 20,
-            },
-        );
+            })
+            .build()
+            .run();
         let ex = example_from(&outcome);
         if outcome.attack.launched_at.is_some() {
             let (x, y) = ex.expect("launched run yields an example");

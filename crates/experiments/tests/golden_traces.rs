@@ -13,9 +13,8 @@
 //! cargo test -p av-experiments --test golden_traces -- --nocapture print_digests --ignored
 //! ```
 
-use av_experiments::runner::{run_once, AttackerSpec, RunConfig};
+use av_experiments::prelude::*;
 use av_faults::{FaultKind, FaultPlan, FaultSpec};
-use av_simkit::scenario::ScenarioId;
 
 /// 〈scenario, seed, expected digest〉 for every driving scenario.
 const GOLDEN: [(ScenarioId, u64, &str); 5] = [
@@ -27,7 +26,10 @@ const GOLDEN: [(ScenarioId, u64, &str); 5] = [
 ];
 
 fn golden_run(scenario: ScenarioId, seed: u64) -> String {
-    run_once(&RunConfig::new(scenario, seed), &AttackerSpec::None)
+    SimSession::builder(scenario)
+        .seed(seed)
+        .build()
+        .run()
         .record
         .digest()
 }
@@ -59,12 +61,13 @@ fn golden_traces_match_committed_fixtures() {
 fn empty_fault_plan_is_bit_identical_to_baseline() {
     for (scenario, seed, _) in GOLDEN {
         let base = golden_run(scenario, seed);
-        let with_empty_plan = run_once(
-            &RunConfig::new(scenario, seed).with_faults(FaultPlan::none()),
-            &AttackerSpec::None,
-        )
-        .record
-        .digest();
+        let with_empty_plan = SimSession::builder(scenario)
+            .seed(seed)
+            .faults(FaultPlan::none())
+            .build()
+            .run()
+            .record
+            .digest();
         assert_eq!(
             base, with_empty_plan,
             "{scenario:?}: empty plan must be transparent"
@@ -98,10 +101,11 @@ fn never_active_fault_window_is_bit_identical_to_baseline() {
         ));
     for (scenario, seed, _) in GOLDEN {
         let base = golden_run(scenario, seed);
-        let gated = run_once(
-            &RunConfig::new(scenario, seed).with_faults(plan.clone()),
-            &AttackerSpec::None,
-        );
+        let gated = SimSession::builder(scenario)
+            .seed(seed)
+            .faults(plan.clone())
+            .build()
+            .run();
         assert_eq!(
             base,
             gated.record.digest(),
@@ -123,10 +127,44 @@ fn active_faults_change_the_trace() {
         probability: 0.3,
     }));
     let base = golden_run(ScenarioId::Ds1, 7);
-    let faulted = run_once(
-        &RunConfig::new(ScenarioId::Ds1, 7).with_faults(plan),
-        &AttackerSpec::None,
-    );
+    let faulted = SimSession::builder(ScenarioId::Ds1)
+        .seed(7)
+        .faults(plan)
+        .build()
+        .run();
     assert_ne!(base, faulted.record.digest());
     assert!(faulted.faults.camera_frames_dropped > 0);
+}
+
+#[test]
+fn null_sink_telemetry_is_bit_identical_to_fixtures() {
+    // The observability layer must be a pure observer: running the exact
+    // golden configurations with an attached (but discarding) sink and a
+    // metrics registry may not move a single bit of the trace.
+    for (scenario, seed, expected) in GOLDEN {
+        let outcome = SimSession::builder(scenario)
+            .seed(seed)
+            .telemetry(Telemetry::with_sink(NullSink))
+            .build()
+            .run();
+        assert_eq!(
+            outcome.record.digest(),
+            expected,
+            "{scenario:?} seed {seed}: null-sink telemetry perturbed the run"
+        );
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_once_shim_matches_fixtures() {
+    for (scenario, seed, expected) in GOLDEN {
+        let outcome =
+            av_experiments::runner::run_once(&RunConfig::new(scenario, seed), &AttackerSpec::None);
+        assert_eq!(
+            outcome.record.digest(),
+            expected,
+            "{scenario:?} seed {seed}: run_once shim diverged from the session API"
+        );
+    }
 }

@@ -10,7 +10,7 @@
 //! - [`mlp`]: the network — He initialization, forward (train/eval),
 //!   backward, parameter access.
 //! - [`optim`]: the Adam optimizer over flat parameter/gradient slices.
-//! - [`train`]: datasets, normalization, the training loop, and train/val
+//! - [`mod@train`]: datasets, normalization, the training loop, and train/val
 //!   splitting.
 //!
 //! # Example

@@ -156,7 +156,7 @@ impl Mlp {
     }
 
     /// Backpropagates `dl_dout` (batch × out) through the cached pass and
-    /// returns per-layer gradients aligned with [`Mlp::params_mut`].
+    /// returns per-layer gradients aligned with [`Mlp::apply_grads`].
     pub fn backward(&self, cache: &ForwardCache, dl_dout: &Matrix) -> Vec<(Matrix, Vec<f64>)> {
         let mut grads = vec![(Matrix::zeros(0, 0), Vec::new()); self.layers.len()];
         let mut delta = dl_dout.clone();

@@ -9,6 +9,7 @@ use av_sensing::camera::Camera;
 use av_sensing::frame::CameraFrame;
 use av_sensing::lidar::LidarScan;
 use av_simkit::math::Vec2;
+use av_telemetry::{Stage, Telemetry, TraceEvent};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +41,7 @@ pub struct Perception {
     last_camera_t: Option<f64>,
     last_detections: Vec<crate::types::Detection>,
     stale_frames: u64,
+    telemetry: Telemetry,
 }
 
 impl Perception {
@@ -53,12 +55,23 @@ impl Perception {
             last_camera_t: None,
             last_detections: Vec::new(),
             stale_frames: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
     /// The pipeline configuration.
     pub fn config(&self) -> &PerceptionConfig {
         &self.config
+    }
+
+    /// Attaches a telemetry handle. Camera frames are timed as
+    /// [`Stage::PerceptionCamera`] (emitting [`TraceEvent::DetectionsEmitted`]
+    /// and [`TraceEvent::TrackUpdate`], or [`TraceEvent::StaleFrameRejected`]
+    /// for coasted frames); LiDAR sweeps are timed as
+    /// [`Stage::PerceptionLidar`]. The malware's replica pipeline keeps the
+    /// default disabled handle so only the ADS's own perception is traced.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Processes one camera frame: detect → associate/track → back-project →
@@ -77,9 +90,15 @@ impl Perception {
         if let Some(t0) = self.last_camera_t {
             if frame.t <= t0 + 1e-9 {
                 self.stale_frames += 1;
+                let seq = frame.seq;
+                self.telemetry
+                    .emit(frame.t, || TraceEvent::StaleFrameRejected {
+                        frame_seq: seq,
+                    });
                 return;
             }
         }
+        let _timer = self.telemetry.time(Stage::PerceptionCamera);
         let dt = self
             .last_camera_t
             .map_or(1.0 / av_simkit::units::CAMERA_HZ, |t0| {
@@ -89,6 +108,18 @@ impl Perception {
 
         let detections = self.detector.detect(frame, rng);
         self.tracker.step(dt, &detections);
+        if self.telemetry.is_enabled() {
+            let (seq, count) = (frame.seq, detections.len() as u32);
+            self.telemetry
+                .emit(frame.t, || TraceEvent::DetectionsEmitted {
+                    frame_seq: seq,
+                    count,
+                });
+            let confirmed = self.tracker.confirmed().count() as u32;
+            let total = self.tracker.tracks().len() as u32;
+            self.telemetry
+                .emit(frame.t, || TraceEvent::TrackUpdate { confirmed, total });
+        }
         self.last_detections = detections.clone();
 
         let observations: Vec<CameraObservation> = self
@@ -124,6 +155,7 @@ impl Perception {
 
     /// Processes one LiDAR sweep.
     pub fn on_lidar(&mut self, scan: &LidarScan) {
+        let _timer = self.telemetry.time(Stage::PerceptionLidar);
         self.fusion.on_lidar(scan);
     }
 

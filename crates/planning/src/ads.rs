@@ -12,6 +12,7 @@ use av_sensing::frame::CameraFrame;
 use av_sensing::gps::GpsImuFix;
 use av_sensing::lidar::LidarScan;
 use av_simkit::math::Vec2;
+use av_telemetry::{Stage, Telemetry, TraceEvent};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +36,7 @@ pub struct Ads {
     actuation: f64,
     eb_entries: u32,
     was_eb: bool,
+    telemetry: Telemetry,
 }
 
 impl Ads {
@@ -53,7 +55,18 @@ impl Ads {
             actuation: 0.0,
             eb_entries: 0,
             was_eb: false,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle to the ADS and its perception stack.
+    /// Planning cycles are timed as [`Stage::PlannerTick`] (emitting
+    /// [`TraceEvent::PlannerModeChanged`] on mode transitions and
+    /// [`TraceEvent::AebEngaged`] on each emergency-braking entry); control
+    /// cycles are timed as [`Stage::ControlTick`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.perception.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Current believed ego position (GPS, or origin before the first fix).
@@ -93,6 +106,8 @@ impl Ads {
     /// Runs one planning cycle at wall time `now`, surfacing camera
     /// staleness to the planner for graceful degradation.
     pub fn plan_tick_at(&mut self, now: f64) -> bool {
+        let timer = self.telemetry.time(Stage::PlannerTick);
+        let mode_before = self.latest_plan.mode;
         let objects = self.perception.world_model();
         let input = PlanInput {
             ego_position: self.ego_position(),
@@ -107,12 +122,26 @@ impl Ads {
             self.eb_entries += 1;
         }
         self.was_eb = is_eb;
+        drop(timer);
+        if self.telemetry.is_enabled() {
+            let mode_after = self.latest_plan.mode;
+            if mode_after != mode_before {
+                self.telemetry.emit(now, || TraceEvent::PlannerModeChanged {
+                    from: mode_before.name(),
+                    to: mode_after.name(),
+                });
+            }
+            if entered {
+                self.telemetry.emit(now, || TraceEvent::AebEngaged);
+            }
+        }
         entered
     }
 
     /// Runs one control cycle (nominally 30 Hz): smooths the planned
     /// acceleration through the PID and returns the actuation `Aₜ`.
     pub fn control_tick(&mut self, dt: f64) -> f64 {
+        let _timer = self.telemetry.time(Stage::ControlTick);
         let target = self.latest_plan.accel;
         if self.latest_plan.mode == PlannerMode::EmergencyBrake {
             // Emergency braking bypasses comfort smoothing (Apollo's EStop).

@@ -34,6 +34,20 @@ pub enum PlannerMode {
     Degraded,
 }
 
+impl PlannerMode {
+    /// Stable snake_case name used in trace events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlannerMode::Cruise => "cruise",
+            PlannerMode::Follow => "follow",
+            PlannerMode::Brake => "brake",
+            PlannerMode::EmergencyBrake => "emergency_brake",
+            PlannerMode::Hold => "hold",
+            PlannerMode::Degraded => "degraded",
+        }
+    }
+}
+
 /// Planner configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PlannerConfig {

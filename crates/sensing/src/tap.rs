@@ -9,6 +9,7 @@
 use crate::frame::CameraFrame;
 use crate::gps::GpsImuFix;
 use crate::lidar::LidarScan;
+use av_telemetry::{SensorChannel, Stage, Telemetry, TraceEvent};
 
 /// What happens to a camera frame after passing through a tap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,88 @@ pub trait SensorTap {
 pub struct NullTap;
 
 impl SensorTap for NullTap {}
+
+/// A tracing decorator around any [`SensorTap`].
+///
+/// Times each hook as [`Stage::FaultTap`] and emits one
+/// [`TraceEvent::SensorSample`] per measurement, recording the channel,
+/// sequence number, and whether the inner tap delivered or dropped it. The
+/// inner tap's behaviour is otherwise untouched, so wrapping a `NullTap`
+/// (or a fault injector) changes no simulation outcome.
+#[derive(Debug, Clone, Default)]
+pub struct TracingTap<T> {
+    inner: T,
+    telemetry: Telemetry,
+    lidar_seq: u64,
+    gps_seq: u64,
+}
+
+impl<T: SensorTap> TracingTap<T> {
+    /// Wraps `inner`, reporting into `telemetry`.
+    pub fn new(inner: T, telemetry: Telemetry) -> TracingTap<T> {
+        TracingTap {
+            inner,
+            telemetry,
+            lidar_seq: 0,
+            gps_seq: 0,
+        }
+    }
+
+    /// The wrapped tap (e.g. to read fault-injection statistics).
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped tap.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: SensorTap> SensorTap for TracingTap<T> {
+    fn on_camera(&mut self, frame: &mut CameraFrame) -> CameraTapVerdict {
+        let verdict = {
+            let _timer = self.telemetry.time(Stage::FaultTap);
+            self.inner.on_camera(frame)
+        };
+        let (t, seq) = (frame.t, frame.seq);
+        self.telemetry.emit(t, || TraceEvent::SensorSample {
+            channel: SensorChannel::Camera,
+            seq,
+            delivered: verdict == CameraTapVerdict::Deliver,
+        });
+        verdict
+    }
+
+    fn on_lidar(&mut self, scan: &mut LidarScan) -> bool {
+        let delivered = {
+            let _timer = self.telemetry.time(Stage::FaultTap);
+            self.inner.on_lidar(scan)
+        };
+        let (t, seq) = (scan.t, self.lidar_seq);
+        self.lidar_seq += 1;
+        self.telemetry.emit(t, || TraceEvent::SensorSample {
+            channel: SensorChannel::Lidar,
+            seq,
+            delivered,
+        });
+        delivered
+    }
+
+    fn on_gps(&mut self, fix: &mut GpsImuFix) {
+        {
+            let _timer = self.telemetry.time(Stage::FaultTap);
+            self.inner.on_gps(fix);
+        }
+        let (t, seq) = (fix.t, self.gps_seq);
+        self.gps_seq += 1;
+        self.telemetry.emit(t, || TraceEvent::SensorSample {
+            channel: SensorChannel::Gps,
+            seq,
+            delivered: true,
+        });
+    }
+}
 
 #[cfg(test)]
 mod tests {

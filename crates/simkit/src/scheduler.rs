@@ -5,6 +5,8 @@
 //! scheduler reproduces that: tasks are registered with integer-microsecond
 //! periods and the simulation loop asks which tasks fire at each tick.
 
+use av_telemetry::{Stage, Telemetry, TraceEvent};
+
 /// A periodic task identifier returned by [`Scheduler::add_task`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Task(usize);
@@ -28,12 +30,20 @@ struct Entry {
 #[derive(Debug, Clone, Default)]
 pub struct Scheduler {
     entries: Vec<Entry>,
+    telemetry: Telemetry,
 }
 
 impl Scheduler {
     /// Creates an empty scheduler.
     pub fn new() -> Self {
         Scheduler::default()
+    }
+
+    /// Attaches a telemetry handle: each [`Scheduler::advance_to`] call is
+    /// timed as [`Stage::SchedulerAdvance`] and every dispatched task emits
+    /// a [`TraceEvent::SchedulerTask`] carrying the task's static name.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Registers a task firing every `period_us` microseconds, first at t=0.
@@ -64,6 +74,7 @@ impl Scheduler {
     /// periods behind fires once per call until it catches up (sensors drop
     /// frames rather than burst).
     pub fn advance_to(&mut self, now_us: u64) -> Vec<Task> {
+        let _timer = self.telemetry.time(Stage::SchedulerAdvance);
         let mut fired = Vec::new();
         for (i, e) in self.entries.iter_mut().enumerate() {
             if now_us >= e.next_fire_us {
@@ -72,6 +83,14 @@ impl Scheduler {
                 // sample, not a backlog.
                 let missed = (now_us - e.next_fire_us) / e.period_us;
                 e.next_fire_us += (missed + 1) * e.period_us;
+            }
+        }
+        if self.telemetry.is_enabled() {
+            let t = now_us as f64 / 1e6;
+            for task in &fired {
+                let name = self.entries[task.0].name;
+                self.telemetry
+                    .emit(t, || TraceEvent::SchedulerTask { task: name });
             }
         }
         fired

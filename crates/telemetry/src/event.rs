@@ -1,0 +1,452 @@
+//! The typed trace-event taxonomy.
+//!
+//! Events carry only simulation-deterministic payloads (sim-time, seeds,
+//! counts, static names) so that a run's event stream is bit-identical for
+//! a given seed regardless of host, thread count, or wall-clock load. Wall
+//! time belongs in the metrics registry, never here.
+
+use std::fmt::Write as _;
+
+/// Which sensor channel a sample-level event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorChannel {
+    /// The 15 Hz camera link (the attacked channel).
+    Camera,
+    /// The 10 Hz LiDAR sweep.
+    Lidar,
+    /// The 12.5 Hz GPS/IMU fix.
+    Gps,
+}
+
+impl SensorChannel {
+    /// Stable snake_case name used in the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            SensorChannel::Camera => "camera",
+            SensorChannel::Lidar => "lidar",
+            SensorChannel::Gps => "gps",
+        }
+    }
+}
+
+/// The malware's lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackPhase {
+    /// Watching the replica world model, holding fire.
+    Monitoring,
+    /// Actively perturbing camera frames.
+    Perturbing,
+    /// Single shot spent; permanently quiet.
+    Dormant,
+}
+
+impl AttackPhase {
+    /// Stable snake_case name used in the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackPhase::Monitoring => "monitoring",
+            AttackPhase::Perturbing => "perturbing",
+            AttackPhase::Dormant => "dormant",
+        }
+    }
+}
+
+/// One structured event from somewhere in the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A session began executing.
+    RunStarted {
+        /// Scenario name (paper naming, e.g. `DS-2`).
+        scenario: &'static str,
+        /// Run seed.
+        seed: u64,
+    },
+    /// The multi-rate scheduler fired a task.
+    SchedulerTask {
+        /// Registered task name (`camera`, `lidar`, `gps`, `planner`).
+        task: &'static str,
+    },
+    /// A sensor measurement passed through the delivery tap.
+    SensorSample {
+        /// Originating channel.
+        channel: SensorChannel,
+        /// Channel-local sequence number (camera frame seq; 0 otherwise).
+        seq: u64,
+        /// Whether the measurement reached the consumer (false = dropped).
+        delivered: bool,
+    },
+    /// The fault injector perturbed or withheld measurements.
+    FaultInjected {
+        /// Affected channel.
+        channel: SensorChannel,
+        /// Injector counter that advanced (e.g. `camera_frames_dropped`).
+        what: &'static str,
+        /// How many units the counter advanced by.
+        count: u32,
+    },
+    /// The ADS detector emitted its per-frame output.
+    DetectionsEmitted {
+        /// Camera frame sequence number.
+        frame_seq: u64,
+        /// Number of detections in this frame.
+        count: u32,
+    },
+    /// The ADS tracker finished one update step.
+    TrackUpdate {
+        /// Confirmed (published) tracks.
+        confirmed: u32,
+        /// All live tracks including tentative ones.
+        total: u32,
+    },
+    /// Perception rejected a frozen/replayed camera frame.
+    StaleFrameRejected {
+        /// Sequence number of the rejected frame.
+        frame_seq: u64,
+    },
+    /// The malware committed its single shot.
+    AttackTriggered {
+        /// Chosen attack vector (paper naming).
+        vector: &'static str,
+        /// Planned perturbation window (frames).
+        k: u32,
+        /// The safety hijacker's predicted post-attack δ (m).
+        predicted_delta: f64,
+    },
+    /// The malware's lifecycle phase changed.
+    AttackPhaseChanged {
+        /// The phase being entered.
+        phase: AttackPhase,
+    },
+    /// The planner's binding behavior mode changed.
+    PlannerModeChanged {
+        /// Mode before this cycle.
+        from: &'static str,
+        /// Mode after this cycle.
+        to: &'static str,
+    },
+    /// The ADS entered emergency braking (a new forced-EB event).
+    AebEngaged,
+    /// Ground-truth bumper contact halted the run.
+    Collision,
+    /// A session finished.
+    RunFinished {
+        /// Simulated seconds executed.
+        sim_seconds: f64,
+        /// Planner samples recorded.
+        samples: u64,
+    },
+}
+
+/// Dense event-kind tags for counting (one counter per kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // mirrors TraceEvent variant for variant
+pub enum EventKind {
+    RunStarted,
+    SchedulerTask,
+    SensorSample,
+    FaultInjected,
+    DetectionsEmitted,
+    TrackUpdate,
+    StaleFrameRejected,
+    AttackTriggered,
+    AttackPhaseChanged,
+    PlannerModeChanged,
+    AebEngaged,
+    Collision,
+    RunFinished,
+}
+
+impl EventKind {
+    /// Every event kind, in taxonomy order.
+    pub const ALL: [EventKind; 13] = [
+        EventKind::RunStarted,
+        EventKind::SchedulerTask,
+        EventKind::SensorSample,
+        EventKind::FaultInjected,
+        EventKind::DetectionsEmitted,
+        EventKind::TrackUpdate,
+        EventKind::StaleFrameRejected,
+        EventKind::AttackTriggered,
+        EventKind::AttackPhaseChanged,
+        EventKind::PlannerModeChanged,
+        EventKind::AebEngaged,
+        EventKind::Collision,
+        EventKind::RunFinished,
+    ];
+
+    /// Number of event kinds (registry array size).
+    pub const COUNT: usize = EventKind::ALL.len();
+
+    /// Dense index of this kind.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name — the `"type"` field of the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RunStarted => "run_started",
+            EventKind::SchedulerTask => "scheduler_task",
+            EventKind::SensorSample => "sensor_sample",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::DetectionsEmitted => "detections_emitted",
+            EventKind::TrackUpdate => "track_update",
+            EventKind::StaleFrameRejected => "stale_frame_rejected",
+            EventKind::AttackTriggered => "attack_triggered",
+            EventKind::AttackPhaseChanged => "attack_phase_changed",
+            EventKind::PlannerModeChanged => "planner_mode_changed",
+            EventKind::AebEngaged => "aeb_engaged",
+            EventKind::Collision => "collision",
+            EventKind::RunFinished => "run_finished",
+        }
+    }
+}
+
+impl TraceEvent {
+    /// The kind tag of this event.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TraceEvent::RunStarted { .. } => EventKind::RunStarted,
+            TraceEvent::SchedulerTask { .. } => EventKind::SchedulerTask,
+            TraceEvent::SensorSample { .. } => EventKind::SensorSample,
+            TraceEvent::FaultInjected { .. } => EventKind::FaultInjected,
+            TraceEvent::DetectionsEmitted { .. } => EventKind::DetectionsEmitted,
+            TraceEvent::TrackUpdate { .. } => EventKind::TrackUpdate,
+            TraceEvent::StaleFrameRejected { .. } => EventKind::StaleFrameRejected,
+            TraceEvent::AttackTriggered { .. } => EventKind::AttackTriggered,
+            TraceEvent::AttackPhaseChanged { .. } => EventKind::AttackPhaseChanged,
+            TraceEvent::PlannerModeChanged { .. } => EventKind::PlannerModeChanged,
+            TraceEvent::AebEngaged => EventKind::AebEngaged,
+            TraceEvent::Collision => EventKind::Collision,
+            TraceEvent::RunFinished { .. } => EventKind::RunFinished,
+        }
+    }
+}
+
+/// One entry of the event stream: sequence number, sim-time, payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Gap-free, strictly increasing per sink.
+    pub seq: u64,
+    /// Simulation time of the event (s).
+    pub t: f64,
+    /// The payload.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Renders this record as one JSON line (no trailing newline).
+    ///
+    /// The schema is flat and stable: `seq`, `t` (6 decimal places), `type`
+    /// (an [`EventKind::name`]), then the payload fields of the variant.
+    /// The vendored `serde` is a no-op stub, so this is the one place JSON
+    /// is produced — keep it in sync with the taxonomy.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"seq\":{},\"t\":{:.6},\"type\":\"{}\"",
+            self.seq,
+            self.t,
+            self.event.kind().name()
+        );
+        match &self.event {
+            TraceEvent::RunStarted { scenario, seed } => {
+                let _ = write!(
+                    s,
+                    ",\"scenario\":\"{}\",\"seed\":{}",
+                    escape(scenario),
+                    seed
+                );
+            }
+            TraceEvent::SchedulerTask { task } => {
+                let _ = write!(s, ",\"task\":\"{}\"", escape(task));
+            }
+            TraceEvent::SensorSample {
+                channel,
+                seq,
+                delivered,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"channel\":\"{}\",\"sample_seq\":{seq},\"delivered\":{delivered}",
+                    channel.name()
+                );
+            }
+            TraceEvent::FaultInjected {
+                channel,
+                what,
+                count,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"channel\":\"{}\",\"what\":\"{}\",\"count\":{count}",
+                    channel.name(),
+                    escape(what)
+                );
+            }
+            TraceEvent::DetectionsEmitted { frame_seq, count } => {
+                let _ = write!(s, ",\"frame_seq\":{frame_seq},\"count\":{count}");
+            }
+            TraceEvent::TrackUpdate { confirmed, total } => {
+                let _ = write!(s, ",\"confirmed\":{confirmed},\"total\":{total}");
+            }
+            TraceEvent::StaleFrameRejected { frame_seq } => {
+                let _ = write!(s, ",\"frame_seq\":{frame_seq}");
+            }
+            TraceEvent::AttackTriggered {
+                vector,
+                k,
+                predicted_delta,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"vector\":\"{}\",\"k\":{k},\"predicted_delta\":{predicted_delta:?}",
+                    escape(vector)
+                );
+            }
+            TraceEvent::AttackPhaseChanged { phase } => {
+                let _ = write!(s, ",\"phase\":\"{}\"", phase.name());
+            }
+            TraceEvent::PlannerModeChanged { from, to } => {
+                let _ = write!(
+                    s,
+                    ",\"from\":\"{}\",\"to\":\"{}\"",
+                    escape(from),
+                    escape(to)
+                );
+            }
+            TraceEvent::AebEngaged | TraceEvent::Collision => {}
+            TraceEvent::RunFinished {
+                sim_seconds,
+                samples,
+            } => {
+                let _ = write!(s, ",\"sim_seconds\":{sim_seconds:.6},\"samples\":{samples}");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+/// All current payload strings are static snake_case names, but the schema
+/// must stay valid if one ever carries user input.
+fn escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_flat_and_typed() {
+        let rec = TraceRecord {
+            seq: 3,
+            t: 1.0 / 15.0,
+            event: TraceEvent::SensorSample {
+                channel: SensorChannel::Camera,
+                seq: 7,
+                delivered: true,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            "{\"seq\":3,\"t\":0.066667,\"type\":\"sensor_sample\",\
+             \"channel\":\"camera\",\"sample_seq\":7,\"delivered\":true}"
+        );
+    }
+
+    #[test]
+    fn every_variant_serializes_with_its_kind_name() {
+        let events = [
+            TraceEvent::RunStarted {
+                scenario: "DS-2",
+                seed: 7,
+            },
+            TraceEvent::SchedulerTask { task: "camera" },
+            TraceEvent::SensorSample {
+                channel: SensorChannel::Lidar,
+                seq: 0,
+                delivered: false,
+            },
+            TraceEvent::FaultInjected {
+                channel: SensorChannel::Gps,
+                what: "gps_fixes_biased",
+                count: 1,
+            },
+            TraceEvent::DetectionsEmitted {
+                frame_seq: 1,
+                count: 2,
+            },
+            TraceEvent::TrackUpdate {
+                confirmed: 1,
+                total: 2,
+            },
+            TraceEvent::StaleFrameRejected { frame_seq: 5 },
+            TraceEvent::AttackTriggered {
+                vector: "Move_Out",
+                k: 40,
+                predicted_delta: -1.5,
+            },
+            TraceEvent::AttackPhaseChanged {
+                phase: AttackPhase::Perturbing,
+            },
+            TraceEvent::PlannerModeChanged {
+                from: "Cruise",
+                to: "EmergencyBrake",
+            },
+            TraceEvent::AebEngaged,
+            TraceEvent::Collision,
+            TraceEvent::RunFinished {
+                sim_seconds: 30.0,
+                samples: 300,
+            },
+        ];
+        assert_eq!(events.len(), EventKind::COUNT, "taxonomy covered");
+        for (event, kind) in events.into_iter().zip(EventKind::ALL) {
+            assert_eq!(event.kind(), kind);
+            let json = TraceRecord {
+                seq: 0,
+                t: 0.0,
+                event,
+            }
+            .to_json();
+            assert!(json.starts_with("{\"seq\":0,\"t\":0.000000,\"type\":\""));
+            assert!(json.contains(kind.name()), "{json}");
+            assert!(json.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn escaping_keeps_lines_valid() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn kind_indices_are_dense() {
+        for (i, kind) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        let mut names: Vec<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::COUNT, "names unique");
+    }
+}

@@ -1,0 +1,251 @@
+//! Trace sinks: where the event stream goes.
+
+use crate::event::TraceRecord;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A consumer of the structured event stream.
+///
+/// Sinks receive records in emission order with gap-free sequence numbers.
+/// `record` must be cheap relative to the stage being traced — expensive
+/// sinks (files) should buffer and rely on [`TraceSink::flush`].
+pub trait TraceSink {
+    /// Consumes one record.
+    fn record(&mut self, rec: &TraceRecord);
+
+    /// Flushes any buffered output (called at end of run / on drop of the
+    /// owning session).
+    fn flush(&mut self) {}
+}
+
+/// The discarding sink: every record vanishes. Useful to measure the cost
+/// of event *construction* alone, and as an explicit "trace nothing" value
+/// where an API wants a sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: &TraceRecord) {}
+}
+
+/// A bounded in-memory sink: keeps the most recent `capacity` records,
+/// counting (not storing) whatever overflowed. The flight-recorder shape —
+/// a crashing run's last seconds are always retained.
+#[derive(Debug, Clone, Default)]
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` records (0 = drop everything).
+    pub fn new(capacity: usize) -> RingBufferSink {
+        RingBufferSink {
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> &VecDeque<TraceRecord> {
+        &self.buf
+    }
+
+    /// How many records were evicted (or refused, for capacity 0).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the retained records, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        self.buf.drain(..).collect()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec.clone());
+    }
+}
+
+/// A JSONL sink: one [`TraceRecord::to_json`] line per record into any
+/// [`Write`] (a file, a `Vec<u8>`, stdout). Buffering is the writer's
+/// responsibility; wrap files in `BufWriter`.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    lines: u64,
+    errored: bool,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Streams records into `writer`.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink {
+            writer,
+            lines: 0,
+            errored: false,
+        }
+    }
+
+    /// Lines successfully written.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Whether any write failed (the sink goes quiet after the first error
+    /// instead of panicking mid-run).
+    pub fn errored(&self) -> bool {
+        self.errored
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.errored {
+            return;
+        }
+        if writeln!(self.writer, "{}", rec.to_json()).is_err() {
+            self.errored = true;
+            return;
+        }
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        if self.writer.flush().is_err() {
+            self.errored = true;
+        }
+    }
+}
+
+/// A sink wrapper the caller keeps a handle to: `SharedSink<S>` clones share
+/// one underlying `S`, so a test (or the `trace` binary) can pass one clone
+/// into [`crate::Telemetry::with_sink`] and read the records back through
+/// another after the run.
+#[derive(Debug, Default)]
+pub struct SharedSink<S> {
+    inner: Arc<Mutex<S>>,
+}
+
+impl<S> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        SharedSink {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<S> SharedSink<S> {
+    /// Wraps `sink` for shared access.
+    pub fn new(sink: S) -> SharedSink<S> {
+        SharedSink {
+            inner: Arc::new(Mutex::new(sink)),
+        }
+    }
+
+    /// Locks the underlying sink for inspection.
+    pub fn lock(&self) -> MutexGuard<'_, S> {
+        self.inner.lock().expect("shared sink poisoned")
+    }
+}
+
+impl<S: TraceSink> TraceSink for SharedSink<S> {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.lock().record(rec);
+    }
+
+    fn flush(&mut self) {
+        self.lock().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn rec(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            t: seq as f64,
+            event: TraceEvent::AebEngaged,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest() {
+        let mut ring = RingBufferSink::new(3);
+        for i in 0..5 {
+            ring.record(&rec(i));
+        }
+        assert_eq!(ring.dropped(), 2);
+        let seqs: Vec<u64> = ring.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(ring.drain().len(), 3);
+        assert!(ring.records().is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut ring = RingBufferSink::new(0);
+        ring.record(&rec(0));
+        assert!(ring.records().is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&rec(0));
+        sink.record(&rec(1));
+        sink.flush();
+        assert_eq!(sink.lines(), 2);
+        assert!(!sink.errored());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn jsonl_goes_quiet_after_a_write_error() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing);
+        sink.record(&rec(0));
+        sink.record(&rec(1));
+        assert!(sink.errored());
+        assert_eq!(sink.lines(), 0);
+    }
+
+    #[test]
+    fn shared_sink_clones_view_one_buffer() {
+        let shared = SharedSink::new(RingBufferSink::new(8));
+        let mut writer = shared.clone();
+        writer.record(&rec(0));
+        assert_eq!(shared.lock().records().len(), 1);
+    }
+}

@@ -7,11 +7,9 @@
 //!
 //! Run with: `cargo run --release --example pedestrian_crossing_attack`
 
-use av_experiments::runner::{run_once, AttackerSpec, RunConfig};
+use av_experiments::prelude::*;
 use av_experiments::suite::oracle_for;
 use av_experiments::train_sh::SweepConfig;
-use av_simkit::scenario::ScenarioId;
-use robotack::vector::AttackVector;
 
 fn main() {
     println!("=== DS-2: pedestrian crossing under Move_Out attack ===\n");
@@ -29,13 +27,14 @@ fn main() {
     let mut eb = 0;
     let mut crashes = 0;
     for seed in 0..runs {
-        let out = run_once(
-            &RunConfig::new(ScenarioId::Ds2, 9000 + seed),
-            &AttackerSpec::RoboTack {
+        let out = SimSession::builder(ScenarioId::Ds2)
+            .seed(9000 + seed)
+            .attacker(AttackerSpec::RoboTack {
                 vector: Some(AttackVector::MoveOut),
                 oracle: oracle.clone(),
-            },
-        );
+            })
+            .build()
+            .run();
         eb += u64::from(out.eb_after_attack);
         crashes += u64::from(out.accident);
         if seed < 6 {

@@ -7,8 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use av_experiments::runner::{run_once, AttackerSpec, OracleSpec, RunConfig};
-use av_simkit::scenario::ScenarioId;
+use av_experiments::prelude::*;
 use robotack::scenario_matcher::ScenarioMatcher;
 use robotack::vector::AttackVector;
 
@@ -18,7 +17,7 @@ fn main() {
     println!("{}", ScenarioMatcher::default().table());
 
     // A golden (attack-free) run first.
-    let golden = run_once(&RunConfig::new(ScenarioId::Ds1, 7), &AttackerSpec::None);
+    let golden = SimSession::builder(ScenarioId::Ds1).seed(7).build().run();
     let golden_min_delta = golden
         .record
         .samples
@@ -34,13 +33,14 @@ fn main() {
     // Same scenario, same seed — but the malware rides on the camera link.
     // (The closed-form kinematic oracle is used here so the example runs
     // instantly; the experiment binaries train the paper's neural oracle.)
-    let attacked = run_once(
-        &RunConfig::new(ScenarioId::Ds1, 7),
-        &AttackerSpec::RoboTack {
+    let attacked = SimSession::builder(ScenarioId::Ds1)
+        .seed(7)
+        .attacker(AttackerSpec::RoboTack {
             vector: Some(AttackVector::MoveOut),
             oracle: OracleSpec::Kinematic,
-        },
-    );
+        })
+        .build()
+        .run();
     println!("Attacked DS-1 run (Move_Out):");
     match attacked.attack.launched_at {
         Some(t) => {

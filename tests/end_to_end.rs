@@ -1,16 +1,14 @@
 //! Cross-crate integration tests: full simulated runs through the sensor
 //! suite, perception stack, planner, and the malware's MITM hook.
 
-use av_experiments::runner::{run_once, AttackerSpec, OracleSpec, RunConfig};
-use av_simkit::scenario::ScenarioId;
-use robotack::vector::AttackVector;
+use av_experiments::prelude::*;
 
 /// Golden (attack-free) runs must be safe in every scenario: no collision
 /// and no emergency braking (DS-2's pedestrian stop is a comfort stop).
 #[test]
 fn golden_runs_are_safe_across_scenarios() {
     for scenario in ScenarioId::ALL {
-        let out = run_once(&RunConfig::new(scenario, 11), &AttackerSpec::None);
+        let out = SimSession::builder(scenario).seed(11).build().run();
         assert!(!out.collided, "{scenario}: golden run collided");
         assert!(!out.eb_any, "{scenario}: golden run emergency braked");
         assert!(out.attack.launched_at.is_none());
@@ -20,7 +18,7 @@ fn golden_runs_are_safe_across_scenarios() {
 /// The DS-2 golden run stops for the crossing pedestrian and resumes.
 #[test]
 fn golden_ds2_yields_to_pedestrian() {
-    let out = run_once(&RunConfig::new(ScenarioId::Ds2, 3), &AttackerSpec::None);
+    let out = SimSession::builder(ScenarioId::Ds2).seed(3).build().run();
     let min_speed = out
         .record
         .samples
@@ -42,14 +40,15 @@ fn golden_ds2_yields_to_pedestrian() {
 /// accident (δ < 4 m) — deterministic seed, no training needed.
 #[test]
 fn timed_move_out_attack_on_pedestrian_causes_accident() {
-    let out = run_once(
-        &RunConfig::new(ScenarioId::Ds2, 0),
-        &AttackerSpec::AtDelta {
+    let out = SimSession::builder(ScenarioId::Ds2)
+        .seed(0)
+        .attacker(AttackerSpec::AtDelta {
             vector: Some(AttackVector::MoveOut),
             delta_inject: 24.0,
             k: 60,
-        },
-    );
+        })
+        .build()
+        .run();
     assert!(out.attack.launched_at.is_some(), "attack launched");
     assert!(
         out.accident,
@@ -57,7 +56,7 @@ fn timed_move_out_attack_on_pedestrian_causes_accident() {
         out.min_delta_post_attack
     );
     // And the same scenario without the attack is safe.
-    let golden = run_once(&RunConfig::new(ScenarioId::Ds2, 0), &AttackerSpec::None);
+    let golden = SimSession::builder(ScenarioId::Ds2).seed(0).build().run();
     assert!(!golden.accident && !golden.collided);
 }
 
@@ -65,14 +64,15 @@ fn timed_move_out_attack_on_pedestrian_causes_accident() {
 /// the *real* safety potential never drops — the paper's DS-3 result.
 #[test]
 fn timed_move_in_attack_forces_emergency_braking_only() {
-    let out = run_once(
-        &RunConfig::new(ScenarioId::Ds3, 0),
-        &AttackerSpec::AtDelta {
+    let out = SimSession::builder(ScenarioId::Ds3)
+        .seed(0)
+        .attacker(AttackerSpec::AtDelta {
             vector: Some(AttackVector::MoveIn),
             delta_inject: 8.0,
             k: 40,
-        },
-    );
+        })
+        .build()
+        .run();
     assert!(out.eb_after_attack, "forced emergency braking");
     assert!(!out.collided, "no real obstacle to hit");
     // The EV *believed* it was about to crash ...
@@ -94,8 +94,16 @@ fn attacked_runs_are_reproducible() {
         vector: Some(AttackVector::MoveOut),
         oracle: OracleSpec::Kinematic,
     };
-    let a = run_once(&RunConfig::new(ScenarioId::Ds1, 21), &spec);
-    let b = run_once(&RunConfig::new(ScenarioId::Ds1, 21), &spec);
+    let a = SimSession::builder(ScenarioId::Ds1)
+        .seed(21)
+        .attacker(spec.clone())
+        .build()
+        .run();
+    let b = SimSession::builder(ScenarioId::Ds1)
+        .seed(21)
+        .attacker(spec)
+        .build()
+        .run();
     assert_eq!(a.attack.launched_at, b.attack.launched_at);
     assert_eq!(a.attack.k, b.attack.k);
     assert_eq!(a.record.samples.len(), b.record.samples.len());
@@ -108,8 +116,8 @@ fn attacked_runs_are_reproducible() {
 /// Different seeds explore different interaction timings.
 #[test]
 fn seeds_vary_the_world() {
-    let a = run_once(&RunConfig::new(ScenarioId::Ds5, 1), &AttackerSpec::None);
-    let b = run_once(&RunConfig::new(ScenarioId::Ds5, 2), &AttackerSpec::None);
+    let a = SimSession::builder(ScenarioId::Ds5).seed(1).build().run();
+    let b = SimSession::builder(ScenarioId::Ds5).seed(2).build().run();
     let da = a.record.samples.last().expect("samples").target_gap;
     let db = b.record.samples.last().expect("samples").target_gap;
     assert_ne!(da, db, "seeded worlds differ");

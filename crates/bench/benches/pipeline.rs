@@ -5,7 +5,7 @@
 use av_perception::pipeline::{Perception, PerceptionConfig};
 use av_planning::ads::{Ads, AdsConfig};
 use av_sensing::camera::Camera;
-use av_sensing::frame::capture;
+use av_sensing::frame::{capture, capture_into, CameraFrame};
 use av_sensing::lidar::Lidar;
 use av_simkit::math::Vec2;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -66,6 +66,51 @@ fn bench_malware_overhead(c: &mut Criterion) {
     });
 }
 
+/// The full camera hot path over an *advancing* world: frame capture plus
+/// the complete perception step (detector, Hungarian association, tracker,
+/// fusion). Unlike `perception_camera_step`, which re-feeds one fixed frame
+/// and therefore only measures the stale-`seq` early-out after the first
+/// iteration, here every frame is fresh and the tracker does real
+/// association work. The two variants isolate the steady-state buffer
+/// reuse: `scratch_reuse` captures into one long-lived `CameraFrame`
+/// (allocation-free after warm-up), `alloc_per_frame` allocates a fresh
+/// frame every iteration the way the session loop used to.
+fn bench_camera_variant(c: &mut Criterion, name: &str, with_raster: bool, reuse: bool) {
+    const DT: f64 = 1.0 / 15.0;
+    c.bench_function(name, |b| {
+        let camera = Camera::default();
+        let mut world = bench_world();
+        let mut frame = CameraFrame::default();
+        let mut p = Perception::new(PerceptionConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seq = 0;
+        b.iter(|| {
+            if world.time() > 4.0 {
+                world = bench_world();
+                p.reset();
+            }
+            world.step(DT, 0.0);
+            if reuse {
+                capture_into(&camera, &world, seq, with_raster, &mut frame);
+                p.on_camera_frame(black_box(&frame), Vec2::ZERO, &mut rng);
+            } else {
+                let fresh = capture(&camera, &world, seq, with_raster);
+                p.on_camera_frame(black_box(&fresh), Vec2::ZERO, &mut rng);
+            }
+            seq += 1;
+        })
+    });
+}
+
+fn bench_camera_path(c: &mut Criterion) {
+    bench_camera_variant(c, "camera_path_scratch_reuse", false, true);
+    bench_camera_variant(c, "camera_path_alloc_per_frame", false, false);
+    // The raster pair isolates the big allocation: a 192×108 f32 raster is
+    // ~83 KB per frame when allocated fresh vs. a clear+refill on reuse.
+    bench_camera_variant(c, "camera_path_raster_reuse", true, true);
+    bench_camera_variant(c, "camera_path_raster_alloc", true, false);
+}
+
 /// Ablation: binary-search K (Eq. 2) vs the exhaustive linear scan.
 fn bench_k_search(c: &mut Criterion) {
     use robotack::safety_hijacker::{
@@ -91,6 +136,7 @@ criterion_group!(
     bench_perception_step,
     bench_ads_cycle,
     bench_malware_overhead,
+    bench_camera_path,
     bench_k_search
 );
 criterion_main!(benches);

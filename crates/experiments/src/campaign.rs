@@ -1,7 +1,7 @@
 //! Seeded campaigns: batches of runs with Table II / Fig. 6 / Fig. 7 metrics.
 
 use crate::runner::{AttackerSpec, RunConfig, RunOutcome};
-use crate::session::SimSession;
+use crate::session::{SessionWorker, SimSession};
 use crate::stats;
 use av_faults::FaultPlan;
 use av_simkit::scenario::ScenarioId;
@@ -215,10 +215,14 @@ pub fn run_campaign_with_threads(
             .map_or_else(Telemetry::disabled, |r| Telemetry::with_registry(r.clone()))
     };
 
+    // Each worker keeps one long-lived SessionWorker (ADS + frame buffers)
+    // and resets it between runs instead of rebuilding — the warmed scratch
+    // allocations survive the whole chunk of seeds.
     if threads == 1 {
         let tele = worker_telemetry(0);
+        let mut session_worker = SessionWorker::new();
         for (slot, &i) in outcomes.iter_mut().zip(&indices) {
-            *slot = Some(run_one(campaign, i, &tele));
+            *slot = Some(run_one(campaign, i, &tele, &mut session_worker));
         }
     } else {
         let chunk = indices.len().div_ceil(threads);
@@ -230,8 +234,9 @@ pub fn run_campaign_with_threads(
             {
                 let tele = worker_telemetry(worker);
                 scope.spawn(move |_| {
+                    let mut session_worker = SessionWorker::new();
                     for (slot, &i) in slice.iter_mut().zip(idx) {
-                        *slot = Some(run_one(campaign, i, &tele));
+                        *slot = Some(run_one(campaign, i, &tele, &mut session_worker));
                     }
                 });
             }
@@ -257,7 +262,12 @@ pub fn run_campaign_with_threads(
     })
 }
 
-fn run_one(campaign: &Campaign, index: u64, telemetry: &Telemetry) -> RunOutcome {
+fn run_one(
+    campaign: &Campaign,
+    index: u64,
+    telemetry: &Telemetry,
+    worker: &mut SessionWorker,
+) -> RunOutcome {
     let config = RunConfig::new(campaign.scenario, campaign.base_seed + index)
         .with_faults(campaign.faults.clone());
     SimSession::builder(campaign.scenario)
@@ -265,7 +275,7 @@ fn run_one(campaign: &Campaign, index: u64, telemetry: &Telemetry) -> RunOutcome
         .attacker(campaign.attacker.clone())
         .telemetry(telemetry.clone())
         .build()
-        .run()
+        .run_with(worker)
 }
 
 #[cfg(test)]

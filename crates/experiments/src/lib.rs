@@ -39,5 +39,5 @@ pub mod train_sh;
 
 pub use campaign::{Campaign, CampaignError, CampaignResult};
 pub use runner::{AttackerSpec, RunConfig, RunOutcome};
-pub use session::{SimSession, SimSessionBuilder};
+pub use session::{SessionWorker, SimSession, SimSessionBuilder};
 pub use train_sh::{train_oracle, TrainedOracle};

@@ -15,7 +15,7 @@ pub use crate::campaign::{
     CampaignResult,
 };
 pub use crate::runner::{AttackerSpec, OracleSpec, RunConfig, RunOutcome};
-pub use crate::session::{SimSession, SimSessionBuilder};
+pub use crate::session::{SessionWorker, SimSession, SimSessionBuilder};
 pub use crate::train_sh::{train_oracle, TrainedOracle};
 pub use av_simkit::scenario::ScenarioId;
 pub use av_telemetry::{

@@ -32,7 +32,7 @@ use av_perception::calibration::DetectorCalibration;
 use av_planning::ads::{Ads, AdsConfig};
 use av_planning::safety::{ground_truth_delta, SafetyConfig};
 use av_sensing::camera::Camera;
-use av_sensing::frame::capture;
+use av_sensing::frame::{capture_into, CameraFrame};
 use av_sensing::gps::GpsImu;
 use av_sensing::lidar::Lidar;
 use av_sensing::tap::{CameraTapVerdict, SensorTap, TracingTap};
@@ -133,6 +133,39 @@ pub struct SimSession {
     telemetry: Telemetry,
 }
 
+/// Long-lived per-worker state reused across [`SimSession::run_with`] calls.
+///
+/// Campaign workers execute hundreds of runs back to back; rebuilding the
+/// ADS (perception buffers, Hungarian scratch, planner) and the camera-frame
+/// buffers for every run throws the warmed allocations away. A worker keeps
+/// one `Ads` and one `CameraFrame` alive: between runs the ADS is `reset()`
+/// (bit-identical to fresh construction — the golden-trace suite pins this)
+/// and only rebuilt when the run configuration actually changes.
+#[derive(Debug, Default)]
+pub struct SessionWorker {
+    /// The ADS last used, keyed by the exact configuration it was built with.
+    ads: Option<(AdsConfig, Ads)>,
+    /// Reused camera-frame buffer (truth boxes + optional raster).
+    frame: CameraFrame,
+}
+
+impl SessionWorker {
+    /// Creates an empty worker; buffers warm up over the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns an ADS for `config`: resets the held one when the
+    /// configuration matches, rebuilds otherwise.
+    fn ads_for(slot: &mut Option<(AdsConfig, Ads)>, config: AdsConfig) -> &mut Ads {
+        match slot {
+            Some((held, ads)) if *held == config => ads.reset(),
+            _ => *slot = Some((config, Ads::new(config))),
+        }
+        &mut slot.as_mut().expect("just populated").1
+    }
+}
+
 impl SimSession {
     /// Starts building a session for `scenario`.
     pub fn builder(scenario: ScenarioId) -> SimSessionBuilder {
@@ -157,6 +190,14 @@ impl SimSession {
     /// configuration produces bit-identical records (and, modulo wall-clock
     /// metrics, identical event streams).
     pub fn run(&self) -> RunOutcome {
+        self.run_with(&mut SessionWorker::new())
+    }
+
+    /// Executes the run reusing `worker`'s long-lived ADS and frame buffers.
+    ///
+    /// Bit-identical to [`SimSession::run`] for any worker state — a reused
+    /// ADS is `reset()` (or rebuilt on configuration change) before the run.
+    pub fn run_with(&self, worker: &mut SessionWorker) -> RunOutcome {
         let config = &self.config;
         let tele = &self.telemetry;
         let _run_timer = tele.time(Stage::Run);
@@ -177,7 +218,13 @@ impl SimSession {
         ads_config.perception.calibration = config.calibration;
         ads_config.perception.fusion = config.fusion;
         ads_config.planner.cruise_speed = scenario.cruise_speed;
-        let mut ads = Ads::new(ads_config);
+        // Disjoint borrows: `ads` (reset or rebuilt) and the reused frame
+        // buffer both live in the worker.
+        let SessionWorker {
+            ads: ads_slot,
+            frame,
+        } = worker;
+        let ads = SessionWorker::ads_for(ads_slot, ads_config);
         ads.set_telemetry(tele.clone());
 
         let camera = Camera::default();
@@ -227,22 +274,22 @@ impl SimSession {
                     emit_fault_diffs(tele, world.time(), &mut fault_stats_seen, tap.inner());
                     ads.on_gps(fix);
                 } else if task == task_camera {
-                    let mut frame = {
+                    {
                         let _t = tele.time(Stage::CameraCapture);
-                        capture(&camera, &world, seq, false)
-                    };
+                        capture_into(&camera, &world, seq, false, frame);
+                    }
                     seq += 1;
                     // Faults act on the sensor side of the E/E network: a
                     // dropped frame never reaches the attacker's MITM hook,
                     // and a rewritten frame is what the malware replica sees
                     // too.
-                    let verdict = tap.on_camera(&mut frame);
+                    let verdict = tap.on_camera(frame);
                     emit_fault_diffs(tele, world.time(), &mut fault_stats_seen, tap.inner());
                     if verdict == CameraTapVerdict::Drop {
                         continue;
                     }
-                    attacker.process_frame(&mut frame, world.ego().speed, &mut rng);
-                    ads.on_camera_frame(&frame, &mut rng);
+                    attacker.process_frame(frame, world.ego().speed, &mut rng);
+                    ads.on_camera_frame(frame, &mut rng);
                     ids.on_camera(world.time(), ads.perception().last_detections());
 
                     // Attack bookkeeping at camera rate.
@@ -256,7 +303,7 @@ impl SimSession {
                         if k_prime_ads.is_none() {
                             if let (Some(vector), Some(target)) = (stats.vector, stats.target) {
                                 if let Some(truth) = world.actor(target) {
-                                    if k_prime_reached(vector, &ads, truth.pose.position) {
+                                    if k_prime_reached(vector, ads, truth.pose.position) {
                                         k_prime_ads = Some(frames_since_launch);
                                     }
                                 }
@@ -312,7 +359,7 @@ impl SimSession {
                     }
                     if attack_seen {
                         let d =
-                            perceived_in_path_delta(&ads, &config.safety).unwrap_or(f64::INFINITY);
+                            perceived_in_path_delta(ads, &config.safety).unwrap_or(f64::INFINITY);
                         perceived_window[perceived_idx % 3] = d;
                         perceived_idx += 1;
                         if perceived_idx >= 3 {

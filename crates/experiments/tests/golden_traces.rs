@@ -156,6 +156,45 @@ fn null_sink_telemetry_is_bit_identical_to_fixtures() {
 }
 
 #[test]
+fn reused_session_worker_is_bit_identical_to_fixtures() {
+    // Campaign workers keep one SessionWorker (long-lived ADS + frame
+    // buffers) across runs. Reuse across scenarios exercises both paths —
+    // reset on matching configuration, rebuild when the cruise speed
+    // changes — and must not move a single bit vs. fresh construction.
+    let mut worker = SessionWorker::new();
+    for _ in 0..2 {
+        for (scenario, seed, expected) in GOLDEN {
+            let outcome = SimSession::builder(scenario)
+                .seed(seed)
+                .build()
+                .run_with(&mut worker);
+            assert_eq!(
+                outcome.record.digest(),
+                expected,
+                "{scenario:?} seed {seed}: reused worker perturbed the run"
+            );
+        }
+    }
+}
+
+#[test]
+fn reused_worker_rebuilds_on_config_change() {
+    // A worker that just ran a non-default calibration must still produce
+    // the golden trace when handed the default configuration again.
+    let mut worker = SessionWorker::new();
+    SimSession::builder(ScenarioId::Ds1)
+        .seed(7)
+        .calibration(av_perception::calibration::DetectorCalibration::ideal())
+        .build()
+        .run_with(&mut worker);
+    let outcome = SimSession::builder(ScenarioId::Ds1)
+        .seed(7)
+        .build()
+        .run_with(&mut worker);
+    assert_eq!(outcome.record.digest(), GOLDEN[0].2);
+}
+
+#[test]
 #[allow(deprecated)]
 fn deprecated_run_once_shim_matches_fixtures() {
     for (scenario, seed, expected) in GOLDEN {

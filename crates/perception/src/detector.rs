@@ -46,6 +46,20 @@ impl Detector {
     /// boxes occluded beyond the visibility limit produce no detection.
     pub fn detect<R: Rng + ?Sized>(&mut self, frame: &CameraFrame, rng_: &mut R) -> Vec<Detection> {
         let mut out = Vec::with_capacity(frame.truth.len());
+        self.detect_into(frame, rng_, &mut out);
+        out
+    }
+
+    /// Like [`Detector::detect`] but appends into a caller-owned buffer
+    /// (cleared first), so the 15 Hz loop reuses one allocation. RNG draw
+    /// order is identical to `detect`.
+    pub fn detect_into<R: Rng + ?Sized>(
+        &mut self,
+        frame: &CameraFrame,
+        rng_: &mut R,
+        out: &mut Vec<Detection>,
+    ) {
+        out.clear();
         for tb in frame.visible() {
             if tb.bbox.area() < self.calibration.min_box_area {
                 continue;
@@ -89,7 +103,6 @@ impl Detector {
                 provenance: Some(tb.actor),
             });
         }
-        out
     }
 
     /// Clears all streak state (e.g., between runs).

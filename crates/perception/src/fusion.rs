@@ -198,6 +198,8 @@ pub struct Fusion {
     entries: Vec<Entry>,
     candidates: Vec<Candidate>,
     next_id: u64,
+    /// Reused per-call match flags (camera observations / LiDAR returns).
+    matched: Vec<bool>,
 }
 
 impl Fusion {
@@ -208,6 +210,7 @@ impl Fusion {
             entries: Vec::new(),
             candidates: Vec::new(),
             next_id: 0,
+            matched: Vec::new(),
         }
     }
 
@@ -218,7 +221,9 @@ impl Fusion {
 
     /// Ingests the camera pipeline's confirmed tracks at time `t`.
     pub fn on_camera(&mut self, observations: &[CameraObservation], t: f64) {
-        let mut claimed = vec![false; observations.len()];
+        let mut claimed = std::mem::take(&mut self.matched);
+        claimed.clear();
+        claimed.resize(observations.len(), false);
 
         // Update entries that already follow a camera track.
         for entry in &mut self.entries {
@@ -302,13 +307,16 @@ impl Fusion {
         let grace = self.config.orphan_grace;
         self.entries
             .retain(|e| e.track.is_some() || e.lidar_supported || e.orphan_frames <= grace);
+        self.matched = claimed;
     }
 
     /// Ingests a LiDAR scan.
     pub fn on_lidar(&mut self, scan: &LidarScan) {
         let t = scan.t;
         let gate = self.config.assoc_gate;
-        let mut used = vec![false; scan.objects.len()];
+        let mut used = std::mem::take(&mut self.matched);
+        used.clear();
+        used.resize(scan.objects.len(), false);
 
         for entry in &mut self.entries {
             let nearest = scan
@@ -434,6 +442,7 @@ impl Fusion {
             });
             self.next_id += 1;
         }
+        self.matched = used;
     }
 
     /// The current world model.
@@ -458,10 +467,12 @@ impl Fusion {
             .collect()
     }
 
-    /// Clears all state (between runs).
+    /// Clears all state and restarts the id sequence (between runs), so a
+    /// reused fusion stage behaves exactly like a freshly constructed one.
     pub fn reset(&mut self) {
         self.entries.clear();
         self.candidates.clear();
+        self.next_id = 0;
     }
 }
 

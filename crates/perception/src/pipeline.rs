@@ -40,6 +40,11 @@ pub struct Perception {
     fusion: Fusion,
     last_camera_t: Option<f64>,
     last_detections: Vec<crate::types::Detection>,
+    /// Spare detection buffer: swapped with `last_detections` each frame so
+    /// the published detections and the detect output share two long-lived
+    /// allocations instead of cloning per frame.
+    detections_scratch: Vec<crate::types::Detection>,
+    observations: Vec<CameraObservation>,
     stale_frames: u64,
     telemetry: Telemetry,
 }
@@ -54,6 +59,8 @@ impl Perception {
             fusion: Fusion::new(config.fusion),
             last_camera_t: None,
             last_detections: Vec::new(),
+            detections_scratch: Vec::new(),
+            observations: Vec::new(),
             stale_frames: 0,
             telemetry: Telemetry::disabled(),
         }
@@ -106,7 +113,12 @@ impl Perception {
             });
         self.last_camera_t = Some(frame.t);
 
-        let detections = self.detector.detect(frame, rng);
+        // Detect into the spare buffer, then publish it by swapping with
+        // `last_detections` — the previous frame's buffer becomes the next
+        // spare. Net effect of the original `detections.clone()` without the
+        // per-frame allocation.
+        let mut detections = std::mem::take(&mut self.detections_scratch);
+        self.detector.detect_into(frame, rng, &mut detections);
         self.tracker.step(dt, &detections);
         if self.telemetry.is_enabled() {
             let (seq, count) = (frame.seq, detections.len() as u32);
@@ -120,37 +132,41 @@ impl Perception {
             self.telemetry
                 .emit(frame.t, || TraceEvent::TrackUpdate { confirmed, total });
         }
-        self.last_detections = detections.clone();
+        self.detections_scratch = std::mem::replace(&mut self.last_detections, detections);
 
-        let observations: Vec<CameraObservation> = self
-            .tracker
-            .confirmed()
-            .filter_map(|track| {
-                let bbox = track.bbox();
-                // Boxes clipped at the image border back-project with a
-                // systematic lateral bias (the visible-part center is not
-                // the object center); drop them and let LiDAR sustain the
-                // object while it passes out of the field of view.
-                if bbox.x0 <= 2.0 || bbox.x1 >= self.config.camera.width - 2.0 {
-                    return None;
-                }
-                // Apparent-size ranging with the known class height; the
-                // near field (< 8 m) is dominated by clipping and left to
-                // LiDAR.
-                let class_height = av_simkit::actor::Size::for_kind(track.kind).height;
-                self.config
-                    .camera
-                    .back_project_with_height(&bbox, class_height)
-                    .filter(|rel| rel.x >= 8.0)
-                    .map(|rel| CameraObservation {
-                        track: track.id,
-                        kind: track.kind,
-                        position: ego_position + rel,
-                        provenance: track.provenance,
-                    })
-            })
-            .collect();
-        self.fusion.on_camera(&observations, frame.t);
+        let Self {
+            config,
+            tracker,
+            fusion,
+            observations,
+            ..
+        } = self;
+        observations.clear();
+        observations.extend(tracker.confirmed().filter_map(|track| {
+            let bbox = track.bbox();
+            // Boxes clipped at the image border back-project with a
+            // systematic lateral bias (the visible-part center is not
+            // the object center); drop them and let LiDAR sustain the
+            // object while it passes out of the field of view.
+            if bbox.x0 <= 2.0 || bbox.x1 >= config.camera.width - 2.0 {
+                return None;
+            }
+            // Apparent-size ranging with the known class height; the
+            // near field (< 8 m) is dominated by clipping and left to
+            // LiDAR.
+            let class_height = av_simkit::actor::Size::for_kind(track.kind).height;
+            config
+                .camera
+                .back_project_with_height(&bbox, class_height)
+                .filter(|rel| rel.x >= 8.0)
+                .map(|rel| CameraObservation {
+                    track: track.id,
+                    kind: track.kind,
+                    position: ego_position + rel,
+                    provenance: track.provenance,
+                })
+        }));
+        fusion.on_camera(observations, frame.t);
     }
 
     /// Processes one LiDAR sweep.
@@ -198,13 +214,16 @@ impl Perception {
         &self.tracker
     }
 
-    /// Clears all pipeline state (between runs).
+    /// Clears all pipeline state (between runs). Buffer capacities are
+    /// retained so a reused pipeline stays allocation-free.
     pub fn reset(&mut self) {
         self.detector.reset();
         self.tracker.reset();
         self.fusion.reset();
         self.last_camera_t = None;
         self.last_detections.clear();
+        self.detections_scratch.clear();
+        self.observations.clear();
         self.stale_frames = 0;
     }
 }

@@ -7,7 +7,7 @@
 //! follows the usual tentative → confirmed → coasted → deleted scheme.
 
 use crate::calibration::DetectorCalibration;
-use crate::hungarian;
+use crate::hungarian::HungarianScratch;
 use crate::kalman::{Kalman, KalmanConfig};
 use crate::types::Detection;
 use av_sensing::bbox::BBox;
@@ -144,6 +144,8 @@ pub struct Tracker {
     calibration: DetectorCalibration,
     tracks: Vec<Track>,
     next_id: u64,
+    scratch: HungarianScratch,
+    det_used: Vec<bool>,
 }
 
 impl Tracker {
@@ -155,6 +157,8 @@ impl Tracker {
             calibration,
             tracks: Vec::new(),
             next_id: 0,
+            scratch: HungarianScratch::new(),
+            det_used: Vec::new(),
         }
     }
 
@@ -177,40 +181,49 @@ impl Tracker {
     /// associates `detections`, updates matched tracks, ages unmatched ones,
     /// and spawns tentative tracks for unmatched detections.
     pub fn step(&mut self, dt: f64, detections: &[Detection]) {
-        for track in &mut self.tracks {
+        // Destructure for disjoint field borrows: the cost fill reads
+        // `tracks` while writing into `scratch`, and the update loop below
+        // mutates `tracks` while `assignment` still borrows `scratch`.
+        let Self {
+            config,
+            tracks,
+            scratch,
+            det_used,
+            ..
+        } = self;
+
+        for track in tracks.iter_mut() {
             track.kf.predict(dt);
         }
 
-        // Cost matrix and optimal assignment.
-        let cost: Vec<Vec<f64>> = self
-            .tracks
-            .iter()
-            .map(|t| {
-                let tb = t.bbox();
-                detections
-                    .iter()
-                    .map(|d| association_cost(&tb, t.kind, &d.bbox, d.kind, &self.config))
-                    .collect()
-            })
-            .collect();
-        let assignment = hungarian::solve(&cost);
+        // Cost matrix (reused flat buffer) and optimal assignment.
+        let m = detections.len();
+        let cost = scratch.begin(tracks.len(), m);
+        for (ti, t) in tracks.iter().enumerate() {
+            let tb = t.bbox();
+            for (di, d) in detections.iter().enumerate() {
+                cost[ti * m + di] = association_cost(&tb, t.kind, &d.bbox, d.kind, config);
+            }
+        }
+        let assignment = scratch.solve();
 
-        let mut det_used = vec![false; detections.len()];
+        det_used.clear();
+        det_used.resize(detections.len(), false);
         for (ti, a) in assignment.iter().enumerate() {
-            let track = &mut self.tracks[ti];
+            let track = &mut tracks[ti];
             match a {
                 Some(di) => {
                     det_used[*di] = true;
                     let det = &detections[*di];
                     let (cx, cy) = det.bbox.center();
                     track.kf.update(cx, cy);
-                    let alpha = self.config.size_alpha;
+                    let alpha = config.size_alpha;
                     track.width += alpha * (det.bbox.width() - track.width);
                     track.height += alpha * (det.bbox.height() - track.height);
                     track.hits += 1;
                     track.misses = 0;
                     track.provenance = det.provenance;
-                    track.state = if track.hits >= self.config.confirm_hits {
+                    track.state = if track.hits >= config.confirm_hits {
                         TrackState::Confirmed
                     } else {
                         TrackState::Tentative
@@ -227,7 +240,7 @@ impl Tracker {
         self.tracks.retain(|t| t.misses <= self.config.max_misses);
 
         for (di, det) in detections.iter().enumerate() {
-            if det_used[di] {
+            if self.det_used[di] {
                 continue;
             }
             let (cx, cy) = det.bbox.center();
@@ -252,9 +265,11 @@ impl Tracker {
         }
     }
 
-    /// Removes all tracks (between runs).
+    /// Removes all tracks and restarts the id sequence (between runs), so a
+    /// reused tracker behaves exactly like a freshly constructed one.
     pub fn reset(&mut self) {
         self.tracks.clear();
+        self.next_id = 0;
     }
 }
 

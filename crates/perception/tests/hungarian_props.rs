@@ -1,0 +1,177 @@
+//! Brute-force cross-check of the Hungarian solver.
+//!
+//! For every matrix up to 4×4 (with random `INFINITY` entries), exhaustive
+//! enumeration of all partial assignments over the finite pairs gives the
+//! ground truth: the solver must return a valid matching of maximum
+//! cardinality and, at that cardinality, minimum total cost. This pins the
+//! solver's contract — in particular that `FORBIDDEN`-sentinel arithmetic
+//! never assigns an infeasible pair and never degrades the finite matching.
+
+use av_perception::hungarian::{assignment_cost, solve, HungarianScratch};
+use proptest::prelude::*;
+
+/// Exhaustively enumerates every partial assignment over the finite-cost
+/// pairs and returns `(max cardinality, min cost at that cardinality)`.
+fn brute_force(cost: &[Vec<f64>]) -> (usize, f64) {
+    fn rec(
+        cost: &[Vec<f64>],
+        row: usize,
+        used: &mut [bool],
+        card: usize,
+        sum: f64,
+        best: &mut (usize, f64),
+    ) {
+        if row == cost.len() {
+            if card > best.0 || (card == best.0 && sum < best.1) {
+                *best = (card, sum);
+            }
+            return;
+        }
+        // Leave this row unassigned…
+        rec(cost, row + 1, used, card, sum, best);
+        // …or assign it any free finite column.
+        for j in 0..used.len() {
+            if !used[j] && cost[row][j].is_finite() {
+                used[j] = true;
+                rec(cost, row + 1, used, card + 1, sum + cost[row][j], best);
+                used[j] = false;
+            }
+        }
+    }
+    let m = cost.first().map_or(0, Vec::len);
+    let mut best = (0usize, f64::INFINITY);
+    let mut used = vec![false; m];
+    rec(cost, 0, &mut used, 0, 0.0, &mut best);
+    if best.0 == 0 {
+        best.1 = 0.0;
+    }
+    best
+}
+
+/// Builds an `n × m` matrix from a flat pool of (cost, tag) draws; a tag in
+/// `{0, 1}` (1-in-3 chance each per cell) marks the cell `INFINITY`.
+fn matrix(n: usize, m: usize, pool: &[(f64, u8)]) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..m)
+                .map(|j| {
+                    let (c, tag) = pool[i * m + j];
+                    if tag % 3 == 0 {
+                        f64::INFINITY
+                    } else {
+                        c
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Asserts the full solver contract for one matrix against brute force.
+fn check(cost: &[Vec<f64>]) -> Result<(), TestCaseError> {
+    let assignment = solve(cost);
+    prop_assert_eq!(assignment.len(), cost.len());
+
+    // Validity: assigned pairs are finite, columns used at most once.
+    let mut cols: Vec<usize> = assignment.iter().flatten().copied().collect();
+    for (i, a) in assignment.iter().enumerate() {
+        if let Some(j) = a {
+            prop_assert!(
+                cost[i][*j].is_finite(),
+                "row {} assigned infeasible column {}",
+                i,
+                j
+            );
+        }
+    }
+    cols.sort_unstable();
+    cols.dedup();
+    let cardinality = assignment.iter().flatten().count();
+    prop_assert_eq!(cols.len(), cardinality, "column used twice");
+
+    // Optimality: maximum cardinality, then minimum cost, vs. brute force.
+    let (best_card, best_cost) = brute_force(cost);
+    prop_assert_eq!(cardinality, best_card, "not maximum cardinality");
+    // Tolerance: the solver's sentinel arithmetic (FORBIDDEN = 1e9) can
+    // round path comparisons at the ~1e-7 scale, so a near-tie may resolve
+    // either way; anything coarser is a real bug.
+    let total = assignment_cost(cost, &assignment);
+    prop_assert!(
+        (total - best_cost).abs() <= 1e-6 * best_cost.abs().max(1.0),
+        "suboptimal: got {}, brute force {}",
+        total,
+        best_cost
+    );
+
+    // Scratch API equivalence with the allocating wrapper.
+    let mut scratch = HungarianScratch::new();
+    if let Some(m) = cost.first().map(Vec::len) {
+        let buf = scratch.begin(cost.len(), m);
+        for (i, row) in cost.iter().enumerate() {
+            buf[i * m..(i + 1) * m].copy_from_slice(row);
+        }
+        prop_assert_eq!(scratch.solve(), assignment.as_slice());
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn solver_matches_exhaustive_enumeration(
+        n in 1usize..=4,
+        m in 1usize..=4,
+        pool in prop::collection::vec((0.0..10.0f64, any::<u8>()), 16..=16)
+    ) {
+        check(&matrix(n, m, &pool))?;
+    }
+
+    /// Dense-infinity regime: most cells forbidden, so all-`INFINITY` rows
+    /// and forced-unassigned rows occur constantly in both the direct and
+    /// the transposed (rows > cols) branches.
+    #[test]
+    fn solver_matches_enumeration_under_dense_infinities(
+        n in 1usize..=4,
+        m in 1usize..=4,
+        pool in prop::collection::vec((0.0..10.0f64, any::<bool>()), 16..=16)
+    ) {
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..m).map(|j| {
+                let (c, fin) = pool[i * m + j];
+                if fin { c } else { f64::INFINITY }
+            }).collect())
+            .collect();
+        check(&cost)?;
+    }
+}
+
+/// Deterministic wide sweep beyond proptest's per-test case budget: every
+/// shape up to 4×4 under three infinity densities, seeded reproducibly.
+#[test]
+fn seeded_sweep_matches_enumeration() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x00A5_5167);
+    for n in 1..=4usize {
+        for m in 1..=4usize {
+            for &inf_p in &[0.0, 0.3, 0.8] {
+                for _ in 0..60 {
+                    let cost: Vec<Vec<f64>> = (0..n)
+                        .map(|_| {
+                            (0..m)
+                                .map(|_| {
+                                    if rng.random_range(0.0..1.0) < inf_p {
+                                        f64::INFINITY
+                                    } else {
+                                        rng.random_range(0.0..10.0)
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    check(&cost).unwrap_or_else(|e| {
+                        panic!("{n}x{m} inf_p={inf_p}: {e:?}\nmatrix: {cost:?}")
+                    });
+                }
+            }
+        }
+    }
+}

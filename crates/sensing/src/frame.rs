@@ -31,7 +31,7 @@ pub struct TruthBox {
 
 /// One camera frame: timestamp, sequence number, ground-truth boxes, and an
 /// optional rendered raster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct CameraFrame {
     /// Monotone frame sequence number.
     pub seq: u64,
@@ -60,20 +60,34 @@ pub fn class_luminance(kind: ActorKind) -> f32 {
 /// `with_raster` additionally renders the luminance raster (slower; used by
 /// the pixel-space attack demonstration and the examples).
 pub fn capture(camera: &Camera, world: &World, seq: u64, with_raster: bool) -> CameraFrame {
+    let mut frame = CameraFrame::default();
+    capture_into(camera, world, seq, with_raster, &mut frame);
+    frame
+}
+
+/// Like [`capture`] but reuses `frame`'s buffers (the truth `Vec` and, when
+/// `with_raster`, the raster allocation), so the 15 Hz loop performs no
+/// steady-state allocation. Produces a frame identical to [`capture`].
+pub fn capture_into(
+    camera: &Camera,
+    world: &World,
+    seq: u64,
+    with_raster: bool,
+    frame: &mut CameraFrame,
+) {
     let ego = world.ego();
-    let mut truth: Vec<TruthBox> = world
-        .others()
-        .filter_map(|actor| {
-            camera.project(ego, actor).map(|(bbox, depth)| TruthBox {
-                actor: actor.id,
-                kind: actor.kind,
-                bbox,
-                depth,
-                occlusion: 0.0,
-                suppressed: false,
-            })
+    let CameraFrame { truth, raster, .. } = frame;
+    truth.clear();
+    truth.extend(world.others().filter_map(|actor| {
+        camera.project(ego, actor).map(|(bbox, depth)| TruthBox {
+            actor: actor.id,
+            kind: actor.kind,
+            bbox,
+            depth,
+            occlusion: 0.0,
+            suppressed: false,
         })
-        .collect();
+    }));
     truth.sort_by(|a, b| a.depth.total_cmp(&b.depth));
 
     // Occlusion: fraction of each box covered by any single nearer box
@@ -90,19 +104,28 @@ pub fn capture(camera: &Camera, world: &World, seq: u64, with_raster: bool) -> C
         truth[i].occlusion = occ;
     }
 
-    let raster = with_raster.then(|| render(camera, &truth));
-    CameraFrame {
-        seq,
-        t: world.time(),
-        truth,
-        raster,
+    if with_raster {
+        let target = raster.get_or_insert_with(|| Raster::new(0, 0, 0.0));
+        render_into(camera, truth, target);
+    } else {
+        *raster = None;
     }
+    frame.seq = seq;
+    frame.t = world.time();
 }
 
 /// Renders the ground-truth boxes into a fresh raster, far-to-near so nearer
 /// objects paint over farther ones.
 pub fn render(camera: &Camera, truth: &[TruthBox]) -> Raster {
-    let mut raster = Raster::new(
+    let mut raster = Raster::new(0, 0, 0.0);
+    render_into(camera, truth, &mut raster);
+    raster
+}
+
+/// Like [`render`] but reuses `raster`'s allocation (re-dimensioned and
+/// cleared to the background first).
+pub fn render_into(camera: &Camera, truth: &[TruthBox], raster: &mut Raster) {
+    raster.reset(
         (camera.width / RASTER_SCALE) as usize,
         (camera.height / RASTER_SCALE) as usize,
         0.1,
@@ -110,7 +133,6 @@ pub fn render(camera: &Camera, truth: &[TruthBox]) -> Raster {
     for tb in truth.iter().rev() {
         raster.fill_camera_rect(&tb.bbox, class_luminance(tb.kind));
     }
-    raster
 }
 
 impl CameraFrame {

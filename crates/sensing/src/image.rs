@@ -32,6 +32,16 @@ impl Raster {
         }
     }
 
+    /// Re-dimensions the raster and fills it with `background`, reusing the
+    /// existing allocation — the 15 Hz capture loop's alternative to
+    /// [`Raster::new`].
+    pub fn reset(&mut self, width: usize, height: usize, background: f32) {
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.resize(width * height, background);
+    }
+
     /// Raster width in cells.
     pub fn width(&self) -> usize {
         self.width
@@ -144,11 +154,16 @@ impl Raster {
         }
         let width = payload.get_u32_le() as usize;
         let height = payload.get_u32_le() as usize;
-        if payload.remaining() != width * height * 4 {
+        // A hostile header can claim dimensions whose product overflows
+        // `usize` (panics in debug builds) or is absurdly large; validate
+        // the size arithmetic before trusting it or allocating anything.
+        let cells = width.checked_mul(height)?;
+        let expected_bytes = cells.checked_mul(4)?;
+        if payload.remaining() != expected_bytes {
             return None;
         }
-        let mut data = Vec::with_capacity(width * height);
-        for _ in 0..width * height {
+        let mut data = Vec::with_capacity(cells);
+        for _ in 0..cells {
             data.push(payload.get_f32_le());
         }
         Some(Raster {
@@ -217,5 +232,31 @@ mod tests {
         let mut r = Raster::new(2, 2, 0.0).to_bytes().to_vec();
         r.pop(); // truncate
         assert!(Raster::from_bytes(Bytes::from(r)).is_none());
+    }
+
+    #[test]
+    fn from_bytes_rejects_overflowing_header() {
+        // width * height * 4 overflows usize: must return None, not panic
+        // (previously a debug-build multiply-overflow panic).
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(0); // some trailing payload
+        assert!(Raster::from_bytes(buf.freeze()).is_none());
+        // Huge-but-non-overflowing dims with a tiny payload are rejected too.
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(1 << 16);
+        buf.put_u32_le(1 << 16);
+        assert!(Raster::from_bytes(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn reset_matches_new() {
+        let mut r = Raster::new(8, 6, 0.3);
+        r.set(3, 2, 0.77);
+        r.reset(4, 5, 0.2);
+        assert_eq!(r, Raster::new(4, 5, 0.2));
+        r.reset(10, 2, 0.9);
+        assert_eq!(r, Raster::new(10, 2, 0.9));
     }
 }

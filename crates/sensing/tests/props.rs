@@ -102,6 +102,50 @@ proptest! {
         prop_assert_eq!(r, restored);
     }
 
+    /// The tap's malformed-payload contract: `from_bytes` must reject (not
+    /// panic on) arbitrary garbage, including truncated headers.
+    #[test]
+    fn raster_from_bytes_never_panics_on_arbitrary_bytes(
+        payload in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let _ = Raster::from_bytes(bytes::Bytes::from(payload));
+    }
+
+    /// Hostile well-formed headers: any claimed dimensions (including those
+    /// whose `w * h * 4` overflows) with a body of the wrong length must be
+    /// rejected without panicking — previously a debug-build multiply
+    /// overflow.
+    #[test]
+    fn raster_from_bytes_never_panics_on_hostile_headers(
+        w in any::<u32>(),
+        h in any::<u32>(),
+        body in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        use bytes::BufMut;
+        let mut buf = bytes::BytesMut::with_capacity(8 + body.len());
+        buf.put_u32_le(w);
+        buf.put_u32_le(h);
+        buf.put_slice(&body);
+        if let Some(r) = Raster::from_bytes(buf.freeze()) {
+            // Only accepted when the body length matches the header exactly.
+            prop_assert_eq!(r.width(), w as usize);
+            prop_assert_eq!(r.height(), h as usize);
+            prop_assert_eq!(body.len(), (w as usize) * (h as usize) * 4);
+        }
+    }
+
+    /// `reset` is equivalent to constructing a fresh raster.
+    #[test]
+    fn raster_reset_matches_new(
+        w0 in 0usize..48, h0 in 0usize..48,
+        w1 in 0usize..48, h1 in 0usize..48,
+        v in 0.0..1.0f32
+    ) {
+        let mut r = Raster::new(w0, h0, 1.0 - v);
+        r.reset(w1, h1, v);
+        prop_assert_eq!(r, Raster::new(w1, h1, v));
+    }
+
     #[test]
     fn raster_l1_distance_is_a_metric(w in 1usize..32, h in 1usize..32, v in 0.0..1.0f32) {
         let a = Raster::new(w, h, v);

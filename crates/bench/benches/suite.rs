@@ -1,0 +1,114 @@
+//! Suite-throughput benchmarks: campaign dispatch, oracle-cache lookups,
+//! and minibatch MLP training — the three levers behind suite wall-clock.
+
+use av_experiments::campaign::{default_threads, run_campaign_dispatch, DispatchMode};
+use av_experiments::oracle_cache::{cache_key, OracleCache};
+use av_experiments::prelude::*;
+use av_experiments::train_sh::{train_oracle_on, SweepConfig};
+use av_neural::mlp::Mlp;
+use av_neural::train::{train, Dataset, TrainConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_campaign_dispatch(c: &mut Criterion) {
+    let campaign = Campaign::new(
+        "bench-dispatch",
+        ScenarioId::Ds1,
+        AttackerSpec::None,
+        8,
+        900,
+    );
+    let mut group = c.benchmark_group("campaign_dispatch");
+    group.sample_size(10);
+    let cases = [
+        ("stealing_1_thread", 1, DispatchMode::WorkStealing),
+        (
+            "stealing_default_threads",
+            default_threads(),
+            DispatchMode::WorkStealing,
+        ),
+        (
+            "chunking_default_threads",
+            default_threads(),
+            DispatchMode::StaticChunks,
+        ),
+    ];
+    for (name, threads, mode) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &threads, |b, &t| {
+            b.iter(|| black_box(run_campaign_dispatch(black_box(&campaign), t, mode).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn synthetic_dataset(n: usize) -> Dataset {
+    Dataset::from_rows((0..n).map(|i| {
+        let delta = 5.0 + (i % 20) as f64 * 2.0;
+        let k = (i % 9) as f64 * 10.0;
+        (vec![delta, -3.0, 0.5, -0.1, k], vec![delta - 0.1 * k])
+    }))
+}
+
+/// One training epoch of the paper network, per-example vs minibatch.
+fn bench_mlp_epoch(c: &mut Criterion) {
+    let data = synthetic_dataset(256);
+    let mut group = c.benchmark_group("mlp_train_epoch");
+    group.sample_size(10);
+    for batch in [1usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("batch{batch}")),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(0x0011_ACED);
+                    let mut net = Mlp::paper_architecture(5, &mut rng);
+                    train(
+                        &mut net,
+                        &data,
+                        &TrainConfig {
+                            epochs: 1,
+                            batch_size: batch,
+                            learning_rate: 1e-3,
+                        },
+                        &mut rng,
+                    );
+                    black_box(net)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A warm oracle-cache lookup (read + checked decode of a full snapshot) vs
+/// what it replaces: training the oracle from the already-collected dataset.
+fn bench_oracle_cache(c: &mut Criterion) {
+    let data = synthetic_dataset(128);
+    let oracle = train_oracle_on(&data).expect("synthetic dataset trains");
+    let dir = std::env::temp_dir().join(format!("oracle-cache-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = OracleCache::at(&dir);
+    let key = cache_key(ScenarioId::Ds1, AttackVector::MoveOut, &SweepConfig::tiny());
+    cache.store(key, &oracle);
+
+    let mut group = c.benchmark_group("oracle_cache");
+    group.bench_function("warm_lookup", |b| {
+        b.iter(|| black_box(cache.lookup(black_box(key)).expect("warm hit")))
+    });
+    group.sample_size(10);
+    group.bench_function("train_from_dataset", |b| {
+        b.iter(|| black_box(train_oracle_on(black_box(&data)).expect("trains")))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_campaign_dispatch,
+    bench_mlp_epoch,
+    bench_oracle_cache
+);
+criterion_main!(benches);

@@ -76,6 +76,11 @@ impl NnOracle {
     pub fn network(&self) -> &Mlp {
         &self.net
     }
+
+    /// The input normalizer (for diagnostics and snapshotting).
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
 }
 
 impl SafetyOracle for NnOracle {

@@ -10,7 +10,7 @@
 
 use av_experiments::prelude::*;
 use av_experiments::stats::median;
-use av_experiments::suite::{oracle_for, Args};
+use av_experiments::suite::{oracle_for, report_cache, Args};
 use robotack::safety_hijacker::{
     AttackFeatures, KinematicOracle, SafetyHijacker, SafetyHijackerConfig,
 };
@@ -82,7 +82,14 @@ fn main() {
 
     println!("\n=== Ablation 3: safety-hijacker launch threshold γ ===");
     println!("(DS-2 Move_Out with the trained NN oracle)\n");
-    let (oracle, desc) = oracle_for(ScenarioId::Ds2, AttackVector::MoveOut, &args.sweep());
+    let cache = args.oracle_cache();
+    let (oracle, desc) = oracle_for(
+        ScenarioId::Ds2,
+        AttackVector::MoveOut,
+        &args.sweep(),
+        &cache,
+    );
+    report_cache(&cache);
     println!("oracle: {desc}\n");
     println!("γ (m) | launched | EB rate | accident rate");
     for gamma in [2.0, 4.0, 8.0] {

@@ -13,12 +13,13 @@
 
 use av_defense::ids::AlarmKind;
 use av_experiments::prelude::*;
-use av_experiments::suite::{oracle_for, Args, ARMS};
+use av_experiments::suite::{oracle_for, report_cache, Args, ARMS};
 
 fn main() {
     let args = Args::parse();
     let runs = args.runs.min(60);
     let sweep = args.sweep();
+    let cache = args.oracle_cache();
 
     println!("=== IDS false positives (golden runs, {runs} runs/scenario) ===\n");
     println!("scenario | runs w/ any alarm | innovation | streak | cross-sensor | kinematics");
@@ -52,7 +53,7 @@ fn main() {
     println!("\n=== IDS vs RoboTack ({runs} runs/arm) ===\n");
     println!("arm                  | launched | flagged during attack | by monitor");
     for (scenario, vector, name) in ARMS {
-        let (oracle, _) = oracle_for(scenario, vector, &sweep);
+        let (oracle, _) = oracle_for(scenario, vector, &sweep, &cache);
         let mut launched = 0u64;
         let mut flagged = 0u64;
         let mut kinds: std::collections::HashMap<AlarmKind, u64> = Default::default();
@@ -89,6 +90,8 @@ fn main() {
             kind_list.join(", ")
         );
     }
+
+    report_cache(&cache);
 
     println!("\n=== IDS vs a non-stealthy attacker ===\n");
     println!(

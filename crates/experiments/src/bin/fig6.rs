@@ -2,13 +2,14 @@
 //! without the safety hijacker, for DS-1/DS-2 × Disappear/Move_Out.
 
 use av_experiments::report::render_fig6_panel;
-use av_experiments::suite::{oracle_for, run_nosh_campaign, run_r_campaign, Args};
+use av_experiments::suite::{oracle_for, report_cache, run_nosh_campaign, run_r_campaign, Args};
 use av_simkit::scenario::ScenarioId;
 use robotack::vector::AttackVector;
 
 fn main() {
     let args = Args::parse();
     let sweep = args.sweep();
+    let cache = args.oracle_cache();
     let panels = [
         (
             ScenarioId::Ds1,
@@ -38,7 +39,7 @@ fn main() {
     println!("Fig. 6: impact of attack timing on min safety potential δ (m)\n");
     for (scenario, vector, label, paper) in panels {
         eprintln!("training oracle for {label} ...");
-        let (oracle, desc) = oracle_for(scenario, vector, &sweep);
+        let (oracle, desc) = oracle_for(scenario, vector, &sweep, &cache);
         eprintln!("  {desc}");
         let with_sh = run_r_campaign("R", scenario, vector, oracle, args.runs, args.seed);
         let without_sh = run_nosh_campaign("R w/o SH", scenario, vector, args.runs, args.seed + 77);
@@ -55,4 +56,5 @@ fn main() {
             if cr_w > 0.0 { cr_n / cr_w } else { f64::NAN },
         );
     }
+    report_cache(&cache);
 }

@@ -2,16 +2,17 @@
 //! in/out by Ω, on vehicles (DS-1/DS-3) and pedestrians (DS-2/DS-4).
 
 use av_experiments::report::render_fig7_panel;
-use av_experiments::suite::{oracle_for, run_r_campaign, Args};
+use av_experiments::suite::{oracle_for, report_cache, run_r_campaign, Args};
 use av_simkit::scenario::ScenarioId;
 use robotack::vector::AttackVector;
 
 fn main() {
     let args = Args::parse();
     let sweep = args.sweep();
+    let cache = args.oracle_cache();
     let run = |scenario, vector, name: &str| {
         eprintln!("campaign {name} ...");
-        let (oracle, _) = oracle_for(scenario, vector, &sweep);
+        let (oracle, _) = oracle_for(scenario, vector, &sweep, &cache);
         run_r_campaign(name, scenario, vector, oracle, args.runs, args.seed).k_primes()
     };
     let veh = [
@@ -57,4 +58,5 @@ fn main() {
         "{}",
         render_fig7_panel("(b) on pedestrians (DS-2, DS-4)", &ped)
     );
+    report_cache(&cache);
 }

@@ -4,19 +4,21 @@
 
 use av_experiments::prelude::*;
 use av_experiments::report::{render_fig8a, render_fig8b};
-use av_experiments::suite::{oracle_for, run_r_campaign, Args};
+use av_experiments::suite::{oracle_for, report_cache, run_r_campaign, Args};
 use robotack::safety_hijacker::SafetyOracle;
 
 fn main() {
     let args = Args::parse();
     let sweep = args.sweep();
+    let cache = args.oracle_cache();
 
     // Panel (a): per-run |predicted δ − realized min δ| vs success.
     eprintln!("training DS-1 / DS-2 Move_Out oracles ...");
-    let (oracle_ds1, desc1) = oracle_for(ScenarioId::Ds1, AttackVector::MoveOut, &sweep);
+    let (oracle_ds1, desc1) = oracle_for(ScenarioId::Ds1, AttackVector::MoveOut, &sweep, &cache);
     eprintln!("  DS-1: {desc1}");
-    let (oracle_ds2, desc2) = oracle_for(ScenarioId::Ds2, AttackVector::MoveOut, &sweep);
+    let (oracle_ds2, desc2) = oracle_for(ScenarioId::Ds2, AttackVector::MoveOut, &sweep, &cache);
     eprintln!("  DS-2: {desc2}");
+    report_cache(&cache);
     let mut samples: Vec<(f64, bool)> = Vec::new();
     for (scenario, oracle) in [
         (ScenarioId::Ds1, oracle_ds1.clone()),

@@ -2,11 +2,14 @@
 //! the DS-5 random baseline, with the paper's reference numbers inline.
 
 use av_experiments::report::{render_table2, Table2Reference};
-use av_experiments::suite::{oracle_for, run_baseline_campaign, run_r_campaign, Args, ARMS};
+use av_experiments::suite::{
+    oracle_for, report_cache, run_baseline_campaign, run_r_campaign, Args, ARMS,
+};
 
 fn main() {
     let args = Args::parse();
     let sweep = args.sweep();
+    let cache = args.oracle_cache();
     eprintln!("table2: {} runs/campaign (quick={})", args.runs, args.quick);
 
     let references = [
@@ -45,7 +48,7 @@ fn main() {
     let mut rows = Vec::new();
     for ((scenario, vector, name), reference) in ARMS.iter().zip(references) {
         eprintln!("training oracle for {name} ...");
-        let (oracle, desc) = oracle_for(*scenario, *vector, &sweep);
+        let (oracle, desc) = oracle_for(*scenario, *vector, &sweep, &cache);
         eprintln!("  {desc}");
         eprintln!("running campaign {name} ...");
         let result = run_r_campaign(name, *scenario, *vector, oracle, args.runs, args.seed);
@@ -53,6 +56,7 @@ fn main() {
         rows.push((result, reference, crashes_apply));
     }
 
+    report_cache(&cache);
     eprintln!("running DS-5-Baseline-Random ...");
     let baseline = run_baseline_campaign(args.runs.max(24), args.seed + 5000);
 

@@ -5,8 +5,9 @@ use crate::session::{SessionWorker, SimSession};
 use crate::stats;
 use av_faults::FaultPlan;
 use av_simkit::scenario::ScenarioId;
-use av_telemetry::{MetricsRegistry, MetricsSnapshot, Telemetry};
+use av_telemetry::{MetricsRegistry, MetricsSnapshot, Telemetry, TraceEvent};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Why a campaign could not be executed.
@@ -169,6 +170,20 @@ impl CampaignResult {
     }
 }
 
+/// How run indices are handed to campaign workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Atomic-counter work stealing: every worker claims the next unclaimed
+    /// run index, so a straggling run delays only its own worker while the
+    /// rest drain the queue. The default.
+    #[default]
+    WorkStealing,
+    /// Historical static partition: the seed range is split into one
+    /// contiguous chunk per worker up front. One long run stalls its whole
+    /// chunk. Kept as a comparison shim for benchmarks and regression tests.
+    StaticChunks,
+}
+
 /// Executes a campaign, parallelized across worker threads.
 pub fn run_campaign(campaign: &Campaign) -> CampaignResult {
     run_campaign_with_threads(campaign, default_threads())
@@ -183,7 +198,8 @@ pub fn default_threads() -> usize {
         .min(16)
 }
 
-/// Executes a campaign on exactly `threads` workers (1 = sequential).
+/// Executes a campaign on exactly `threads` workers (1 = sequential) under
+/// work-stealing dispatch.
 ///
 /// # Errors
 ///
@@ -193,12 +209,25 @@ pub fn run_campaign_with_threads(
     campaign: &Campaign,
     threads: usize,
 ) -> Result<CampaignResult, CampaignError> {
+    run_campaign_dispatch(campaign, threads, DispatchMode::WorkStealing)
+}
+
+/// Executes a campaign on exactly `threads` workers with an explicit
+/// [`DispatchMode`]. Outcomes land in seed order and are bit-identical for
+/// every (threads, mode) combination.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::ZeroThreads`] for `threads == 0`.
+pub fn run_campaign_dispatch(
+    campaign: &Campaign,
+    threads: usize,
+    mode: DispatchMode,
+) -> Result<CampaignResult, CampaignError> {
     if threads == 0 {
         return Err(CampaignError::ZeroThreads);
     }
-    let indices: Vec<u64> = (0..campaign.runs).collect();
-    let mut outcomes: Vec<Option<RunOutcome>> = Vec::new();
-    outcomes.resize_with(indices.len(), || None);
+    let runs = usize::try_from(campaign.runs).expect("run count fits usize");
     // One registry per worker: workers record lock-free into their own and
     // the merge at the end is associative + commutative, so the merged
     // deterministic counters are identical for any thread count.
@@ -215,33 +244,83 @@ pub fn run_campaign_with_threads(
             .map_or_else(Telemetry::disabled, |r| Telemetry::with_registry(r.clone()))
     };
 
-    // Each worker keeps one long-lived SessionWorker (ADS + frame buffers)
-    // and resets it between runs instead of rebuilding — the warmed scratch
-    // allocations survive the whole chunk of seeds.
-    if threads == 1 {
+    // Each worker keeps one long-lived SessionWorker (ADS + frame + scheduler
+    // buffers) and resets it between runs instead of rebuilding — the warmed
+    // scratch allocations survive every run the worker claims.
+    let mut outcomes: Vec<Option<RunOutcome>> = Vec::new();
+    outcomes.resize_with(runs, || None);
+    // Spawning more workers than runs would only create idle threads (and,
+    // under static chunking, the old `chunk.max(1)` misassigned seeds when
+    // threads > runs); cap the worker count at the queue length.
+    let workers = threads.min(runs);
+    if workers <= 1 {
         let tele = worker_telemetry(0);
         let mut session_worker = SessionWorker::new();
-        for (slot, &i) in outcomes.iter_mut().zip(&indices) {
-            *slot = Some(run_one(campaign, i, &tele, &mut session_worker));
+        for (i, slot) in outcomes.iter_mut().enumerate() {
+            tele.emit(0.0, || TraceEvent::CampaignRunDispatched {
+                index: i as u64,
+            });
+            *slot = Some(run_one(campaign, i as u64, &tele, &mut session_worker));
         }
     } else {
-        let chunk = indices.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (worker, (slice, idx)) in outcomes
-                .chunks_mut(chunk.max(1))
-                .zip(indices.chunks(chunk.max(1)))
-                .enumerate()
-            {
-                let tele = worker_telemetry(worker);
-                scope.spawn(move |_| {
-                    let mut session_worker = SessionWorker::new();
-                    for (slot, &i) in slice.iter_mut().zip(idx) {
-                        *slot = Some(run_one(campaign, i, &tele, &mut session_worker));
+        match mode {
+            DispatchMode::WorkStealing => {
+                let next = AtomicU64::new(0);
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|worker| {
+                            let tele = worker_telemetry(worker);
+                            let next = &next;
+                            scope.spawn(move |_| {
+                                let mut session_worker = SessionWorker::new();
+                                let mut claimed: Vec<(usize, RunOutcome)> = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    let Ok(i) = usize::try_from(i) else { break };
+                                    if i >= runs {
+                                        break;
+                                    }
+                                    tele.emit(0.0, || TraceEvent::CampaignRunDispatched {
+                                        index: i as u64,
+                                    });
+                                    let outcome =
+                                        run_one(campaign, i as u64, &tele, &mut session_worker);
+                                    claimed.push((i, outcome));
+                                }
+                                claimed
+                            })
+                        })
+                        .collect();
+                    // Scatter each worker's claims back into seed order; the
+                    // claim set is a partition of 0..runs, so every slot
+                    // fills exactly once.
+                    for handle in handles {
+                        for (i, outcome) in handle.join().expect("campaign worker panicked") {
+                            outcomes[i] = Some(outcome);
+                        }
                     }
-                });
+                })
+                .expect("campaign scope panicked");
             }
-        })
-        .expect("campaign worker panicked");
+            DispatchMode::StaticChunks => {
+                let chunk = runs.div_ceil(workers);
+                crossbeam::thread::scope(|scope| {
+                    for (worker, slice) in outcomes.chunks_mut(chunk).enumerate() {
+                        let tele = worker_telemetry(worker);
+                        let start = worker * chunk;
+                        scope.spawn(move |_| {
+                            let mut session_worker = SessionWorker::new();
+                            for (offset, slot) in slice.iter_mut().enumerate() {
+                                let i = (start + offset) as u64;
+                                tele.emit(0.0, || TraceEvent::CampaignRunDispatched { index: i });
+                                *slot = Some(run_one(campaign, i, &tele, &mut session_worker));
+                            }
+                        });
+                    }
+                })
+                .expect("campaign worker panicked");
+            }
+        }
     }
 
     let metrics = registries.split_first().map(|(first, rest)| {
@@ -302,10 +381,13 @@ mod tests {
         let campaign = Campaign::new("test-golden", ScenarioId::Ds3, AttackerSpec::None, 4, 100);
         let seq = run_campaign_with_threads(&campaign, 1).unwrap();
         // Thread count must never affect results — including more workers
-        // than runs (empty chunks) and odd counts (uneven chunks).
-        for threads in [2, 3, 4, 8, 16] {
+        // than runs and odd counts (uneven claim distribution).
+        for threads in [1, 2, 3, 7, default_threads(), 16] {
             let par = run_campaign_with_threads(&campaign, threads).unwrap();
-            assert_same_outcomes(&seq, &par, &format!("{threads} threads"));
+            assert_same_outcomes(&seq, &par, &format!("{threads} threads, stealing"));
+            let chunked =
+                run_campaign_dispatch(&campaign, threads, DispatchMode::StaticChunks).unwrap();
+            assert_same_outcomes(&seq, &chunked, &format!("{threads} threads, chunked"));
         }
     }
 

@@ -16,6 +16,9 @@
 //! - [`train_sh`]: the safety-hijacker training pipeline (§IV-B) — δ_inject/k
 //!   sweeps to collect the ADS-response dataset, then Adam training of the
 //!   per-vector NN oracle.
+//! - [`oracle_cache`]: a content-addressed, persisted cache of trained
+//!   oracles so the suite binaries train each 〈scenario, vector〉 oracle
+//!   once instead of once per figure.
 //! - [`stats`]: distribution fitting (exponential / normal, as in Fig. 5),
 //!   percentiles and box-plot summaries.
 //! - [`report`]: plain-text renderers that print each table/figure in the
@@ -29,6 +32,7 @@
 
 pub mod campaign;
 pub mod characterize;
+pub mod oracle_cache;
 pub mod prelude;
 pub mod report;
 pub mod runner;
@@ -38,6 +42,7 @@ pub mod suite;
 pub mod train_sh;
 
 pub use campaign::{Campaign, CampaignError, CampaignResult};
+pub use oracle_cache::{cache_key, OracleCache};
 pub use runner::{AttackerSpec, RunConfig, RunOutcome};
 pub use session::{SessionWorker, SimSession, SimSessionBuilder};
 pub use train_sh::{train_oracle, TrainedOracle};

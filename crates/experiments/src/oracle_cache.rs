@@ -1,0 +1,458 @@
+//! Content-addressed cache of trained safety-hijacker oracles.
+//!
+//! Training one oracle means running a full δ_inject × k × seed sweep
+//! (~715 simulations) and 300 Adam epochs — and `table2`, `fig6`–`fig8` and
+//! `ablations` each retrain the *same* 〈scenario, vector〉 oracles from
+//! scratch. This module makes that work content-addressed: the cache key is
+//! a digest of everything that determines the trained network bit-for-bit
+//! (scenario, vector, the full [`SweepConfig`], and a code-version constant
+//! bumped whenever collection/training semantics change), so a warm cache
+//! returns the exact oracle a fresh training run would produce.
+//!
+//! Snapshots live one-per-file under a cache directory (default
+//! `target/oracle-cache/`), written atomically via tmp-file + rename. The
+//! decoder treats every file as hostile: lengths are bounds-checked against
+//! the remaining bytes *before* any allocation, and any mismatch — magic,
+//! version, key echo, shape, parameter count — is a miss, never a panic.
+
+use crate::train_sh::{train_oracle, SweepConfig, TrainedOracle};
+use av_neural::mlp::Mlp;
+use av_neural::train::Normalizer;
+use av_simkit::scenario::ScenarioId;
+use av_telemetry::{Telemetry, TraceEvent};
+use robotack::safety_hijacker::{AttackFeatures, NnOracle};
+use robotack::vector::AttackVector;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Version of the dataset-collection + training code path. Bump this when
+/// [`crate::train_sh`] changes semantics (sweep seeding, labeling, split,
+/// architecture, optimizer), so stale snapshots miss instead of resurrecting
+/// an oracle the current code would no longer produce.
+pub const DATASET_CODE_VERSION: u32 = 1;
+
+/// On-disk snapshot format version.
+const FORMAT_VERSION: u32 = 1;
+
+/// Snapshot file magic: "RoboTack Oracle Cache".
+const MAGIC: [u8; 4] = *b"RTOC";
+
+/// FNV-1a 64-bit, the digest behind [`cache_key`].
+#[derive(Debug, Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// The content address of one trained oracle: a digest of every input that
+/// determines the training result bit-for-bit.
+pub fn cache_key(scenario: ScenarioId, vector: AttackVector, sweep: &SweepConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(u64::from(DATASET_CODE_VERSION));
+    h.write(scenario.name().as_bytes());
+    h.write(vector.name().as_bytes());
+    h.write_u64(sweep.delta_injects.len() as u64);
+    for &d in &sweep.delta_injects {
+        h.write_f64(d);
+    }
+    h.write_u64(sweep.ks.len() as u64);
+    for &k in &sweep.ks {
+        h.write_u64(u64::from(k));
+    }
+    h.write_u64(sweep.seeds_per_cell);
+    h.write_u64(sweep.base_seed);
+    h.finish()
+}
+
+/// A persistent, content-addressed store of [`TrainedOracle`] snapshots.
+///
+/// All I/O is best-effort: an unreadable or corrupt snapshot is a cache
+/// miss, and a failed store is silently skipped (the freshly trained oracle
+/// is still returned).
+#[derive(Debug)]
+pub struct OracleCache {
+    dir: Option<PathBuf>,
+    telemetry: Telemetry,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for OracleCache {
+    fn default() -> Self {
+        OracleCache::disabled()
+    }
+}
+
+impl OracleCache {
+    /// A cache that never hits and never writes (`--no-cache`).
+    pub fn disabled() -> OracleCache {
+        OracleCache {
+            dir: None,
+            telemetry: Telemetry::disabled(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn at(dir: impl Into<PathBuf>) -> OracleCache {
+        OracleCache {
+            dir: Some(dir.into()),
+            ..OracleCache::disabled()
+        }
+    }
+
+    /// The default cache root, next to the build artifacts.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target").join("oracle-cache")
+    }
+
+    /// Attaches a telemetry handle; hits and misses are emitted as
+    /// [`TraceEvent::OracleCacheHit`] / [`TraceEvent::OracleCacheMiss`].
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> OracleCache {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Whether lookups can ever hit.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Snapshot hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot misses so far (disabled caches count every lookup).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn path_for(dir: &Path, key: u64) -> PathBuf {
+        dir.join(format!("{key:016x}.oracle"))
+    }
+
+    /// Looks up a snapshot by key. Any I/O or decode failure is a miss.
+    pub fn lookup(&self, key: u64) -> Option<TrainedOracle> {
+        let found = self
+            .dir
+            .as_deref()
+            .and_then(|dir| std::fs::read(Self::path_for(dir, key)).ok())
+            .and_then(|bytes| decode(key, &bytes));
+        match found {
+            Some(oracle) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.telemetry
+                    .emit(0.0, || TraceEvent::OracleCacheHit { key });
+                Some(oracle)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.telemetry
+                    .emit(0.0, || TraceEvent::OracleCacheMiss { key });
+                None
+            }
+        }
+    }
+
+    /// Persists a snapshot under `key` (atomic tmp + rename; best-effort).
+    pub fn store(&self, key: u64, oracle: &TrainedOracle) {
+        let Some(dir) = self.dir.as_deref() else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let bytes = encode(key, oracle);
+        let tmp = dir.join(format!("{key:016x}.oracle.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, &bytes).is_ok()
+            && std::fs::rename(&tmp, Self::path_for(dir, key)).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// The cached equivalent of [`train_oracle`]: returns the snapshot when
+    /// present, otherwise trains, stores, and returns the fresh oracle.
+    pub fn oracle_for(
+        &self,
+        scenario: ScenarioId,
+        vector: AttackVector,
+        sweep: &SweepConfig,
+    ) -> Option<TrainedOracle> {
+        let key = cache_key(scenario, vector, sweep);
+        if let Some(oracle) = self.lookup(key) {
+            return Some(oracle);
+        }
+        let trained = train_oracle(scenario, vector, sweep)?;
+        self.store(key, &trained);
+        Some(trained)
+    }
+}
+
+/// Serializes a [`TrainedOracle`] (all integers/floats little-endian).
+fn encode(key: u64, oracle: &TrainedOracle) -> Vec<u8> {
+    let net = oracle.oracle.network();
+    let norm = oracle.oracle.normalizer();
+    let sizes = net.layer_sizes();
+    let params = net.flatten_params();
+
+    let mut out = Vec::with_capacity(64 + 8 * (2 * norm.mean.len() + sizes.len() + params.len()));
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&oracle.val_mse.to_bits().to_le_bytes());
+    out.extend_from_slice(&(oracle.examples as u64).to_le_bytes());
+    out.extend_from_slice(&(norm.mean.len() as u64).to_le_bytes());
+    for &m in &norm.mean {
+        out.extend_from_slice(&m.to_bits().to_le_bytes());
+    }
+    for &s in &norm.std {
+        out.extend_from_slice(&s.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&net.dropout.to_bits().to_le_bytes());
+    out.extend_from_slice(&(sizes.len() as u64).to_le_bytes());
+    for &s in &sizes {
+        out.extend_from_slice(&(s as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    for &p in &params {
+        out.extend_from_slice(&p.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Checked little-endian reader over untrusted bytes.
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
+    fn bytes<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let (head, rest) = self.0.split_at_checked(N)?;
+        self.0 = rest;
+        head.try_into().ok()
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.bytes().map(u32::from_le_bytes)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.bytes().map(u64::from_le_bytes)
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Reads `n` floats, refusing (no allocation) if `n` overshoots the
+    /// remaining bytes — the guard that makes hostile length fields cheap.
+    fn f64s(&mut self, n: usize) -> Option<Vec<f64>> {
+        if n > self.remaining() / 8 {
+            return None;
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+}
+
+/// Deserializes a snapshot; `None` on any structural problem.
+fn decode(key: u64, bytes: &[u8]) -> Option<TrainedOracle> {
+    let mut r = Reader(bytes);
+    if r.bytes()? != MAGIC || r.u32()? != FORMAT_VERSION || r.u64()? != key {
+        return None;
+    }
+    let val_mse = r.f64()?;
+    let examples = usize::try_from(r.u64()?).ok()?;
+
+    let dim = usize::try_from(r.u64()?).ok()?;
+    let mean = r.f64s(dim)?;
+    let std = r.f64s(dim)?;
+
+    let dropout = r.f64()?;
+    let n_sizes = usize::try_from(r.u64()?).ok()?;
+    if n_sizes > r.remaining() / 8 || n_sizes > 64 {
+        return None;
+    }
+    let sizes: Vec<usize> = (0..n_sizes)
+        .map(|_| r.u64().and_then(|s| usize::try_from(s).ok()))
+        .collect::<Option<_>>()?;
+    let n_params = usize::try_from(r.u64()?).ok()?;
+    let params = r.f64s(n_params)?;
+    if r.remaining() != 0 {
+        return None;
+    }
+
+    let net = Mlp::from_flat(&sizes, dropout, &params)?;
+    // NnOracle::new asserts the input shape and predict_delta indexes the
+    // first output — pre-check both so hostile bytes can never panic.
+    if net.input_dim() != AttackFeatures::INPUT_DIM
+        || net.output_dim() != 1
+        || mean.len() != net.input_dim()
+    {
+        return None;
+    }
+    Some(TrainedOracle {
+        oracle: Arc::new(NnOracle::new(net, Normalizer { mean, std })),
+        val_mse,
+        examples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train_sh::train_oracle_on;
+    use av_neural::train::Dataset;
+
+    fn sample_oracle() -> TrainedOracle {
+        let data = Dataset::from_rows((0..64).map(|i| {
+            let delta = 5.0 + f64::from(i % 16) * 2.0;
+            let k = f64::from(i % 8) * 10.0;
+            (vec![delta, -3.0, 0.5, -0.1, k], vec![delta - 0.1 * k])
+        }));
+        train_oracle_on(&data).expect("synthetic dataset trains")
+    }
+
+    fn bitwise_eq(a: &TrainedOracle, b: &TrainedOracle) -> bool {
+        let (na, nb) = (a.oracle.network(), b.oracle.network());
+        let (ma, mb) = (a.oracle.normalizer(), b.oracle.normalizer());
+        na.layer_sizes() == nb.layer_sizes()
+            && na.dropout.to_bits() == nb.dropout.to_bits()
+            && na
+                .flatten_params()
+                .iter()
+                .zip(nb.flatten_params().iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+            && ma.mean == mb.mean
+            && ma.std == mb.std
+            && a.val_mse.to_bits() == b.val_mse.to_bits()
+            && a.examples == b.examples
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_identically() {
+        let oracle = sample_oracle();
+        let bytes = encode(42, &oracle);
+        let back = decode(42, &bytes).expect("round trip");
+        assert!(bitwise_eq(&oracle, &back));
+        // Same inputs → same prediction bits.
+        use robotack::safety_hijacker::SafetyOracle;
+        let f = AttackFeatures {
+            delta: 25.0,
+            v_rel_lon: -3.0,
+            v_rel_lat: 0.5,
+            a_rel_lon: -0.1,
+        };
+        assert_eq!(
+            oracle.oracle.predict_delta(&f, 20).to_bits(),
+            back.oracle.predict_delta(&f, 20).to_bits()
+        );
+    }
+
+    #[test]
+    fn wrong_key_magic_or_version_miss() {
+        let bytes = encode(7, &sample_oracle());
+        assert!(decode(8, &bytes).is_none(), "key echo mismatch");
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(decode(7, &bad_magic).is_none(), "magic mismatch");
+        let mut bad_version = bytes.clone();
+        bad_version[4] ^= 0xFF;
+        assert!(decode(7, &bad_version).is_none(), "format version mismatch");
+    }
+
+    #[test]
+    fn truncated_and_padded_snapshots_miss() {
+        let bytes = encode(3, &sample_oracle());
+        for cut in [0, 1, 4, 16, 17, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(3, &bytes[..cut]).is_none(), "truncated at {cut}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode(3, &padded).is_none(), "trailing garbage");
+    }
+
+    #[test]
+    fn key_depends_on_every_sweep_field() {
+        let base = SweepConfig::tiny();
+        let k0 = cache_key(ScenarioId::Ds1, AttackVector::MoveOut, &base);
+
+        assert_ne!(k0, cache_key(ScenarioId::Ds2, AttackVector::MoveOut, &base));
+        assert_ne!(k0, cache_key(ScenarioId::Ds1, AttackVector::MoveIn, &base));
+
+        let mut s = base.clone();
+        s.delta_injects[0] += 1.0;
+        assert_ne!(k0, cache_key(ScenarioId::Ds1, AttackVector::MoveOut, &s));
+        let mut s = base.clone();
+        s.ks.push(99);
+        assert_ne!(k0, cache_key(ScenarioId::Ds1, AttackVector::MoveOut, &s));
+        let mut s = base.clone();
+        s.seeds_per_cell += 1;
+        assert_ne!(k0, cache_key(ScenarioId::Ds1, AttackVector::MoveOut, &s));
+        let mut s = base.clone();
+        s.base_seed ^= 1;
+        assert_ne!(k0, cache_key(ScenarioId::Ds1, AttackVector::MoveOut, &s));
+
+        // And is stable for identical inputs.
+        assert_eq!(
+            k0,
+            cache_key(ScenarioId::Ds1, AttackVector::MoveOut, &base.clone())
+        );
+    }
+
+    #[test]
+    fn cold_miss_then_warm_hit_round_trip() {
+        let dir = std::env::temp_dir().join(format!("oracle-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = OracleCache::at(&dir);
+        let key = 0xDEAD_BEEF_u64;
+
+        assert!(cache.lookup(key).is_none(), "cold cache misses");
+        let oracle = sample_oracle();
+        cache.store(key, &oracle);
+        let back = cache.lookup(key).expect("warm cache hits");
+        assert!(bitwise_eq(&oracle, &back));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits_or_writes() {
+        let cache = OracleCache::disabled();
+        cache.store(1, &sample_oracle());
+        assert!(cache.lookup(1).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+    }
+}

@@ -2,10 +2,12 @@
 //! CLI handling for the experiment binaries.
 
 use crate::campaign::{run_campaign, Campaign, CampaignResult};
+use crate::oracle_cache::OracleCache;
 use crate::runner::{AttackerSpec, OracleSpec};
-use crate::train_sh::{train_oracle, SweepConfig};
+use crate::train_sh::SweepConfig;
 use av_simkit::scenario::ScenarioId;
 use robotack::vector::AttackVector;
+use std::path::PathBuf;
 
 /// The six 〈scenario, vector〉 RoboTack arms of Table II, in paper row order.
 pub const ARMS: [(ScenarioId, AttackVector, &str); 6] = [
@@ -18,7 +20,7 @@ pub const ARMS: [(ScenarioId, AttackVector, &str); 6] = [
 ];
 
 /// Command-line options shared by the experiment binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Args {
     /// Runs per campaign.
     pub runs: u64,
@@ -26,16 +28,30 @@ pub struct Args {
     pub quick: bool,
     /// Base seed.
     pub seed: u64,
+    /// Oracle-cache root (`--cache-dir`); `None` means the default
+    /// `target/oracle-cache/`.
+    pub cache_dir: Option<PathBuf>,
+    /// Disable the oracle cache entirely (`--no-cache`).
+    pub no_cache: bool,
 }
 
-impl Args {
-    /// Parses `--runs N`, `--quick`, `--seed S` from `std::env::args`.
-    pub fn parse() -> Args {
-        let mut args = Args {
+impl Default for Args {
+    fn default() -> Self {
+        Args {
             runs: 120,
             quick: false,
             seed: 2020,
-        };
+            cache_dir: None,
+            no_cache: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `--runs N`, `--quick`, `--seed S`, `--cache-dir DIR`,
+    /// `--no-cache` from `std::env::args`.
+    pub fn parse() -> Args {
+        let mut args = Args::default();
         let mut iter = std::env::args().skip(1);
         while let Some(a) = iter.next() {
             match a.as_str() {
@@ -53,10 +69,30 @@ impl Args {
                         args.seed = v;
                     }
                 }
+                "--cache-dir" => {
+                    if let Some(v) = iter.next() {
+                        args.cache_dir = Some(PathBuf::from(v));
+                    }
+                }
+                "--no-cache" => args.no_cache = true,
                 other => eprintln!("ignoring unknown argument {other:?}"),
             }
         }
         args
+    }
+
+    /// The oracle cache these options select: disabled under `--no-cache`,
+    /// otherwise rooted at `--cache-dir` or the default directory.
+    pub fn oracle_cache(&self) -> OracleCache {
+        if self.no_cache {
+            OracleCache::disabled()
+        } else {
+            OracleCache::at(
+                self.cache_dir
+                    .clone()
+                    .unwrap_or_else(OracleCache::default_dir),
+            )
+        }
     }
 
     /// The training sweep matching this mode.
@@ -74,16 +110,21 @@ impl Args {
     }
 }
 
-/// Trains (or falls back for) the safety-hijacker oracle for one arm.
+/// Trains (or loads from `cache`, or falls back for) the safety-hijacker
+/// oracle for one arm.
 ///
-/// Falls back to the closed-form kinematic oracle when training data is too
-/// scarce — the binaries print which oracle each arm ended up with.
+/// A cache hit returns the exact oracle a fresh training run would produce,
+/// so the description — and everything downstream — is byte-identical
+/// whether the cache was warm or cold. Falls back to the closed-form
+/// kinematic oracle when training data is too scarce — the binaries print
+/// which oracle each arm ended up with.
 pub fn oracle_for(
     scenario: ScenarioId,
     vector: AttackVector,
     sweep: &SweepConfig,
+    cache: &OracleCache,
 ) -> (OracleSpec, String) {
-    match train_oracle(scenario, vector, sweep) {
+    match cache.oracle_for(scenario, vector, sweep) {
         Some(trained) => {
             let desc = format!(
                 "NN oracle ({} examples, val mse {:.2} m²)",
@@ -95,6 +136,20 @@ pub fn oracle_for(
             OracleSpec::Kinematic,
             "kinematic fallback (insufficient data)".into(),
         ),
+    }
+}
+
+/// Prints the cache scorecard to stderr (stdout stays byte-identical across
+/// warm and cold runs — CI diffs it).
+pub fn report_cache(cache: &OracleCache) {
+    if cache.is_enabled() {
+        eprintln!(
+            "[oracle-cache] hits={} misses={}",
+            cache.hits(),
+            cache.misses()
+        );
+    } else {
+        eprintln!("[oracle-cache] disabled");
     }
 }
 
@@ -174,16 +229,30 @@ mod tests {
         let quick = Args {
             runs: 5,
             quick: true,
-            seed: 1,
+            ..Args::default()
         }
         .sweep();
         let full = Args {
             runs: 100,
             quick: false,
-            seed: 1,
+            ..Args::default()
         }
         .sweep();
         assert!(quick.delta_injects.len() < full.delta_injects.len());
         assert!(quick.ks.len() < full.ks.len());
+    }
+
+    #[test]
+    fn args_select_the_right_cache() {
+        let default = Args::default().oracle_cache();
+        assert!(default.is_enabled());
+
+        let disabled = Args {
+            no_cache: true,
+            cache_dir: Some(PathBuf::from("/tmp/ignored")),
+            ..Args::default()
+        }
+        .oracle_cache();
+        assert!(!disabled.is_enabled(), "--no-cache wins over --cache-dir");
     }
 }

@@ -11,14 +11,18 @@
 
 use crate::campaign::default_threads;
 use crate::runner::{AttackerSpec, RunOutcome};
-use crate::session::SimSession;
+use crate::session::{SessionWorker, SimSession};
 use av_neural::mlp::Mlp;
 use av_neural::train::{mse, train, Dataset, Normalizer, TrainConfig};
 use av_simkit::scenario::ScenarioId;
 use rand::SeedableRng;
 use robotack::safety_hijacker::NnOracle;
 use robotack::vector::AttackVector;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// One labeled training row: replica features at launch → target δ.
+type Example = (Vec<f64>, Vec<f64>);
 
 /// Sweep parameters for dataset collection.
 #[derive(Debug, Clone)]
@@ -86,30 +90,58 @@ pub fn collect_dataset(scenario: ScenarioId, vector: AttackVector, sweep: &Sweep
         }
     }
 
-    // Parallel collection: chunk the sweep over workers.
-    let threads = default_threads();
-    let chunk = cells.len().div_ceil(threads).max(1);
-    let mut rows: Vec<Option<(Vec<f64>, Vec<f64>)>> = Vec::new();
+    // Parallel collection: the same work-stealing dispatch as campaigns —
+    // workers claim cells off an atomic queue and keep one long-lived
+    // SessionWorker each, so the warmed ADS/frame buffers survive the sweep.
+    let run_cell = |worker: &mut SessionWorker, (delta_inject, k, seed): (f64, u32, u64)| {
+        let outcome = SimSession::builder(scenario)
+            .seed(seed)
+            .attacker(AttackerSpec::AtDelta {
+                vector: Some(vector),
+                delta_inject,
+                k,
+            })
+            .build()
+            .run_with(worker);
+        example_from(&outcome)
+    };
+
+    let mut rows: Vec<Option<Example>> = Vec::new();
     rows.resize_with(cells.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (slice, cell_chunk) in rows.chunks_mut(chunk).zip(cells.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (slot, &(delta_inject, k, seed)) in slice.iter_mut().zip(cell_chunk) {
-                    let outcome = SimSession::builder(scenario)
-                        .seed(seed)
-                        .attacker(AttackerSpec::AtDelta {
-                            vector: Some(vector),
-                            delta_inject,
-                            k,
-                        })
-                        .build()
-                        .run();
-                    *slot = example_from(&outcome);
-                }
-            });
+    let workers = default_threads().min(cells.len());
+    if workers <= 1 {
+        let mut session_worker = SessionWorker::new();
+        for (slot, &cell) in rows.iter_mut().zip(&cells) {
+            *slot = run_cell(&mut session_worker, cell);
         }
-    })
-    .expect("dataset worker panicked");
+    } else {
+        let next = AtomicU64::new(0);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (next, cells, run_cell) = (&next, &cells, &run_cell);
+                    scope.spawn(move |_| {
+                        let mut session_worker = SessionWorker::new();
+                        let mut claimed: Vec<(usize, Option<Example>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                            if i >= cells.len() {
+                                break;
+                            }
+                            claimed.push((i, run_cell(&mut session_worker, cells[i])));
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, example) in handle.join().expect("dataset worker panicked") {
+                    rows[i] = example;
+                }
+            }
+        })
+        .expect("dataset scope panicked");
+    }
 
     Dataset::from_rows(rows.into_iter().flatten())
 }
@@ -121,7 +153,7 @@ pub fn collect_dataset(scenario: ScenarioId, vector: AttackVector, sweep: &Sweep
 /// in-path δ for Move_Out/Disappear (the real hazard), the EV's *perceived*
 /// in-path δ for Move_In (the real δ is untouched; the phantom forces the
 /// braking, §VI-D "Move_In attacks did not reduce δ but caused EB only").
-fn example_from(outcome: &RunOutcome) -> Option<(Vec<f64>, Vec<f64>)> {
+fn example_from(outcome: &RunOutcome) -> Option<Example> {
     let features = outcome.attack.features_at_launch?;
     let label = match outcome.attack.vector? {
         robotack::vector::AttackVector::MoveIn => outcome.min_perceived_delta_post_attack?,

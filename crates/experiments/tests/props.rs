@@ -1,12 +1,64 @@
-//! Property-based tests for the statistics toolkit.
+//! Property-based tests for the statistics toolkit and campaign dispatch.
 
+use av_experiments::campaign::{
+    run_campaign_dispatch, run_campaign_with_threads, Campaign, DispatchMode,
+};
+use av_experiments::oracle_cache::OracleCache;
+use av_experiments::prelude::*;
 use av_experiments::stats::{
     fit_exponential, fit_normal, histogram, mean, median, percentile, std_dev, BoxSummary,
 };
+use av_experiments::train_sh::train_oracle_on;
+use av_neural::train::Dataset;
 use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
 
 fn samples() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e3..1e3f64, 2..200)
+}
+
+fn dispatch_campaign() -> Campaign {
+    Campaign::new("prop-dispatch", ScenarioId::Ds1, AttackerSpec::None, 5, 40)
+}
+
+/// Sequential (1-thread) per-run digests, computed once for all cases.
+fn sequential_digests() -> &'static [String] {
+    static BASELINE: OnceLock<Vec<String>> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        run_campaign_with_threads(&dispatch_campaign(), 1)
+            .expect("one thread is valid")
+            .outcomes
+            .iter()
+            .map(|o| o.record.digest())
+            .collect()
+    })
+}
+
+/// A scratch cache directory unique to this test binary.
+fn hostile_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oracle-cache-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp cache dir");
+    dir
+}
+
+/// A valid snapshot's on-disk bytes under key 0, encoded once for all cases.
+fn valid_snapshot_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let data = Dataset::from_rows((0..64).map(|i| {
+            let delta = 5.0 + f64::from(i % 16) * 2.0;
+            let k = f64::from(i % 8) * 10.0;
+            (vec![delta, -3.0, 0.5, -0.1, k], vec![delta - 0.1 * k])
+        }));
+        let oracle = train_oracle_on(&data).expect("synthetic dataset trains");
+        let dir = hostile_cache_dir("encode");
+        let cache = OracleCache::at(&dir);
+        cache.store(0, &oracle);
+        let bytes = std::fs::read(dir.join(format!("{:016x}.oracle", 0))).expect("stored bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    })
 }
 
 proptest! {
@@ -66,5 +118,48 @@ proptest! {
         let h = histogram(&xs, width, 4096);
         let total: usize = h.iter().map(|(_, c)| c).sum();
         prop_assert_eq!(total, xs.len());
+    }
+
+    #[test]
+    fn work_stealing_digests_are_thread_count_invariant(threads in 1usize..33, chunked in any::<bool>()) {
+        let mode = if chunked { DispatchMode::StaticChunks } else { DispatchMode::WorkStealing };
+        let result = run_campaign_dispatch(&dispatch_campaign(), threads, mode)
+            .expect("nonzero thread count");
+        let digests: Vec<String> = result.outcomes.iter().map(|o| o.record.digest()).collect();
+        prop_assert_eq!(&digests[..], sequential_digests(), "threads={} mode={:?}", threads, mode);
+    }
+
+    #[test]
+    fn arbitrary_snapshot_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..600), key in any::<u64>()) {
+        let dir = hostile_cache_dir("arbitrary");
+        let path = dir.join(format!("{key:016x}.oracle"));
+        std::fs::write(&path, &bytes).expect("write hostile snapshot");
+        let cache = OracleCache::at(&dir);
+        // Random bytes must be a silent miss — never a panic or an oracle.
+        prop_assert!(cache.lookup(key).is_none());
+        prop_assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_valid_snapshots_never_panic(pos in any::<usize>(), xor in 1..=255u8, cut in any::<usize>(), truncate in any::<bool>()) {
+        let valid = valid_snapshot_bytes();
+        let mutated = if truncate {
+            valid[..cut % valid.len()].to_vec()
+        } else {
+            let mut v = valid.to_vec();
+            let i = pos % v.len();
+            v[i] ^= xor;
+            v
+        };
+        let dir = hostile_cache_dir("corrupt");
+        let path = dir.join(format!("{:016x}.oracle", 0));
+        std::fs::write(&path, &mutated).expect("write corrupted snapshot");
+        let cache = OracleCache::at(&dir);
+        // A flipped byte lands in the parameter payload more often than not,
+        // where any f64 bit pattern is structurally valid — the guarantee
+        // under corruption is "never panic", not "always detect".
+        let _ = cache.lookup(0);
+        let _ = std::fs::remove_file(&path);
     }
 }

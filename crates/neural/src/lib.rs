@@ -38,6 +38,6 @@ pub mod optim;
 pub mod train;
 
 pub use matrix::Matrix;
-pub use mlp::Mlp;
+pub use mlp::{ForwardCache, Mlp, TrainScratch};
 pub use optim::Adam;
 pub use train::{train, Dataset, Normalizer, TrainConfig, TrainReport};

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A dense row-major `f64` matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -70,14 +70,43 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes in place, reusing the backing allocation. Contents are
+    /// unspecified afterwards (the GEMM kernels overwrite every element);
+    /// grows the buffer only when the new shape needs more room.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrites `self` with `other`'s shape and contents, reusing the
+    /// backing allocation.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.reshape(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// `self × other`.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self × other` into a caller-held output matrix (reshaped and
+    /// overwritten; the backing allocation is reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reshape(self.rows, other.cols);
+        out.data.fill(0.0);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.get(i, k);
@@ -91,13 +120,26 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `selfᵀ × other` (used for weight gradients).
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.t_matmul_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ × other` into a caller-held output matrix (reshaped and
+    /// overwritten). The accumulation order is identical to [`Matrix::t_matmul`],
+    /// so results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count mismatch.
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
+        out.reshape(self.cols, other.cols);
+        out.data.fill(0.0);
         for r in 0..self.rows {
             let arow = self.row(r);
             let brow = other.row(r);
@@ -111,13 +153,25 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self × otherᵀ` (used to backpropagate through weights).
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// `self × otherᵀ` into a caller-held output matrix (reshaped and
+    /// overwritten). Each output element is one ordered dot product, so
+    /// results are bit-identical to [`Matrix::matmul_t`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        out.reshape(self.rows, other.rows);
         for i in 0..self.rows {
             let arow = self.row(i);
             for j in 0..other.rows {
@@ -125,7 +179,6 @@ impl Matrix {
                 out.set(i, j, arow.iter().zip(brow).map(|(a, b)| a * b).sum());
             }
         }
-        out
     }
 }
 
@@ -170,6 +223,33 @@ mod tests {
     fn matmul_shape_mismatch_panics() {
         let b = Matrix::zeros(2, 2);
         let _ = a().matmul(&b);
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_kernels() {
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Matrix::zeros(5, 5); // wrong shape + stale garbage
+        out.as_mut_slice().fill(9e9);
+        a().matmul_into(&b, &mut out);
+        assert_eq!(out, a().matmul(&b));
+
+        let c = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        a().t_matmul_into(&c, &mut out);
+        assert_eq!(out, a().t_matmul(&c));
+
+        let d = Matrix::from_vec(2, 3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        a().matmul_t_into(&d, &mut out);
+        assert_eq!(out, a().matmul_t(&d));
+    }
+
+    #[test]
+    fn reshape_reuses_and_copy_from_clones() {
+        let mut m = Matrix::zeros(2, 2);
+        m.reshape(3, 1);
+        assert_eq!((m.rows(), m.cols()), (3, 1));
+        let src = a();
+        m.copy_from(&src);
+        assert_eq!(m, src);
     }
 
     #[test]

@@ -17,12 +17,70 @@ struct Dense {
 }
 
 /// Cached activations from a training forward pass.
-#[derive(Debug)]
+///
+/// Reusable: [`Mlp::forward_train_into`] reshapes the cached matrices in
+/// place, so a cache held across minibatches performs no per-batch
+/// allocation once warm.
+#[derive(Debug, Default)]
 pub struct ForwardCache {
     /// Input and post-activation output of each layer (len = layers + 1).
     activations: Vec<Matrix>,
     /// Dropout keep-masks (already scaled) per hidden layer.
     masks: Vec<Option<Matrix>>,
+}
+
+impl ForwardCache {
+    /// Creates an empty cache; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        ForwardCache::default()
+    }
+
+    /// The output batch of the most recent training forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has been run through this cache.
+    pub fn output(&self) -> &Matrix {
+        self.activations.last().expect("no forward pass cached")
+    }
+}
+
+/// Owned scratch for a training loop: forward cache, backprop deltas, and
+/// per-layer gradients, all reused across minibatches so steady-state
+/// training performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct TrainScratch {
+    cache: ForwardCache,
+    delta: Matrix,
+    delta_prev: Matrix,
+    grads: Vec<(Matrix, Vec<f64>)>,
+}
+
+impl TrainScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        TrainScratch {
+            cache: ForwardCache::new(),
+            delta: Matrix::zeros(0, 0),
+            delta_prev: Matrix::zeros(0, 0),
+            grads: Vec::new(),
+        }
+    }
+
+    /// The output batch of the most recent [`Mlp::forward_train_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has been run through this scratch.
+    pub fn output(&self) -> &Matrix {
+        self.cache.output()
+    }
+
+    /// Per-layer gradients from the most recent [`Mlp::backward_into`],
+    /// aligned with [`Mlp::apply_grads`].
+    pub fn grads(&self) -> &[(Matrix, Vec<f64>)] {
+        &self.grads
+    }
 }
 
 /// A multi-layer perceptron.
@@ -101,27 +159,53 @@ impl Mlp {
 
     /// Batched training forward pass with inverted dropout; returns the
     /// output batch plus the cache for [`Mlp::backward`].
+    ///
+    /// Allocating convenience wrapper around [`Mlp::forward_train_into`].
     pub fn forward_train<R: Rng + ?Sized>(
         &self,
         batch: &Matrix,
         rng: &mut R,
     ) -> (Matrix, ForwardCache) {
-        let mut activations = vec![batch.clone()];
-        let mut masks = Vec::with_capacity(self.layers.len());
-        let mut x = batch.clone();
-        for layer in &self.layers {
-            // y = x · Wᵀ + b
-            let mut y = Matrix::zeros(x.rows(), layer.b.len());
-            for r in 0..x.rows() {
-                for (o, &bias) in layer.b.iter().enumerate() {
-                    let dot: f64 = layer
-                        .w
-                        .row(o)
-                        .iter()
-                        .zip(x.row(r))
-                        .map(|(w, xi)| w * xi)
-                        .sum();
-                    y.set(r, o, dot + bias);
+        let mut cache = ForwardCache::new();
+        self.forward_train_cache(batch, rng, &mut cache);
+        (cache.output().clone(), cache)
+    }
+
+    /// Batched training forward pass into reusable scratch buffers. The
+    /// output batch is available as [`TrainScratch::output`]. Numerically
+    /// bit-identical to [`Mlp::forward_train`] (same accumulation order and
+    /// the same per-element dropout RNG draws).
+    pub fn forward_train_into<R: Rng + ?Sized>(
+        &self,
+        batch: &Matrix,
+        rng: &mut R,
+        scratch: &mut TrainScratch,
+    ) {
+        self.forward_train_cache(batch, rng, &mut scratch.cache);
+    }
+
+    fn forward_train_cache<R: Rng + ?Sized>(
+        &self,
+        batch: &Matrix,
+        rng: &mut R,
+        cache: &mut ForwardCache,
+    ) {
+        let n_layers = self.layers.len();
+        cache
+            .activations
+            .resize_with(n_layers + 1, || Matrix::zeros(0, 0));
+        cache.masks.resize_with(n_layers, || None);
+        cache.activations[0].copy_from(batch);
+        for (li, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = cache.activations.split_at_mut(li + 1);
+            let x = &done[li];
+            let y = &mut rest[0];
+            // y = x · Wᵀ + b: one ordered dot per element, bias added after —
+            // the same accumulation order as the historical per-row loop.
+            x.matmul_t_into(&layer.w, y);
+            for r in 0..y.rows() {
+                for (v, &bias) in y.row_mut(r).iter_mut().zip(&layer.b) {
+                    *v += bias;
                 }
             }
             if layer.relu {
@@ -132,7 +216,8 @@ impl Mlp {
                 }
                 if self.dropout > 0.0 {
                     let keep = 1.0 - self.dropout;
-                    let mut mask = Matrix::zeros(y.rows(), y.cols());
+                    let mask = cache.masks[li].get_or_insert_with(|| Matrix::zeros(0, 0));
+                    mask.reshape(y.rows(), y.cols());
                     for (m, v) in mask.as_mut_slice().iter_mut().zip(y.as_mut_slice()) {
                         if rng.random::<f64>() < keep {
                             *m = 1.0 / keep;
@@ -142,24 +227,50 @@ impl Mlp {
                             *v = 0.0;
                         }
                     }
-                    masks.push(Some(mask));
                 } else {
-                    masks.push(None);
+                    cache.masks[li] = None;
                 }
             } else {
-                masks.push(None);
+                cache.masks[li] = None;
             }
-            activations.push(y.clone());
-            x = y;
         }
-        (x, ForwardCache { activations, masks })
     }
 
     /// Backpropagates `dl_dout` (batch × out) through the cached pass and
     /// returns per-layer gradients aligned with [`Mlp::apply_grads`].
+    ///
+    /// Allocating convenience wrapper around [`Mlp::backward_into`].
     pub fn backward(&self, cache: &ForwardCache, dl_dout: &Matrix) -> Vec<(Matrix, Vec<f64>)> {
-        let mut grads = vec![(Matrix::zeros(0, 0), Vec::new()); self.layers.len()];
-        let mut delta = dl_dout.clone();
+        let mut delta = Matrix::zeros(0, 0);
+        let mut delta_prev = Matrix::zeros(0, 0);
+        let mut grads = Vec::new();
+        self.backward_cache(cache, dl_dout, &mut delta, &mut delta_prev, &mut grads);
+        grads
+    }
+
+    /// Backpropagates `dl_dout` through the forward pass cached in `scratch`
+    /// (by [`Mlp::forward_train_into`]), leaving per-layer gradients in
+    /// [`TrainScratch::grads`]. Bit-identical to [`Mlp::backward`].
+    pub fn backward_into(&self, dl_dout: &Matrix, scratch: &mut TrainScratch) {
+        let TrainScratch {
+            cache,
+            delta,
+            delta_prev,
+            grads,
+        } = scratch;
+        self.backward_cache(cache, dl_dout, delta, delta_prev, grads);
+    }
+
+    fn backward_cache(
+        &self,
+        cache: &ForwardCache,
+        dl_dout: &Matrix,
+        delta: &mut Matrix,
+        delta_prev: &mut Matrix,
+        grads: &mut Vec<(Matrix, Vec<f64>)>,
+    ) {
+        grads.resize_with(self.layers.len(), || (Matrix::zeros(0, 0), Vec::new()));
+        delta.copy_from(dl_dout);
         for (li, layer) in self.layers.iter().enumerate().rev() {
             // Through dropout mask and ReLU of this layer's output.
             if layer.relu {
@@ -176,9 +287,11 @@ impl Mlp {
                 }
             }
             let input = &cache.activations[li];
+            let (dw, db) = &mut grads[li];
             // dW (out × in) = deltaᵀ × input
-            let dw = delta.t_matmul(input);
-            let mut db = vec![0.0; layer.b.len()];
+            delta.t_matmul_into(input, dw);
+            db.clear();
+            db.resize(layer.b.len(), 0.0);
             for r in 0..delta.rows() {
                 for (o, dbo) in db.iter_mut().enumerate() {
                     *dbo += delta.get(r, o);
@@ -186,11 +299,60 @@ impl Mlp {
             }
             // delta for previous layer = delta × W
             if li > 0 {
-                delta = delta.matmul(&layer.w);
+                delta.matmul_into(&layer.w, delta_prev);
+                std::mem::swap(delta, delta_prev);
             }
-            grads[li] = (dw, db);
         }
-        grads
+    }
+
+    /// Layer sizes (input, hidden..., output) — the shape [`Mlp::new`] takes.
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        let mut sizes = Vec::with_capacity(self.layers.len() + 1);
+        sizes.push(self.input_dim());
+        sizes.extend(self.layers.iter().map(|l| l.b.len()));
+        sizes
+    }
+
+    /// Flattens every parameter (per layer: weights row-major, then biases)
+    /// in the order [`Mlp::apply_grads`] visits them.
+    pub fn flatten_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            out.extend_from_slice(layer.w.as_slice());
+            out.extend_from_slice(&layer.b);
+        }
+        out
+    }
+
+    /// Rebuilds a network from [`Mlp::layer_sizes`], a dropout rate, and
+    /// [`Mlp::flatten_params`] output. Returns `None` when the shape and the
+    /// parameter count disagree (e.g. a corrupted snapshot) instead of
+    /// panicking.
+    pub fn from_flat(sizes: &[usize], dropout: f64, params: &[f64]) -> Option<Mlp> {
+        if sizes.len() < 2 {
+            return None;
+        }
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        let mut cursor = params;
+        for i in 0..sizes.len() - 1 {
+            let (fan_in, fan_out) = (sizes[i], sizes[i + 1]);
+            let n_w = fan_in.checked_mul(fan_out)?;
+            if cursor.len() < n_w.checked_add(fan_out)? {
+                return None;
+            }
+            let (w, rest) = cursor.split_at(n_w);
+            let (b, rest) = rest.split_at(fan_out);
+            cursor = rest;
+            layers.push(Dense {
+                w: Matrix::from_vec(fan_out, fan_in, w.to_vec()),
+                b: b.to_vec(),
+                relu: i + 2 < sizes.len(),
+            });
+        }
+        if !cursor.is_empty() {
+            return None;
+        }
+        Some(Mlp { layers, dropout })
     }
 
     /// Total number of scalar parameters.
@@ -210,6 +372,20 @@ impl Mlp {
             for (p, g) in layer.b.iter_mut().zip(db) {
                 f(p, *g);
             }
+        }
+    }
+
+    /// Applies `f` to each (parameter slice, gradient slice) pair — weights
+    /// then biases, layer by layer. Visits parameters in the same order as
+    /// [`Mlp::apply_grads`], one call per slice instead of per scalar.
+    pub fn apply_grads_slices<F: FnMut(&mut [f64], &[f64])>(
+        &mut self,
+        grads: &[(Matrix, Vec<f64>)],
+        mut f: F,
+    ) {
+        for (layer, (dw, db)) in self.layers.iter_mut().zip(grads) {
+            f(layer.w.as_mut_slice(), dw.as_slice());
+            f(&mut layer.b, db);
         }
     }
 }

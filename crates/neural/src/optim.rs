@@ -80,6 +80,37 @@ impl AdamStep<'_> {
         *param -= a.lr * m_hat / (v_hat.sqrt() + a.eps);
         self.idx += 1;
     }
+
+    /// Updates a contiguous run of parameters with their gradients. Exactly
+    /// equivalent to calling [`AdamStep::update`] once per element in order
+    /// (bit-identical math), but amortizes the cursor bookkeeping and lets
+    /// the per-element loop work on plain slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length or the run passes the
+    /// end of the parameter vector.
+    pub fn update_slice(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        let a = &mut *self.adam;
+        let start = self.idx;
+        assert!(
+            start + params.len() <= a.m.len(),
+            "more parameters than the optimizer was sized for"
+        );
+        let bc1 = 1.0 - a.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - a.beta2.powi(self.t as i32);
+        let m = &mut a.m[start..start + params.len()];
+        let v = &mut a.v[start..start + params.len()];
+        for (((param, &grad), mi), vi) in params.iter_mut().zip(grads).zip(m).zip(v) {
+            *mi = a.beta1 * *mi + (1.0 - a.beta1) * grad;
+            *vi = a.beta2 * *vi + (1.0 - a.beta2) * grad * grad;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *param -= a.lr * m_hat / (v_hat.sqrt() + a.eps);
+        }
+        self.idx += params.len();
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +152,33 @@ mod tests {
         let mut step = adam.step();
         step.update(&mut x, 1.0);
         step.update(&mut x, 1.0);
+    }
+
+    #[test]
+    fn update_slice_matches_per_element_updates() {
+        let mut a1 = Adam::new(4, 0.1);
+        let mut a2 = Adam::new(4, 0.1);
+        let mut p1 = [1.0, -2.0, 0.5, 3.0];
+        let mut p2 = p1;
+        let g = [0.3, -0.7, 1.1, 0.0];
+        for _ in 0..10 {
+            let mut s1 = a1.step();
+            for (p, &gi) in p1.iter_mut().zip(&g) {
+                s1.update(p, gi);
+            }
+            let mut s2 = a2.step();
+            s2.update_slice(&mut p2[..2], &g[..2]);
+            s2.update_slice(&mut p2[2..], &g[2..]);
+        }
+        assert_eq!(p1, p2, "slice stepping must be bit-identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "more parameters")]
+    fn update_slice_past_end_panics() {
+        let mut adam = Adam::new(1, 0.1);
+        let mut p = [0.0, 0.0];
+        adam.step().update_slice(&mut p, &[1.0, 1.0]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Datasets, normalization, and the training loop.
 
 use crate::matrix::Matrix;
-use crate::mlp::Mlp;
+use crate::mlp::{Mlp, TrainScratch};
 use crate::optim::Adam;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -153,23 +153,30 @@ pub fn train<R: Rng + ?Sized>(
     let mut adam = Adam::new(net.param_count(), config.learning_rate);
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut last_loss = f64::INFINITY;
+    let in_dim = net.input_dim();
+    let out_dim = net.output_dim();
+    // All minibatch staging and backprop buffers live outside the epoch loop:
+    // steady-state training performs no heap allocation.
+    let mut x = Matrix::zeros(0, 0);
+    let mut y = Matrix::zeros(0, 0);
+    let mut dl = Matrix::zeros(0, 0);
+    let mut scratch = TrainScratch::new();
     for _ in 0..config.epochs {
         order.shuffle(rng);
         let mut epoch_loss = 0.0;
         for chunk in order.chunks(config.batch_size.max(1)) {
             let rows = chunk.len();
-            let in_dim = net.input_dim();
-            let out_dim = net.output_dim();
-            let mut x = Matrix::zeros(rows, in_dim);
-            let mut y = Matrix::zeros(rows, out_dim);
+            x.reshape(rows, in_dim);
+            y.reshape(rows, out_dim);
             for (r, &idx) in chunk.iter().enumerate() {
                 x.row_mut(r).copy_from_slice(&data.inputs[idx]);
                 y.row_mut(r).copy_from_slice(&data.targets[idx]);
             }
-            let (out, cache) = net.forward_train(&x, rng);
+            net.forward_train_into(&x, rng, &mut scratch);
             // MSE: L = mean‖y − ŷ‖²; dL/dŷ = 2(ŷ − y)/n.
             let n = (rows * out_dim) as f64;
-            let mut dl = Matrix::zeros(rows, out_dim);
+            dl.reshape(rows, out_dim);
+            let out = scratch.output();
             for r in 0..rows {
                 for c in 0..out_dim {
                     let diff = out.get(r, c) - y.get(r, c);
@@ -177,9 +184,9 @@ pub fn train<R: Rng + ?Sized>(
                     dl.set(r, c, 2.0 * diff / n);
                 }
             }
-            let grads = net.backward(&cache, &dl);
+            net.backward_into(&dl, &mut scratch);
             let mut step = adam.step();
-            net.apply_grads(&grads, |p, g| step.update(p, g));
+            net.apply_grads_slices(scratch.grads(), |p, g| step.update_slice(p, g));
         }
         last_loss = epoch_loss;
     }

@@ -73,9 +73,21 @@ impl Scheduler {
     /// Tasks are reported in registration order; a task that fell multiple
     /// periods behind fires once per call until it catches up (sensors drop
     /// frames rather than burst).
+    ///
+    /// Allocating convenience wrapper around [`Scheduler::advance_into`] —
+    /// hot loops should hold a reusable buffer instead (the simulation loop
+    /// calls this ~900 times per run).
     pub fn advance_to(&mut self, now_us: u64) -> Vec<Task> {
-        let _timer = self.telemetry.time(Stage::SchedulerAdvance);
         let mut fired = Vec::new();
+        self.advance_into(now_us, &mut fired);
+        fired
+    }
+
+    /// Allocation-free [`Scheduler::advance_to`]: clears `fired` and appends
+    /// every task whose fire time has been reached, in registration order.
+    pub fn advance_into(&mut self, now_us: u64, fired: &mut Vec<Task>) {
+        let _timer = self.telemetry.time(Stage::SchedulerAdvance);
+        fired.clear();
         for (i, e) in self.entries.iter_mut().enumerate() {
             if now_us >= e.next_fire_us {
                 fired.push(Task(i));
@@ -87,13 +99,12 @@ impl Scheduler {
         }
         if self.telemetry.is_enabled() {
             let t = now_us as f64 / 1e6;
-            for task in &fired {
+            for task in fired.iter() {
                 let name = self.entries[task.0].name;
                 self.telemetry
                     .emit(t, || TraceEvent::SchedulerTask { task: name });
             }
         }
-        fired
     }
 
     /// The registered name of a task.
@@ -136,6 +147,24 @@ mod tests {
         assert_eq!(s.advance_to(95), vec![t]);
         assert_eq!(s.advance_to(95), Vec::<Task>::new());
         assert_eq!(s.advance_to(100), vec![t]);
+    }
+
+    #[test]
+    fn advance_into_reuses_buffer_and_matches_advance_to() {
+        let mut a = Scheduler::new();
+        let mut b = Scheduler::new();
+        for s in [&mut a, &mut b] {
+            s.add_task("fast", 10);
+            s.add_task("slow", 30);
+        }
+        let mut fired = Vec::new();
+        for t in (0..=120).step_by(10) {
+            b.advance_into(t, &mut fired);
+            assert_eq!(a.advance_to(t), fired);
+        }
+        // The buffer is cleared each call, not accumulated.
+        b.advance_into(121, &mut fired);
+        assert!(fired.is_empty());
     }
 
     #[test]

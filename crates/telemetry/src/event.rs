@@ -135,6 +135,21 @@ pub enum TraceEvent {
         /// Planner samples recorded.
         samples: u64,
     },
+    /// A campaign worker claimed one run off the work queue.
+    CampaignRunDispatched {
+        /// Run index within the campaign (seed = base_seed + index).
+        index: u64,
+    },
+    /// A content-addressed oracle-cache lookup found a usable entry.
+    OracleCacheHit {
+        /// The cache key digest (hex in the JSONL schema).
+        key: u64,
+    },
+    /// A content-addressed oracle-cache lookup missed (absent or corrupt).
+    OracleCacheMiss {
+        /// The cache key digest (hex in the JSONL schema).
+        key: u64,
+    },
 }
 
 /// Dense event-kind tags for counting (one counter per kind).
@@ -154,11 +169,14 @@ pub enum EventKind {
     AebEngaged,
     Collision,
     RunFinished,
+    CampaignRunDispatched,
+    OracleCacheHit,
+    OracleCacheMiss,
 }
 
 impl EventKind {
     /// Every event kind, in taxonomy order.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::RunStarted,
         EventKind::SchedulerTask,
         EventKind::SensorSample,
@@ -172,6 +190,9 @@ impl EventKind {
         EventKind::AebEngaged,
         EventKind::Collision,
         EventKind::RunFinished,
+        EventKind::CampaignRunDispatched,
+        EventKind::OracleCacheHit,
+        EventKind::OracleCacheMiss,
     ];
 
     /// Number of event kinds (registry array size).
@@ -198,6 +219,9 @@ impl EventKind {
             EventKind::AebEngaged => "aeb_engaged",
             EventKind::Collision => "collision",
             EventKind::RunFinished => "run_finished",
+            EventKind::CampaignRunDispatched => "campaign_run_dispatched",
+            EventKind::OracleCacheHit => "oracle_cache_hit",
+            EventKind::OracleCacheMiss => "oracle_cache_miss",
         }
     }
 }
@@ -219,6 +243,9 @@ impl TraceEvent {
             TraceEvent::AebEngaged => EventKind::AebEngaged,
             TraceEvent::Collision => EventKind::Collision,
             TraceEvent::RunFinished { .. } => EventKind::RunFinished,
+            TraceEvent::CampaignRunDispatched { .. } => EventKind::CampaignRunDispatched,
+            TraceEvent::OracleCacheHit { .. } => EventKind::OracleCacheHit,
+            TraceEvent::OracleCacheMiss { .. } => EventKind::OracleCacheMiss,
         }
     }
 }
@@ -323,6 +350,12 @@ impl TraceRecord {
             } => {
                 let _ = write!(s, ",\"sim_seconds\":{sim_seconds:.6},\"samples\":{samples}");
             }
+            TraceEvent::CampaignRunDispatched { index } => {
+                let _ = write!(s, ",\"index\":{index}");
+            }
+            TraceEvent::OracleCacheHit { key } | TraceEvent::OracleCacheMiss { key } => {
+                let _ = write!(s, ",\"key\":\"{key:016x}\"");
+            }
         }
         s.push('}');
         s
@@ -417,6 +450,11 @@ mod tests {
                 sim_seconds: 30.0,
                 samples: 300,
             },
+            TraceEvent::CampaignRunDispatched { index: 17 },
+            TraceEvent::OracleCacheHit {
+                key: 0x88fd_3971_a1e3_db6f,
+            },
+            TraceEvent::OracleCacheMiss { key: 1 },
         ];
         assert_eq!(events.len(), EventKind::COUNT, "taxonomy covered");
         for (event, kind) in events.into_iter().zip(EventKind::ALL) {

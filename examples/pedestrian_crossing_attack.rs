@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example pedestrian_crossing_attack`
 
+use av_experiments::oracle_cache::OracleCache;
 use av_experiments::prelude::*;
 use av_experiments::suite::oracle_for;
 use av_experiments::train_sh::SweepConfig;
@@ -20,7 +21,8 @@ fn main() {
         seeds_per_cell: 3,
         ..SweepConfig::default()
     };
-    let (oracle, description) = oracle_for(ScenarioId::Ds2, AttackVector::MoveOut, &sweep);
+    let cache = OracleCache::at(OracleCache::default_dir());
+    let (oracle, description) = oracle_for(ScenarioId::Ds2, AttackVector::MoveOut, &sweep, &cache);
     println!("  {description}\n");
 
     let runs = 20;

@@ -1,5 +1,6 @@
 //! Suite-throughput benchmarks: campaign dispatch, oracle-cache lookups,
-//! and minibatch MLP training — the three levers behind suite wall-clock.
+//! minibatch MLP training, and the DAG-orchestrator overhead — the levers
+//! behind suite wall-clock.
 
 use av_experiments::campaign::{default_threads, run_campaign_dispatch, DispatchMode};
 use av_experiments::oracle_cache::{cache_key, OracleCache};
@@ -7,6 +8,7 @@ use av_experiments::prelude::*;
 use av_experiments::train_sh::{train_oracle_on, SweepConfig};
 use av_neural::mlp::Mlp;
 use av_neural::train::{train, Dataset, TrainConfig};
+use av_suite::{execute, Dag, ExecOptions, Job, JobOutcome};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -105,10 +107,84 @@ fn bench_oracle_cache(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The paper DAG's shape (6 datasets → 6 oracles → 8 reports) with no-op
+/// bodies: pure scheduling + manifest overhead per `suite` run. Must stay
+/// negligible next to the jobs themselves (milliseconds vs minutes).
+fn orchestrator_dag() -> Dag {
+    let mk = |id: String| Job::new(id, JobOutcome::default);
+    let mut jobs = Vec::new();
+    for i in 0..6 {
+        jobs.push(mk(format!("dataset:{i}")));
+    }
+    for i in 0..6 {
+        jobs.push(mk(format!("oracle:{i}")).dep(format!("dataset:{i}")));
+    }
+    for report in [
+        "table2", "fig5", "fig6", "fig7", "fig8", "abl", "def", "res",
+    ] {
+        jobs.push(
+            mk(report.to_string())
+                .deps((0..6).map(|i| format!("oracle:{i}")))
+                .emits_stdout(),
+        );
+    }
+    Dag::new(jobs).expect("valid bench DAG")
+}
+
+fn bench_orchestrator(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("suite-orch-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+
+    let mut group = c.benchmark_group("suite_orchestrator");
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("noop_paper_dag_{workers}w")),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    black_box(
+                        execute(
+                            &orchestrator_dag(),
+                            &ExecOptions {
+                                workers,
+                                ..ExecOptions::default()
+                            },
+                        )
+                        .expect("bench run"),
+                    )
+                })
+            },
+        );
+    }
+    // With the manifest: adds one JSON append + flush per job, and the
+    // resume load on startup.
+    group.bench_function("noop_paper_dag_manifest", |b| {
+        let path = dir.join("manifest.jsonl");
+        b.iter(|| {
+            let _ = std::fs::remove_file(&path);
+            black_box(
+                execute(
+                    &orchestrator_dag(),
+                    &ExecOptions {
+                        workers: 2,
+                        manifest: Some(path.clone()),
+                        ..ExecOptions::default()
+                    },
+                )
+                .expect("bench run"),
+            )
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_campaign_dispatch,
     bench_mlp_epoch,
-    bench_oracle_cache
+    bench_oracle_cache,
+    bench_orchestrator
 );
 criterion_main!(benches);

@@ -1,138 +1,15 @@
-//! Ablation studies for the design choices DESIGN.md calls out:
+//! Ablation studies for the design choices DESIGN.md calls out: the
+//! trajectory-hijacker noise gate, the fusion LiDAR registration delay, the
+//! SH launch threshold γ, and binary-vs-linear K search.
 //!
-//! 1. **Noise gate** — how much of the ±1σ envelope the trajectory hijacker
-//!    spends per frame (stealth vs shift speed).
-//! 2. **Fusion registration delay** — the LiDAR-only (re-)registration gate
-//!    that creates the paper's vehicle/pedestrian asymmetry.
-//! 3. **SH launch threshold γ** — how deep the predicted δ must go before
-//!    the malware commits its single shot.
-//! 4. **K search** — binary (Eq. 2) vs linear; result equivalence.
+//! Thin wrapper over [`av_experiments::jobs::ablations`] — the `suite`
+//! orchestrator runs the same function, so its stdout is byte-identical.
 
-use av_experiments::prelude::*;
-use av_experiments::stats::median;
-use av_experiments::suite::{oracle_for, report_cache, Args};
-use robotack::safety_hijacker::{
-    AttackFeatures, KinematicOracle, SafetyHijacker, SafetyHijackerConfig,
-};
-use robotack::vector::AttackVector;
+use av_experiments::jobs;
+use av_experiments::suite::Args;
 
 fn main() {
     let args = Args::parse();
-    let runs = args.runs.min(40);
-
-    println!("=== Ablation 1: trajectory-hijacker noise gate (σ fraction) ===");
-    println!("(DS-3 Move_In, fixed timing; smaller gate → slower shift → larger K')\n");
-    println!("σ fraction | K' median (frames) | EB rate");
-    for sigma in [0.25, 0.5, 1.0, 1.5] {
-        let mut kprimes = Vec::new();
-        let mut eb = 0u64;
-        for seed in 0..runs {
-            let mut cfg = RunConfig::new(ScenarioId::Ds3, seed);
-            cfg.sigma_fraction = sigma;
-            let out = SimSession::builder(ScenarioId::Ds3)
-                .config(cfg)
-                .attacker(AttackerSpec::AtDelta {
-                    vector: Some(AttackVector::MoveIn),
-                    delta_inject: 8.0,
-                    k: 40,
-                })
-                .build()
-                .run();
-            if let Some(kp) = out.k_prime_ads {
-                kprimes.push(f64::from(kp));
-            }
-            eb += u64::from(out.eb_after_attack);
-        }
-        println!(
-            "  {sigma:>7.2}  | {:>18.0} | {:>5.1}%",
-            median(&kprimes),
-            100.0 * eb as f64 / runs as f64
-        );
-    }
-
-    println!("\n=== Ablation 2: fusion LiDAR registration delay ===");
-    println!("(DS-1 Move_Out, fixed timing; fast re-registration defeats vehicle attacks)\n");
-    println!("register (scans) | accident rate | min-δ median");
-    for register in [5u32, 15, 40, 80] {
-        let mut accidents = 0u64;
-        let mut deltas = Vec::new();
-        for seed in 0..runs {
-            let mut cfg = RunConfig::new(ScenarioId::Ds1, seed);
-            cfg.fusion.lidar_register = register;
-            let out = SimSession::builder(ScenarioId::Ds1)
-                .config(cfg)
-                .attacker(AttackerSpec::AtDelta {
-                    vector: Some(AttackVector::MoveOut),
-                    delta_inject: 30.0,
-                    k: 90,
-                })
-                .build()
-                .run();
-            accidents += u64::from(out.accident);
-            if let Some(d) = out.min_delta_post_attack {
-                deltas.push(d);
-            }
-        }
-        println!(
-            "  {register:>14} | {:>12.1}% | {:>8.1} m",
-            100.0 * accidents as f64 / runs as f64,
-            median(&deltas)
-        );
-    }
-
-    println!("\n=== Ablation 3: safety-hijacker launch threshold γ ===");
-    println!("(DS-2 Move_Out with the trained NN oracle)\n");
     let cache = args.oracle_cache();
-    let (oracle, desc) = oracle_for(
-        ScenarioId::Ds2,
-        AttackVector::MoveOut,
-        &args.sweep(),
-        &cache,
-    );
-    report_cache(&cache);
-    println!("oracle: {desc}\n");
-    println!("γ (m) | launched | EB rate | accident rate");
-    for gamma in [2.0, 4.0, 8.0] {
-        let mut launched = 0u64;
-        let mut eb = 0u64;
-        let mut accidents = 0u64;
-        for seed in 0..runs {
-            let mut cfg = RunConfig::new(ScenarioId::Ds2, 4000 + seed);
-            cfg.sh.gamma = gamma;
-            let out = SimSession::builder(ScenarioId::Ds2)
-                .config(cfg)
-                .attacker(AttackerSpec::RoboTack {
-                    vector: Some(AttackVector::MoveOut),
-                    oracle: oracle.clone(),
-                })
-                .build()
-                .run();
-            launched += u64::from(out.attack.launched_at.is_some());
-            eb += u64::from(out.eb_after_attack);
-            accidents += u64::from(out.accident);
-        }
-        println!(
-            "  {gamma:>3.0} | {launched:>8} | {:>6.1}% | {:>6.1}%",
-            100.0 * eb as f64 / launched.max(1) as f64,
-            100.0 * accidents as f64 / launched.max(1) as f64
-        );
-    }
-
-    println!("\n=== Ablation 4: K search — binary (Eq. 2) vs linear ===\n");
-    let sh = SafetyHijacker::new(KinematicOracle::default(), SafetyHijackerConfig::default());
-    let mut agree = 0;
-    let mut total = 0;
-    for delta10 in 5..200 {
-        let f = AttackFeatures {
-            delta: f64::from(delta10) / 2.0,
-            v_rel_lon: -5.0,
-            v_rel_lat: 0.0,
-            a_rel_lon: 0.0,
-        };
-        let b = sh.decide(&f).map(|d| d.k);
-        let l = sh.decide_linear(&f).map(|d| d.k);
-        agree += u64::from(b == l);
-        total += 1;
-    }
-    println!("binary == linear on {agree}/{total} states (O(log K) vs O(K) oracle calls)");
+    print!("{}", jobs::ablations(&args, &cache));
 }

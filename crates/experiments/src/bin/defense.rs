@@ -2,116 +2,14 @@
 //! CUSUM, misdetection-streak envelope, cross-sensor consistency, kinematic
 //! plausibility — `av-defense`) see RoboTack?
 //!
-//! Three questions, mirroring the paper's stealthiness claims (§III-A,
-//! §IV-B/C, §VI-E) and its future-work countermeasure direction (§VIII):
-//!
-//! 1. **False positives** — golden runs must stay quiet.
-//! 2. **Evasion** — RoboTack's within-envelope perturbations should slip
-//!    past the noise-envelope monitors (innovation, streak).
-//! 3. **Countermeasure** — which monitor *does* catch which vector, and at
-//!    what point of the attack.
+//! Thin wrapper over [`av_experiments::jobs::defense`] — the `suite`
+//! orchestrator runs the same function, so its stdout is byte-identical.
 
-use av_defense::ids::AlarmKind;
-use av_experiments::prelude::*;
-use av_experiments::suite::{oracle_for, report_cache, Args, ARMS};
+use av_experiments::jobs;
+use av_experiments::suite::Args;
 
 fn main() {
     let args = Args::parse();
-    let runs = args.runs.min(60);
-    let sweep = args.sweep();
     let cache = args.oracle_cache();
-
-    println!("=== IDS false positives (golden runs, {runs} runs/scenario) ===\n");
-    println!("scenario | runs w/ any alarm | innovation | streak | cross-sensor | kinematics");
-    for scenario in ScenarioId::ALL {
-        let mut any = 0u64;
-        let mut by_kind = [0u64; 4];
-        for seed in 0..runs {
-            let out = SimSession::builder(scenario).seed(seed).build().run();
-            any += u64::from(!out.ids_alarms.is_empty());
-            for a in &out.ids_alarms {
-                let idx = match a.kind {
-                    AlarmKind::Innovation => 0,
-                    AlarmKind::Streak => 1,
-                    AlarmKind::CrossSensor => 2,
-                    AlarmKind::Kinematics => 3,
-                };
-                by_kind[idx] += 1;
-            }
-        }
-        println!(
-            "{:<8} | {:>17} | {:>10} | {:>6} | {:>12} | {:>10}",
-            scenario.name(),
-            any,
-            by_kind[0],
-            by_kind[1],
-            by_kind[2],
-            by_kind[3]
-        );
-    }
-
-    println!("\n=== IDS vs RoboTack ({runs} runs/arm) ===\n");
-    println!("arm                  | launched | flagged during attack | by monitor");
-    for (scenario, vector, name) in ARMS {
-        let (oracle, _) = oracle_for(scenario, vector, &sweep, &cache);
-        let mut launched = 0u64;
-        let mut flagged = 0u64;
-        let mut kinds: std::collections::HashMap<AlarmKind, u64> = Default::default();
-        for seed in 0..runs {
-            let out = SimSession::builder(scenario)
-                .seed(7000 + seed)
-                .attacker(AttackerSpec::RoboTack {
-                    vector: Some(vector),
-                    oracle: oracle.clone(),
-                })
-                .build()
-                .run();
-            let Some(t0) = out.attack.launched_at else {
-                continue;
-            };
-            launched += 1;
-            let t1 = t0 + f64::from(out.attack.k) / 15.0 + 1.0;
-            let during: Vec<_> = out
-                .ids_alarms
-                .iter()
-                .filter(|a| a.t >= t0 && a.t <= t1)
-                .collect();
-            flagged += u64::from(!during.is_empty());
-            for a in during {
-                *kinds.entry(a.kind).or_default() += 1;
-            }
-        }
-        let mut kind_list: Vec<String> = kinds.iter().map(|(k, n)| format!("{k:?}×{n}")).collect();
-        kind_list.sort();
-        println!(
-            "{name:<20} | {launched:>8} | {:>11} ({:>5.1}%) | {}",
-            flagged,
-            100.0 * flagged as f64 / launched.max(1) as f64,
-            kind_list.join(", ")
-        );
-    }
-
-    report_cache(&cache);
-
-    println!("\n=== IDS vs a non-stealthy attacker ===\n");
-    println!(
-        "A naive Disappear that ignores the misdetection envelope (K = 62 \
-             frames on a pedestrian, envelope 31):"
-    );
-    let mut flagged = 0u64;
-    for seed in 0..runs {
-        let out = SimSession::builder(ScenarioId::Ds2)
-            .seed(seed)
-            .attacker(AttackerSpec::AtDelta {
-                vector: Some(AttackVector::Disappear),
-                delta_inject: 24.0,
-                k: 62,
-            })
-            .build()
-            .run();
-        if out.attack.launched_at.is_some() {
-            flagged += u64::from(out.ids_alarms.iter().any(|a| a.kind == AlarmKind::Streak));
-        }
-    }
-    println!("  streak-flagged in {flagged}/{runs} runs");
+    print!("{}", jobs::defense(&args, &cache));
 }

@@ -1,14 +1,13 @@
 //! Regenerates Fig. 5: detector noise characterization (misdetection streak
 //! distributions and normalized bbox-center error fits, per class).
+//!
+//! Thin wrapper over [`av_experiments::jobs::fig5`] — the `suite`
+//! orchestrator runs the same function, so its stdout is byte-identical.
 
-use av_experiments::characterize::characterize_detector;
-use av_experiments::report::render_fig5;
+use av_experiments::jobs;
 use av_experiments::suite::Args;
 
 fn main() {
     let args = Args::parse();
-    // The paper characterizes ~10 minutes of 15 Hz video (~9000 frames).
-    let frames = if args.quick { 2_000 } else { 9_000 };
-    let c = characterize_detector(frames, args.seed);
-    println!("{}", render_fig5(&c));
+    print!("{}", jobs::fig5(&args));
 }

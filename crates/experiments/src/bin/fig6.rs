@@ -1,60 +1,14 @@
 //! Regenerates Fig. 6: min safety potential boxplots, RoboTack vs RoboTack
 //! without the safety hijacker, for DS-1/DS-2 × Disappear/Move_Out.
+//!
+//! Thin wrapper over [`av_experiments::jobs::fig6`] — the `suite`
+//! orchestrator runs the same function, so its stdout is byte-identical.
 
-use av_experiments::report::render_fig6_panel;
-use av_experiments::suite::{oracle_for, report_cache, run_nosh_campaign, run_r_campaign, Args};
-use av_simkit::scenario::ScenarioId;
-use robotack::vector::AttackVector;
+use av_experiments::jobs;
+use av_experiments::suite::Args;
 
 fn main() {
     let args = Args::parse();
-    let sweep = args.sweep();
     let cache = args.oracle_cache();
-    let panels = [
-        (
-            ScenarioId::Ds1,
-            AttackVector::Disappear,
-            "(a) DS-1-Disappear",
-            (19.0, 9.0),
-        ),
-        (
-            ScenarioId::Ds1,
-            AttackVector::MoveOut,
-            "(b) DS-1-Move_Out",
-            (19.0, 13.0),
-        ),
-        (
-            ScenarioId::Ds2,
-            AttackVector::Disappear,
-            "(c) DS-2-Disappear",
-            (7.0, 3.0),
-        ),
-        (
-            ScenarioId::Ds2,
-            AttackVector::MoveOut,
-            "(d) DS-2-Move_Out",
-            (9.0, 3.0),
-        ),
-    ];
-    println!("Fig. 6: impact of attack timing on min safety potential δ (m)\n");
-    for (scenario, vector, label, paper) in panels {
-        eprintln!("training oracle for {label} ...");
-        let (oracle, desc) = oracle_for(scenario, vector, &sweep, &cache);
-        eprintln!("  {desc}");
-        let with_sh = run_r_campaign("R", scenario, vector, oracle, args.runs, args.seed);
-        let without_sh = run_nosh_campaign("R w/o SH", scenario, vector, args.runs, args.seed + 77);
-        println!("{}", render_fig6_panel(label, &without_sh, &with_sh, paper));
-        let (eb_n, eb_w) = (with_sh.eb().1, without_sh.eb().1);
-        let (cr_n, cr_w) = (with_sh.crashes().1, without_sh.crashes().1);
-        println!(
-            "  EB: {:.1}% vs {:.1}% (×{:.1}) | crashes: {:.1}% vs {:.1}% (×{:.1})\n",
-            eb_n,
-            eb_w,
-            if eb_w > 0.0 { eb_n / eb_w } else { f64::NAN },
-            cr_n,
-            cr_w,
-            if cr_w > 0.0 { cr_n / cr_w } else { f64::NAN },
-        );
-    }
-    report_cache(&cache);
+    print!("{}", jobs::fig6(&args, &cache));
 }

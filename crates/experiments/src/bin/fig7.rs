@@ -1,62 +1,14 @@
 //! Regenerates Fig. 7: time-steps K′ needed to move the perceived object
 //! in/out by Ω, on vehicles (DS-1/DS-3) and pedestrians (DS-2/DS-4).
+//!
+//! Thin wrapper over [`av_experiments::jobs::fig7`] — the `suite`
+//! orchestrator runs the same function, so its stdout is byte-identical.
 
-use av_experiments::report::render_fig7_panel;
-use av_experiments::suite::{oracle_for, report_cache, run_r_campaign, Args};
-use av_simkit::scenario::ScenarioId;
-use robotack::vector::AttackVector;
+use av_experiments::jobs;
+use av_experiments::suite::Args;
 
 fn main() {
     let args = Args::parse();
-    let sweep = args.sweep();
     let cache = args.oracle_cache();
-    let run = |scenario, vector, name: &str| {
-        eprintln!("campaign {name} ...");
-        let (oracle, _) = oracle_for(scenario, vector, &sweep, &cache);
-        run_r_campaign(name, scenario, vector, oracle, args.runs, args.seed).k_primes()
-    };
-    let veh = [
-        (
-            "Disappear",
-            run(ScenarioId::Ds1, AttackVector::Disappear, "DS-1-Disappear"),
-            13.0,
-        ),
-        (
-            "Move_Out",
-            run(ScenarioId::Ds1, AttackVector::MoveOut, "DS-1-Move_Out"),
-            6.0,
-        ),
-        (
-            "Move_In",
-            run(ScenarioId::Ds3, AttackVector::MoveIn, "DS-3-Move_In"),
-            10.0,
-        ),
-    ];
-    let ped = [
-        (
-            "Disappear",
-            run(ScenarioId::Ds2, AttackVector::Disappear, "DS-2-Disappear"),
-            4.0,
-        ),
-        (
-            "Move_Out",
-            run(ScenarioId::Ds2, AttackVector::MoveOut, "DS-2-Move_Out"),
-            5.0,
-        ),
-        (
-            "Move_In",
-            run(ScenarioId::Ds4, AttackVector::MoveIn, "DS-4-Move_In"),
-            3.0,
-        ),
-    ];
-    println!("Fig. 7: K′ (frames) to move the perceived object by Ω\n");
-    println!(
-        "{}",
-        render_fig7_panel("(a) on vehicles (DS-1, DS-3)", &veh)
-    );
-    println!(
-        "{}",
-        render_fig7_panel("(b) on pedestrians (DS-2, DS-4)", &ped)
-    );
-    report_cache(&cache);
+    print!("{}", jobs::fig7(&args, &cache));
 }

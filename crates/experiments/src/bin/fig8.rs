@@ -1,93 +1,15 @@
 //! Regenerates Fig. 8: safety-hijacker NN quality — (a) attack success
 //! probability vs binned prediction error; (b) predicted vs ground-truth δ
 //! after k attacked frames (DS-1 Move_Out).
+//!
+//! Thin wrapper over [`av_experiments::jobs::fig8`] — the `suite`
+//! orchestrator runs the same function, so its stdout is byte-identical.
 
-use av_experiments::prelude::*;
-use av_experiments::report::{render_fig8a, render_fig8b};
-use av_experiments::suite::{oracle_for, report_cache, run_r_campaign, Args};
-use robotack::safety_hijacker::SafetyOracle;
+use av_experiments::jobs;
+use av_experiments::suite::Args;
 
 fn main() {
     let args = Args::parse();
-    let sweep = args.sweep();
     let cache = args.oracle_cache();
-
-    // Panel (a): per-run |predicted δ − realized min δ| vs success.
-    eprintln!("training DS-1 / DS-2 Move_Out oracles ...");
-    let (oracle_ds1, desc1) = oracle_for(ScenarioId::Ds1, AttackVector::MoveOut, &sweep, &cache);
-    eprintln!("  DS-1: {desc1}");
-    let (oracle_ds2, desc2) = oracle_for(ScenarioId::Ds2, AttackVector::MoveOut, &sweep, &cache);
-    eprintln!("  DS-2: {desc2}");
-    report_cache(&cache);
-    let mut samples: Vec<(f64, bool)> = Vec::new();
-    for (scenario, oracle) in [
-        (ScenarioId::Ds1, oracle_ds1.clone()),
-        (ScenarioId::Ds2, oracle_ds2),
-    ] {
-        let result = run_r_campaign(
-            "fig8a",
-            scenario,
-            AttackVector::MoveOut,
-            oracle,
-            args.runs,
-            args.seed,
-        );
-        for outcome in result.launched() {
-            if let (Some(pred), Some(actual)) = (
-                outcome.attack.predicted_delta,
-                outcome.min_delta_attack_window,
-            ) {
-                // One-sided error: how much the attack under-delivered
-                // (did worse, i.e. left a larger δ, than the NN promised).
-                samples.push(((actual - pred).max(0.0), outcome.accident));
-            }
-        }
-    }
-    // The paper's bin edges: 0.67 m steps up to 6.7 m.
-    let mut bins = Vec::new();
-    for i in 1..=10 {
-        let upper = 0.67 * f64::from(i);
-        let lower = upper - 0.67;
-        let in_bin: Vec<&(f64, bool)> = samples
-            .iter()
-            .filter(|(e, _)| *e >= lower && *e < upper)
-            .collect();
-        if !in_bin.is_empty() {
-            let p = in_bin.iter().filter(|(_, s)| *s).count() as f64 / in_bin.len() as f64;
-            bins.push((upper, p, in_bin.len()));
-        }
-    }
-    println!("{}", render_fig8a(&bins));
-
-    // Panel (b): δ0 ≈ 41 m, sweep k, compare prediction to ground truth.
-    let delta0 = 41.0;
-    let ks: Vec<u32> = if args.quick {
-        vec![20, 50, 80]
-    } else {
-        vec![10, 20, 30, 40, 50, 60, 70, 80, 90]
-    };
-    let mut rows = Vec::new();
-    for k in ks {
-        let outcome = SimSession::builder(ScenarioId::Ds1)
-            .seed(args.seed + u64::from(k))
-            .attacker(AttackerSpec::AtDelta {
-                vector: Some(AttackVector::MoveOut),
-                delta_inject: delta0,
-                k,
-            })
-            .build()
-            .run();
-        if let (Some(features), Some(actual)) = (
-            outcome.attack.features_at_launch,
-            outcome.min_delta_attack_window,
-        ) {
-            let predicted = match &oracle_ds1 {
-                OracleSpec::Nn(nn) => nn.predict_delta(&features, k),
-                OracleSpec::Kinematic => robotack::safety_hijacker::KinematicOracle::default()
-                    .predict_delta(&features, k),
-            };
-            rows.push((k, predicted, actual));
-        }
-    }
-    println!("{}", render_fig8b(&rows, delta0));
+    print!("{}", jobs::fig8(&args, &cache));
 }

@@ -1,192 +1,16 @@
 //! The resilience study: does the ADS degrade gracefully under sensor
 //! faults, and does RoboTack's mirrored replica (§III-D) survive them?
 //!
-//! RoboTack's stealth rests on the malware's replica perception pipeline
-//! staying in lockstep with the ADS's — the trajectory hijacker perturbs
-//! boxes relative to what it *believes* the ADS tracks. Sensor faults break
-//! that assumption asymmetrically: the replica is camera-only, so LiDAR
-//! dropout and GPS bias widen the gap between the two world models, while
-//! camera faults hit both sides at once.
-//!
-//! The sweep runs fault intensity × scenario × attacker and reports, per
-//! cell: attack-launch rate, EB/accident rates over valid runs, the peak
-//! replica↔ADS disagreement on the scripted target, and what the injector
-//! actually did.
+//! Thin wrapper over [`av_experiments::jobs::resilience`] — the `suite`
+//! orchestrator runs the same function, so its stdout is byte-identical.
+//! Like the other oracle-driven binaries it honors `--cache-dir` /
+//! `--no-cache` and trains (or loads) the NN oracle per RoboTack arm.
 
-use av_experiments::campaign::{run_campaign, Campaign};
-use av_experiments::runner::{AttackerSpec, OracleSpec, RunOutcome};
-use av_experiments::stats;
+use av_experiments::jobs;
 use av_experiments::suite::Args;
-use av_faults::{FaultKind, FaultPlan, FaultSpec};
-use av_simkit::scenario::ScenarioId;
-use robotack::vector::AttackVector;
-
-/// One fault-intensity level of the sweep.
-struct Intensity {
-    name: &'static str,
-    plan: FaultPlan,
-}
-
-fn intensities() -> Vec<Intensity> {
-    vec![
-        Intensity {
-            name: "healthy",
-            plan: FaultPlan::none(),
-        },
-        Intensity {
-            name: "mild",
-            plan: FaultPlan::none()
-                .with(FaultSpec::always(FaultKind::CameraFrameDrop {
-                    probability: 0.05,
-                }))
-                .with(FaultSpec::always(FaultKind::CameraNoise { sigma_px: 1.0 })),
-        },
-        Intensity {
-            name: "moderate",
-            plan: FaultPlan::none()
-                .with(FaultSpec::always(FaultKind::CameraFrameDrop {
-                    probability: 0.15,
-                }))
-                .with(FaultSpec::always(FaultKind::CameraNoise { sigma_px: 2.5 }))
-                .with(FaultSpec::always(FaultKind::LidarDropout {
-                    probability: 0.15,
-                }))
-                .with(FaultSpec::always(FaultKind::GpsBias {
-                    bias: 0.5,
-                    drift_per_s: 0.02,
-                })),
-        },
-        Intensity {
-            name: "severe",
-            plan: FaultPlan::none()
-                .with(FaultSpec::always(FaultKind::CameraFrameDrop {
-                    probability: 0.3,
-                }))
-                .with(FaultSpec::always(FaultKind::CameraFreeze {
-                    probability: 0.02,
-                    mean_frames: 6.0,
-                }))
-                .with(FaultSpec::always(FaultKind::CameraNoise { sigma_px: 4.0 }))
-                .with(FaultSpec::always(FaultKind::LidarDropout {
-                    probability: 0.4,
-                }))
-                .with(FaultSpec::always(FaultKind::GpsBias {
-                    bias: 1.5,
-                    drift_per_s: 0.05,
-                }))
-                .with(FaultSpec::always(FaultKind::DetectorBlackout {
-                    probability: 0.01,
-                    mean_frames: 4.0,
-                })),
-        },
-    ]
-}
-
-/// The sweep's 〈scenario, attacker〉 arms. Kinematic oracle throughout — the
-/// question is replica tracking under faults, not oracle quality.
-fn arms() -> Vec<(&'static str, ScenarioId, AttackerSpec)> {
-    vec![
-        ("DS-1-golden", ScenarioId::Ds1, AttackerSpec::None),
-        (
-            "DS-1-Disappear-R",
-            ScenarioId::Ds1,
-            AttackerSpec::RoboTack {
-                vector: Some(AttackVector::Disappear),
-                oracle: OracleSpec::Kinematic,
-            },
-        ),
-        (
-            "DS-2-Disappear-R",
-            ScenarioId::Ds2,
-            AttackerSpec::RoboTack {
-                vector: Some(AttackVector::Disappear),
-                oracle: OracleSpec::Kinematic,
-            },
-        ),
-        (
-            "DS-3-Move_In-R",
-            ScenarioId::Ds3,
-            AttackerSpec::RoboTack {
-                vector: Some(AttackVector::MoveIn),
-                oracle: OracleSpec::Kinematic,
-            },
-        ),
-    ]
-}
-
-fn divergences(outcomes: &[RunOutcome]) -> Vec<f64> {
-    outcomes
-        .iter()
-        .filter_map(|o| o.replica_divergence)
-        .collect()
-}
 
 fn main() {
     let args = Args::parse();
-    let runs = if args.quick {
-        args.runs.min(8)
-    } else {
-        args.runs.min(60)
-    };
-
-    println!(
-        "## Sensor-fault resilience ({runs} runs/cell, base seed {})\n",
-        args.seed
-    );
-    println!(
-        "| arm | faults | launched | EB % | accident % | mean div (m) | max div (m) \
-         | frames lost | stale frames |"
-    );
-    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|");
-
-    for (name, scenario, attacker) in arms() {
-        for intensity in intensities() {
-            let campaign = Campaign::new(
-                format!("{name}/{}", intensity.name),
-                scenario,
-                attacker.clone(),
-                runs,
-                args.seed,
-            )
-            .with_faults(intensity.plan.clone());
-            let result = run_campaign(&campaign);
-
-            let launched = result.n_launched();
-            let (_, eb_pct) = result.eb();
-            let (_, acc_pct) = result.crashes();
-            let divs = divergences(&result.outcomes);
-            let (mean_div, max_div) = if divs.is_empty() {
-                ("-".to_string(), "-".to_string())
-            } else {
-                (
-                    format!("{:.2}", stats::mean(&divs)),
-                    format!("{:.2}", divs.iter().copied().fold(f64::MIN, f64::max)),
-                )
-            };
-            let lost: u64 = result
-                .outcomes
-                .iter()
-                .map(|o| {
-                    u64::from(o.faults.camera_frames_dropped)
-                        + u64::from(o.faults.camera_frames_frozen)
-                })
-                .sum();
-            let stale: u64 = result.outcomes.iter().map(|o| o.stale_frames).sum();
-
-            println!(
-                "| {name} | {} | {launched}/{runs} | {eb_pct:.0} | {acc_pct:.0} \
-                 | {mean_div} | {max_div} | {lost} | {stale} |",
-                intensity.name
-            );
-        }
-    }
-
-    println!(
-        "\nDivergence is the peak distance (m) between the ADS's and the \
-         malware replica's ego-relative estimate of the scripted target; '-' \
-         means the attacker keeps no replica or the target was never tracked \
-         by both. 'frames lost' counts camera frames the injector dropped or \
-         froze across all runs; 'stale frames' counts frozen replays the ADS \
-         perception rejected (coasting instead of corrupting its tracker)."
-    );
+    let cache = args.oracle_cache();
+    print!("{}", jobs::resilience(&args, &cache));
 }

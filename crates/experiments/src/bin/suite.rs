@@ -1,0 +1,96 @@
+//! The evaluation-service orchestrator: runs the whole paper — Table II,
+//! Figs. 5–8, the ablations, the defense and resilience studies — as one
+//! job DAG on a shared worker pool over one content-addressed artifact
+//! store.
+//!
+//! Dataset collection and oracle training are explicit preparation jobs,
+//! so the six 〈scenario, vector〉 arms are collected and trained exactly
+//! once per store no matter how many figures consume them. Each report
+//! job's stdout is byte-identical to its standalone binary (CI diffs
+//! them); everything else — progress, scorecards, the end-of-run summary
+//! table — goes to stderr. Completed jobs are appended to a JSONL run
+//! manifest as they finish, and a rerun with the same configuration skips
+//! them, so an interrupted suite resumes where it stopped.
+//!
+//! Flags (on top of the shared experiment flags): `--jobs N` worker
+//! threads, `--only JOB` (repeatable; runs the job plus its transitive
+//! dependencies), `--list` (print the DAG and exit), `--manifest FILE`,
+//! `--no-resume`.
+
+use av_experiments::jobs::paper_dag;
+use av_experiments::suite::SuiteArgs;
+use av_suite::{execute, Dag, ExecOptions};
+use std::sync::Arc;
+
+fn list(dag: &Dag) {
+    println!("suite: {} jobs", dag.len());
+    for job in dag.jobs() {
+        let stdout = if job.is_stdout_job() { " [stdout]" } else { "" };
+        println!("  {}{stdout}", job.id());
+        if !job.dep_ids().is_empty() {
+            println!("    after: {}", job.dep_ids().join(", "));
+        }
+        if !job.declared_inputs().is_empty() {
+            println!("    reads: {}", job.declared_inputs().join(", "));
+        }
+        if !job.declared_outputs().is_empty() {
+            println!("    writes: {}", job.declared_outputs().join(", "));
+        }
+    }
+}
+
+fn main() {
+    let args = SuiteArgs::parse();
+    let store = Arc::new(args.base.artifact_store());
+
+    let dag = match paper_dag(&args.base, &store) {
+        Ok(dag) => dag,
+        Err(e) => {
+            eprintln!("suite: invalid job DAG: {e}");
+            std::process::exit(2);
+        }
+    };
+    let dag = if args.only.is_empty() {
+        dag
+    } else {
+        match dag.subgraph(&args.only) {
+            Ok(dag) => dag,
+            Err(e) => {
+                eprintln!("suite: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    if args.list {
+        list(&dag);
+        return;
+    }
+
+    let opts = ExecOptions {
+        workers: args.jobs,
+        manifest: Some(args.manifest_path()),
+        resume: !args.no_resume,
+        config_key: args.base.config_key(),
+        ..ExecOptions::default()
+    };
+    eprintln!(
+        "suite: {} jobs, {} workers, manifest {}",
+        dag.len(),
+        opts.workers,
+        args.manifest_path().display()
+    );
+
+    match execute(&dag, &opts) {
+        Ok(report) => {
+            for job in report.jobs.iter().filter(|j| j.emits_stdout) {
+                print!("{}", job.stdout);
+            }
+            eprint!("{}", report.render_summary());
+        }
+        Err(e) => {
+            eprintln!("suite: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,64 +1,14 @@
 //! Regenerates Table II: attack summary for the six RoboTack campaigns plus
 //! the DS-5 random baseline, with the paper's reference numbers inline.
+//!
+//! Thin wrapper over [`av_experiments::jobs::table2`] — the `suite`
+//! orchestrator runs the same function, so its stdout is byte-identical.
 
-use av_experiments::report::{render_table2, Table2Reference};
-use av_experiments::suite::{
-    oracle_for, report_cache, run_baseline_campaign, run_r_campaign, Args, ARMS,
-};
+use av_experiments::jobs;
+use av_experiments::suite::Args;
 
 fn main() {
     let args = Args::parse();
-    let sweep = args.sweep();
     let cache = args.oracle_cache();
-    eprintln!("table2: {} runs/campaign (quick={})", args.runs, args.quick);
-
-    let references = [
-        Table2Reference {
-            k: "48",
-            eb_pct: "53.5%",
-            crash_pct: "31.7%",
-        },
-        Table2Reference {
-            k: "14",
-            eb_pct: "94.4%",
-            crash_pct: "82.6%",
-        },
-        Table2Reference {
-            k: "65",
-            eb_pct: "37.3%",
-            crash_pct: "17.3%",
-        },
-        Table2Reference {
-            k: "32",
-            eb_pct: "97.8%",
-            crash_pct: "84.1%",
-        },
-        Table2Reference {
-            k: "48",
-            eb_pct: "94.6%",
-            crash_pct: "—",
-        },
-        Table2Reference {
-            k: "24",
-            eb_pct: "78.5%",
-            crash_pct: "—",
-        },
-    ];
-
-    let mut rows = Vec::new();
-    for ((scenario, vector, name), reference) in ARMS.iter().zip(references) {
-        eprintln!("training oracle for {name} ...");
-        let (oracle, desc) = oracle_for(*scenario, *vector, &sweep, &cache);
-        eprintln!("  {desc}");
-        eprintln!("running campaign {name} ...");
-        let result = run_r_campaign(name, *scenario, *vector, oracle, args.runs, args.seed);
-        let crashes_apply = !name.contains("Move_In");
-        rows.push((result, reference, crashes_apply));
-    }
-
-    report_cache(&cache);
-    eprintln!("running DS-5-Baseline-Random ...");
-    let baseline = run_baseline_campaign(args.runs.max(24), args.seed + 5000);
-
-    println!("{}", render_table2(&rows, &baseline));
+    print!("{}", jobs::table2(&args, &cache));
 }

@@ -16,22 +16,30 @@
 //! - [`train_sh`]: the safety-hijacker training pipeline (§IV-B) — δ_inject/k
 //!   sweeps to collect the ADS-response dataset, then Adam training of the
 //!   per-vector NN oracle.
-//! - [`oracle_cache`]: a content-addressed, persisted cache of trained
-//!   oracles so the suite binaries train each 〈scenario, vector〉 oracle
-//!   once instead of once per figure.
+//! - [`oracle_cache`]: views over a content-addressed artifact store of
+//!   trained oracles *and* collected sweep datasets, so the suite binaries
+//!   collect and train each 〈scenario, vector〉 arm once instead of once
+//!   per figure.
+//! - [`jobs`]: every table/figure as a library function returning its
+//!   stdout report, plus the full evaluation as an `av-suite` job DAG over
+//!   one shared artifact store (the `suite` binary runs it; the per-figure
+//!   binaries are thin wrappers over the same functions).
 //! - [`stats`]: distribution fitting (exponential / normal, as in Fig. 5),
 //!   percentiles and box-plot summaries.
 //! - [`report`]: plain-text renderers that print each table/figure in the
 //!   paper's shape next to the paper's reference numbers.
 //!
 //! Binaries: `table2`, `fig5`, `fig6`, `fig7`, `fig8`, `ablations`,
-//! `defense`, `resilience` (one per experiment) and `trace` (replay one run
-//! with full telemetry: JSONL event stream + per-stage latency table).
+//! `defense`, `resilience` (one per experiment), `suite` (the whole
+//! evaluation as one resumable job DAG on a shared worker pool) and `trace`
+//! (replay one run with full telemetry: JSONL event stream + per-stage
+//! latency table).
 
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod characterize;
+pub mod jobs;
 pub mod oracle_cache;
 pub mod prelude;
 pub mod report;

@@ -1,28 +1,41 @@
-//! Content-addressed cache of trained safety-hijacker oracles.
+//! Content-addressed caching of trained safety-hijacker oracles and the
+//! sweep datasets they are trained on.
 //!
 //! Training one oracle means running a full δ_inject × k × seed sweep
 //! (~715 simulations) and 300 Adam epochs — and `table2`, `fig6`–`fig8` and
 //! `ablations` each retrain the *same* 〈scenario, vector〉 oracles from
-//! scratch. This module makes that work content-addressed: the cache key is
-//! a digest of everything that determines the trained network bit-for-bit
-//! (scenario, vector, the full [`SweepConfig`], and a code-version constant
-//! bumped whenever collection/training semantics change), so a warm cache
-//! returns the exact oracle a fresh training run would produce.
+//! scratch. This module makes that work content-addressed over a shared
+//! [`ArtifactStore`]: the cache key is a digest of everything that
+//! determines the result bit-for-bit (scenario, vector, the full
+//! [`SweepConfig`], and a code-version constant bumped whenever
+//! collection/training semantics change), so a warm cache returns the exact
+//! oracle a fresh training run would produce. Two namespaces live in the
+//! store:
 //!
-//! Snapshots live one-per-file under a cache directory (default
-//! `target/oracle-cache/`), written atomically via tmp-file + rename. The
-//! decoder treats every file as hostile: lengths are bounds-checked against
-//! the remaining bytes *before* any allocation, and any mismatch — magic,
-//! version, key echo, shape, parameter count — is a miss, never a panic.
+//! - `oracle` — trained-oracle snapshots (file-compatible with the cache
+//!   directories this module wrote before the artifact store existed);
+//! - `dataset` — collected ADS-response sweeps, so a cold oracle still
+//!   skips its ~715 simulations when another consumer already collected
+//!   the identical sweep.
+//!
+//! An [`OracleCache`] is a cheap *view* over the store with its own
+//! hit/miss counters: the suite orchestrator gives every job a private
+//! view over one shared store, which is how the per-job scorecards in the
+//! run summary stay exact. Decoders treat every file as hostile: lengths
+//! are bounds-checked against the remaining bytes *before* any allocation,
+//! and any mismatch — magic, version, key echo, shape, parameter count —
+//! is a miss, never a panic.
 
-use crate::train_sh::{train_oracle, SweepConfig, TrainedOracle};
+use crate::train_sh::{collect_dataset, train_oracle_on, SweepConfig, TrainedOracle};
 use av_neural::mlp::Mlp;
-use av_neural::train::Normalizer;
+use av_neural::train::{Dataset, Normalizer};
 use av_simkit::scenario::ScenarioId;
+use av_suite::fnv::{fnv1a, Fnv1a};
+use av_suite::ArtifactStore;
 use av_telemetry::{Telemetry, TraceEvent};
 use robotack::safety_hijacker::{AttackFeatures, NnOracle};
 use robotack::vector::AttackVector;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -32,46 +45,24 @@ use std::sync::Arc;
 /// an oracle the current code would no longer produce.
 pub const DATASET_CODE_VERSION: u32 = 1;
 
-/// On-disk snapshot format version.
+/// On-disk snapshot format version (shared by both codecs).
 const FORMAT_VERSION: u32 = 1;
 
-/// Snapshot file magic: "RoboTack Oracle Cache".
+/// Oracle snapshot file magic: "RoboTack Oracle Cache".
 const MAGIC: [u8; 4] = *b"RTOC";
 
-/// FNV-1a 64-bit, the digest behind [`cache_key`].
-#[derive(Debug, Clone, Copy)]
-struct Fnv1a(u64);
+/// Dataset snapshot file magic: "RoboTack DataSet".
+const DATASET_MAGIC: [u8; 4] = *b"RTDS";
 
-impl Fnv1a {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Artifact-store namespace of trained-oracle snapshots.
+pub const NS_ORACLE: &str = "oracle";
 
-    fn new() -> Self {
-        Fnv1a(Self::OFFSET)
-    }
+/// Artifact-store namespace of collected sweep datasets.
+pub const NS_DATASET: &str = "dataset";
 
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    fn write_f64(&mut self, v: f64) {
-        self.write_u64(v.to_bits());
-    }
-
-    fn finish(self) -> u64 {
-        self.0
-    }
-}
-
-/// The content address of one trained oracle: a digest of every input that
-/// determines the training result bit-for-bit.
+/// The content address of one trained oracle (and of the sweep dataset it
+/// is trained on): a digest of every input that determines the result
+/// bit-for-bit.
 pub fn cache_key(scenario: ScenarioId, vector: AttackVector, sweep: &SweepConfig) -> u64 {
     let mut h = Fnv1a::new();
     h.write_u64(u64::from(DATASET_CODE_VERSION));
@@ -90,17 +81,32 @@ pub fn cache_key(scenario: ScenarioId, vector: AttackVector, sweep: &SweepConfig
     h.finish()
 }
 
-/// A persistent, content-addressed store of [`TrainedOracle`] snapshots.
+/// Content digest of a trained oracle (network shape + parameters +
+/// normalizer + metrics, by bit pattern) — what the run manifest records.
+pub fn oracle_digest(oracle: &TrainedOracle) -> u64 {
+    fnv1a(&encode(0, oracle))
+}
+
+/// Content digest of a collected dataset, by bit pattern.
+pub fn dataset_digest(data: &Dataset) -> u64 {
+    fnv1a(&encode_dataset(0, data))
+}
+
+/// A per-consumer view over a shared, content-addressed [`ArtifactStore`]
+/// of [`TrainedOracle`] snapshots and sweep [`Dataset`]s.
 ///
 /// All I/O is best-effort: an unreadable or corrupt snapshot is a cache
-/// miss, and a failed store is silently skipped (the freshly trained oracle
-/// is still returned).
+/// miss, and a failed store is silently skipped (the freshly computed
+/// value is still returned). Hit/miss counters are per-view; the
+/// underlying store can be shared across many views (one per suite job).
 #[derive(Debug)]
 pub struct OracleCache {
-    dir: Option<PathBuf>,
+    artifacts: Arc<ArtifactStore>,
     telemetry: Telemetry,
     hits: AtomicU64,
     misses: AtomicU64,
+    dataset_hits: AtomicU64,
+    dataset_misses: AtomicU64,
 }
 
 impl Default for OracleCache {
@@ -112,19 +118,24 @@ impl Default for OracleCache {
 impl OracleCache {
     /// A cache that never hits and never writes (`--no-cache`).
     pub fn disabled() -> OracleCache {
-        OracleCache {
-            dir: None,
-            telemetry: Telemetry::disabled(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        OracleCache::over(Arc::new(ArtifactStore::disabled()))
     }
 
     /// A cache rooted at `dir` (created lazily on first store).
     pub fn at(dir: impl Into<PathBuf>) -> OracleCache {
+        OracleCache::over(Arc::new(ArtifactStore::at(dir)))
+    }
+
+    /// A view over an existing (typically shared) artifact store, with
+    /// fresh hit/miss counters.
+    pub fn over(artifacts: Arc<ArtifactStore>) -> OracleCache {
         OracleCache {
-            dir: Some(dir.into()),
-            ..OracleCache::disabled()
+            artifacts,
+            telemetry: Telemetry::disabled(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            dataset_hits: AtomicU64::new(0),
+            dataset_misses: AtomicU64::new(0),
         }
     }
 
@@ -135,37 +146,62 @@ impl OracleCache {
 
     /// Attaches a telemetry handle; hits and misses are emitted as
     /// [`TraceEvent::OracleCacheHit`] / [`TraceEvent::OracleCacheMiss`].
+    /// If this view still owns its store exclusively, the store emits
+    /// [`TraceEvent::ArtifactHit`] / [`TraceEvent::ArtifactMiss`] too.
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> OracleCache {
+        if let Some(store) = Arc::get_mut(&mut self.artifacts) {
+            store.set_telemetry(telemetry.clone());
+        }
         self.telemetry = telemetry;
         self
     }
 
     /// Whether lookups can ever hit.
     pub fn is_enabled(&self) -> bool {
-        self.dir.is_some()
+        self.artifacts.is_enabled()
     }
 
-    /// Snapshot hits so far.
+    /// The shared artifact store behind this view.
+    pub fn artifact_store(&self) -> &Arc<ArtifactStore> {
+        &self.artifacts
+    }
+
+    /// Oracle-snapshot hits so far (this view).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Snapshot misses so far (disabled caches count every lookup).
+    /// Oracle-snapshot misses so far (disabled caches count every lookup).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
-    fn path_for(dir: &Path, key: u64) -> PathBuf {
-        dir.join(format!("{key:016x}.oracle"))
+    /// Dataset hits so far (this view).
+    pub fn dataset_hits(&self) -> u64 {
+        self.dataset_hits.load(Ordering::Relaxed)
     }
 
-    /// Looks up a snapshot by key. Any I/O or decode failure is a miss.
+    /// Dataset misses so far (this view).
+    pub fn dataset_misses(&self) -> u64 {
+        self.dataset_misses.load(Ordering::Relaxed)
+    }
+
+    /// All artifact lookups this view made, as ⟨hits, misses⟩ across both
+    /// namespaces — what the suite's per-job scorecard reports.
+    pub fn artifact_totals(&self) -> (u64, u64) {
+        (
+            self.hits() + self.dataset_hits(),
+            self.misses() + self.dataset_misses(),
+        )
+    }
+
+    /// Looks up an oracle snapshot by key. Any I/O or decode failure is a
+    /// miss.
     pub fn lookup(&self, key: u64) -> Option<TrainedOracle> {
         let found = self
-            .dir
-            .as_deref()
-            .and_then(|dir| std::fs::read(Self::path_for(dir, key)).ok())
+            .artifacts
+            .get(NS_ORACLE, key)
             .and_then(|bytes| decode(key, &bytes));
         match found {
             Some(oracle) => {
@@ -183,25 +219,58 @@ impl OracleCache {
         }
     }
 
-    /// Persists a snapshot under `key` (atomic tmp + rename; best-effort).
+    /// Persists an oracle snapshot under `key` (atomic; best-effort).
     pub fn store(&self, key: u64, oracle: &TrainedOracle) {
-        let Some(dir) = self.dir.as_deref() else {
-            return;
-        };
-        if std::fs::create_dir_all(dir).is_err() {
-            return;
-        }
-        let bytes = encode(key, oracle);
-        let tmp = dir.join(format!("{key:016x}.oracle.tmp.{}", std::process::id()));
-        if std::fs::write(&tmp, &bytes).is_ok()
-            && std::fs::rename(&tmp, Self::path_for(dir, key)).is_err()
-        {
-            let _ = std::fs::remove_file(&tmp);
+        self.artifacts.put(NS_ORACLE, key, &encode(key, oracle));
+    }
+
+    /// Looks up a collected dataset by key. Any I/O or decode failure is a
+    /// miss.
+    pub fn lookup_dataset(&self, key: u64) -> Option<Dataset> {
+        let found = self
+            .artifacts
+            .get(NS_DATASET, key)
+            .and_then(|bytes| decode_dataset(key, &bytes));
+        match found {
+            Some(data) => {
+                self.dataset_hits.fetch_add(1, Ordering::Relaxed);
+                Some(data)
+            }
+            None => {
+                self.dataset_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
     }
 
-    /// The cached equivalent of [`train_oracle`]: returns the snapshot when
-    /// present, otherwise trains, stores, and returns the fresh oracle.
+    /// Persists a collected dataset under `key` (atomic; best-effort).
+    pub fn store_dataset(&self, key: u64, data: &Dataset) {
+        self.artifacts
+            .put(NS_DATASET, key, &encode_dataset(key, data));
+    }
+
+    /// The cached equivalent of [`collect_dataset`]: returns the stored
+    /// sweep when present, otherwise collects, stores, and returns it —
+    /// each 〈scenario, vector〉 sweep runs its ~715 simulations once per
+    /// store, no matter how many consumers ask.
+    pub fn dataset_for(
+        &self,
+        scenario: ScenarioId,
+        vector: AttackVector,
+        sweep: &SweepConfig,
+    ) -> Dataset {
+        let key = cache_key(scenario, vector, sweep);
+        if let Some(data) = self.lookup_dataset(key) {
+            return data;
+        }
+        let data = collect_dataset(scenario, vector, sweep);
+        self.store_dataset(key, &data);
+        data
+    }
+
+    /// The cached equivalent of [`crate::train_sh::train_oracle`]: returns
+    /// the snapshot when present, otherwise trains (on the cached dataset
+    /// when one exists), stores, and returns the fresh oracle.
     pub fn oracle_for(
         &self,
         scenario: ScenarioId,
@@ -212,7 +281,8 @@ impl OracleCache {
         if let Some(oracle) = self.lookup(key) {
             return Some(oracle);
         }
-        let trained = train_oracle(scenario, vector, sweep)?;
+        let data = self.dataset_for(scenario, vector, sweep);
+        let trained = train_oracle_on(&data)?;
         self.store(key, &trained);
         Some(trained)
     }
@@ -286,7 +356,7 @@ impl Reader<'_> {
     }
 }
 
-/// Deserializes a snapshot; `None` on any structural problem.
+/// Deserializes an oracle snapshot; `None` on any structural problem.
 fn decode(key: u64, bytes: &[u8]) -> Option<TrainedOracle> {
     let mut r = Reader(bytes);
     if r.bytes()? != MAGIC || r.u32()? != FORMAT_VERSION || r.u64()? != key {
@@ -329,10 +399,56 @@ fn decode(key: u64, bytes: &[u8]) -> Option<TrainedOracle> {
     })
 }
 
+/// Serializes a collected [`Dataset`] (row lengths explicit, so decode
+/// never trusts a dimension it didn't read).
+fn encode_dataset(key: u64, data: &Dataset) -> Vec<u8> {
+    let floats: usize = data.inputs.iter().chain(&data.targets).map(Vec::len).sum();
+    let mut out = Vec::with_capacity(32 + 16 * data.inputs.len() + 8 * floats);
+    out.extend_from_slice(&DATASET_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(data.inputs.len() as u64).to_le_bytes());
+    for (input, target) in data.inputs.iter().zip(&data.targets) {
+        out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+        for &x in input {
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(target.len() as u64).to_le_bytes());
+        for &y in target {
+            out.extend_from_slice(&y.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Deserializes a dataset snapshot; `None` on any structural problem.
+fn decode_dataset(key: u64, bytes: &[u8]) -> Option<Dataset> {
+    let mut r = Reader(bytes);
+    if r.bytes()? != DATASET_MAGIC || r.u32()? != FORMAT_VERSION || r.u64()? != key {
+        return None;
+    }
+    let n_rows = usize::try_from(r.u64()?).ok()?;
+    // Each row needs at least its two length fields.
+    if n_rows > r.remaining() / 16 {
+        return None;
+    }
+    let mut inputs = Vec::with_capacity(n_rows);
+    let mut targets = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let input_len = usize::try_from(r.u64()?).ok()?;
+        inputs.push(r.f64s(input_len)?);
+        let target_len = usize::try_from(r.u64()?).ok()?;
+        targets.push(r.f64s(target_len)?);
+    }
+    if r.remaining() != 0 {
+        return None;
+    }
+    Some(Dataset { inputs, targets })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::train_sh::train_oracle_on;
     use av_neural::train::Dataset;
 
     fn sample_oracle() -> TrainedOracle {
@@ -342,6 +458,13 @@ mod tests {
             (vec![delta, -3.0, 0.5, -0.1, k], vec![delta - 0.1 * k])
         }));
         train_oracle_on(&data).expect("synthetic dataset trains")
+    }
+
+    fn sample_dataset() -> Dataset {
+        Dataset::from_rows((0..24).map(|i| {
+            let delta = 4.0 + f64::from(i) * 1.5;
+            (vec![delta, -2.0, 0.25, 0.0, 30.0], vec![delta - 3.0])
+        }))
     }
 
     fn bitwise_eq(a: &TrainedOracle, b: &TrainedOracle) -> bool {
@@ -378,6 +501,32 @@ mod tests {
             oracle.oracle.predict_delta(&f, 20).to_bits(),
             back.oracle.predict_delta(&f, 20).to_bits()
         );
+    }
+
+    #[test]
+    fn dataset_codec_round_trips_bit_identically() {
+        let data = sample_dataset();
+        let bytes = encode_dataset(9, &data);
+        let back = decode_dataset(9, &bytes).expect("round trip");
+        assert_eq!(data.inputs, back.inputs);
+        assert_eq!(data.targets, back.targets);
+        assert_eq!(dataset_digest(&data), dataset_digest(&back));
+    }
+
+    #[test]
+    fn dataset_snapshots_reject_corruption() {
+        let bytes = encode_dataset(5, &sample_dataset());
+        assert!(decode_dataset(6, &bytes).is_none(), "key echo mismatch");
+        for cut in [0, 3, 4, 15, 16, 24, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_dataset(5, &bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_dataset(5, &padded).is_none(), "trailing garbage");
+        // Hostile row count can't force an allocation.
+        let mut huge = bytes.clone();
+        huge[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_dataset(5, &huge).is_none(), "hostile row count");
     }
 
     #[test]
@@ -449,10 +598,45 @@ mod tests {
     }
 
     #[test]
+    fn dataset_round_trip_and_shared_store_views() {
+        let dir = std::env::temp_dir().join(format!("dataset-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ArtifactStore::at(&dir));
+
+        let writer = OracleCache::over(store.clone());
+        assert!(writer.lookup_dataset(11).is_none(), "cold dataset misses");
+        let data = sample_dataset();
+        writer.store_dataset(11, &data);
+        assert_eq!(
+            (writer.dataset_hits(), writer.dataset_misses()),
+            (0, 1),
+            "writer view counted its own miss only"
+        );
+
+        // A second view over the same store hits, with its own counters.
+        let reader = OracleCache::over(store);
+        let back = reader.lookup_dataset(11).expect("warm dataset hits");
+        assert_eq!(back.inputs, data.inputs);
+        assert_eq!(back.targets, data.targets);
+        assert_eq!((reader.dataset_hits(), reader.dataset_misses()), (1, 0));
+        assert_eq!(
+            (reader.hits(), reader.misses()),
+            (0, 0),
+            "oracle ns untouched"
+        );
+        assert_eq!(reader.artifact_totals(), (1, 0));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn disabled_cache_never_hits_or_writes() {
         let cache = OracleCache::disabled();
         cache.store(1, &sample_oracle());
         assert!(cache.lookup(1).is_none());
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.store_dataset(1, &sample_dataset());
+        assert!(cache.lookup_dataset(1).is_none());
+        assert_eq!((cache.dataset_hits(), cache.dataset_misses()), (0, 1));
     }
 }

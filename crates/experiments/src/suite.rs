@@ -2,12 +2,15 @@
 //! CLI handling for the experiment binaries.
 
 use crate::campaign::{run_campaign, Campaign, CampaignResult};
-use crate::oracle_cache::OracleCache;
+use crate::oracle_cache::{OracleCache, DATASET_CODE_VERSION};
 use crate::runner::{AttackerSpec, OracleSpec};
 use crate::train_sh::SweepConfig;
 use av_simkit::scenario::ScenarioId;
+use av_suite::fnv::Fnv1a;
+use av_suite::ArtifactStore;
 use robotack::vector::AttackVector;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// The six 〈scenario, vector〉 RoboTack arms of Table II, in paper row order.
 pub const ARMS: [(ScenarioId, AttackVector, &str); 6] = [
@@ -49,10 +52,23 @@ impl Default for Args {
 
 impl Args {
     /// Parses `--runs N`, `--quick`, `--seed S`, `--cache-dir DIR`,
-    /// `--no-cache` from `std::env::args`.
+    /// `--no-cache` from `std::env::args`, warning about anything else.
     pub fn parse() -> Args {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let (args, unknown) = Args::parse_known(&argv);
+        for other in unknown {
+            eprintln!("ignoring unknown argument {other:?}");
+        }
+        args
+    }
+
+    /// Parses the shared options out of `argv`, returning the arguments it
+    /// did not understand (so wrapper CLIs like `suite` can layer their own
+    /// flags on top without re-implementing the shared ones).
+    pub fn parse_known(argv: &[String]) -> (Args, Vec<String>) {
         let mut args = Args::default();
-        let mut iter = std::env::args().skip(1);
+        let mut unknown = Vec::new();
+        let mut iter = argv.iter();
         while let Some(a) = iter.next() {
             match a.as_str() {
                 "--quick" => {
@@ -75,24 +91,55 @@ impl Args {
                     }
                 }
                 "--no-cache" => args.no_cache = true,
-                other => eprintln!("ignoring unknown argument {other:?}"),
+                other => unknown.push(other.to_string()),
             }
         }
-        args
+        (args, unknown)
     }
 
-    /// The oracle cache these options select: disabled under `--no-cache`,
-    /// otherwise rooted at `--cache-dir` or the default directory.
-    pub fn oracle_cache(&self) -> OracleCache {
+    /// The artifact store these options select: disabled under
+    /// `--no-cache`, otherwise rooted at `--cache-dir` or the default
+    /// directory.
+    pub fn artifact_store(&self) -> ArtifactStore {
         if self.no_cache {
-            OracleCache::disabled()
+            ArtifactStore::disabled()
         } else {
-            OracleCache::at(
+            ArtifactStore::at(
                 self.cache_dir
                     .clone()
                     .unwrap_or_else(OracleCache::default_dir),
             )
         }
+    }
+
+    /// The oracle cache these options select: a view over
+    /// [`Args::artifact_store`].
+    pub fn oracle_cache(&self) -> OracleCache {
+        OracleCache::over(Arc::new(self.artifact_store()))
+    }
+
+    /// A digest of everything that determines job outputs for this
+    /// configuration — the run manifest's compatibility key. Two
+    /// invocations with the same config key may resume each other's
+    /// manifests; anything else starts fresh.
+    pub fn config_key(&self) -> u64 {
+        let sweep = self.sweep();
+        let mut h = Fnv1a::new();
+        h.write_u64(u64::from(DATASET_CODE_VERSION));
+        h.write_u64(self.runs);
+        h.write_u64(u64::from(self.quick));
+        h.write_u64(self.seed);
+        h.write_u64(sweep.delta_injects.len() as u64);
+        for &d in &sweep.delta_injects {
+            h.write_f64(d);
+        }
+        h.write_u64(sweep.ks.len() as u64);
+        for &k in &sweep.ks {
+            h.write_u64(u64::from(k));
+        }
+        h.write_u64(sweep.seeds_per_cell);
+        h.write_u64(sweep.base_seed);
+        h.finish()
     }
 
     /// The training sweep matching this mode.
@@ -107,6 +154,88 @@ impl Args {
         } else {
             SweepConfig::default()
         }
+    }
+}
+
+/// Command-line options of the `suite` orchestrator binary: the shared
+/// [`Args`] plus scheduling flags.
+#[derive(Debug, Clone)]
+pub struct SuiteArgs {
+    /// The shared experiment options (forwarded to every job).
+    pub base: Args,
+    /// Worker threads for the job pool (`--jobs N`).
+    pub jobs: usize,
+    /// Restrict the run to these jobs plus their transitive dependencies
+    /// (`--only JOB`, repeatable).
+    pub only: Vec<String>,
+    /// Print the job DAG and exit (`--list`).
+    pub list: bool,
+    /// Run-manifest path (`--manifest FILE`); `None` means
+    /// `target/suite-manifest.jsonl`.
+    pub manifest: Option<PathBuf>,
+    /// Ignore any existing manifest and re-run every job (`--no-resume`).
+    pub no_resume: bool,
+}
+
+impl Default for SuiteArgs {
+    fn default() -> Self {
+        SuiteArgs {
+            base: Args::default(),
+            jobs: 2,
+            only: Vec::new(),
+            list: false,
+            manifest: None,
+            no_resume: false,
+        }
+    }
+}
+
+impl SuiteArgs {
+    /// Parses suite flags plus the shared [`Args`] from `std::env::args`.
+    pub fn parse() -> SuiteArgs {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        SuiteArgs::parse_from(&argv)
+    }
+
+    /// Parses suite flags plus the shared [`Args`] from `argv`.
+    pub fn parse_from(argv: &[String]) -> SuiteArgs {
+        let (base, rest) = Args::parse_known(argv);
+        let mut args = SuiteArgs {
+            base,
+            ..SuiteArgs::default()
+        };
+        let mut iter = rest.iter();
+        while let Some(a) = iter.next() {
+            match a.as_str() {
+                "--jobs" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        args.jobs = v;
+                    }
+                }
+                "--only" => {
+                    if let Some(v) = iter.next() {
+                        args.only.push(v.to_string());
+                    }
+                }
+                "--list" => args.list = true,
+                "--manifest" => {
+                    if let Some(v) = iter.next() {
+                        args.manifest = Some(PathBuf::from(v));
+                    }
+                }
+                "--no-resume" => args.no_resume = true,
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        args.jobs = args.jobs.max(1);
+        args
+    }
+
+    /// The manifest path this run appends to.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.manifest
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("target").join("suite-manifest.jsonl"))
     }
 }
 
@@ -148,8 +277,14 @@ pub fn report_cache(cache: &OracleCache) {
             cache.hits(),
             cache.misses()
         );
+        eprintln!(
+            "[artifact] dataset hits={} misses={}",
+            cache.dataset_hits(),
+            cache.dataset_misses()
+        );
     } else {
         eprintln!("[oracle-cache] disabled");
+        eprintln!("[artifact] dataset cache disabled");
     }
 }
 
@@ -240,6 +375,58 @@ mod tests {
         .sweep();
         assert!(quick.delta_injects.len() < full.delta_injects.len());
         assert!(quick.ks.len() < full.ks.len());
+    }
+
+    #[test]
+    fn parse_known_splits_shared_and_unknown_flags() {
+        let argv: Vec<String> = ["--quick", "--jobs", "4", "--seed", "7", "--only", "table2"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let (args, unknown) = Args::parse_known(&argv);
+        assert!(args.quick);
+        assert_eq!(args.seed, 7);
+        assert_eq!(unknown, ["--jobs", "4", "--only", "table2"]);
+
+        let suite = SuiteArgs::parse_from(&argv);
+        assert!(suite.base.quick);
+        assert_eq!(suite.base.seed, 7);
+        assert_eq!(suite.jobs, 4);
+        assert_eq!(suite.only, ["table2"]);
+        assert!(!suite.list);
+        assert!(suite.manifest_path().ends_with("suite-manifest.jsonl"));
+    }
+
+    #[test]
+    fn config_key_tracks_every_input() {
+        let base = Args::default();
+        let k0 = base.config_key();
+        assert_eq!(k0, Args::default().config_key(), "stable");
+        assert_ne!(
+            k0,
+            Args {
+                runs: base.runs + 1,
+                ..base.clone()
+            }
+            .config_key()
+        );
+        assert_ne!(
+            k0,
+            Args {
+                seed: base.seed ^ 1,
+                ..base.clone()
+            }
+            .config_key()
+        );
+        assert_ne!(
+            k0,
+            Args {
+                quick: true,
+                ..base.clone()
+            }
+            .config_key(),
+            "quick changes the sweep, so it changes the key"
+        );
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! # av-suite — evaluation-service orchestrator
+//!
+//! The layer that turns the experiment binaries into a servable evaluation
+//! system: each paper artifact (Table II, Figs. 5–8, the ablations, the
+//! defense and resilience studies) is a typed [`Job`] in a dependency DAG,
+//! executed on one shared work-stealing worker pool against one shared
+//! content-addressed [`ArtifactStore`] holding the expensive intermediates
+//! (collected sweep datasets, trained oracles).
+//!
+//! Structure:
+//!
+//! - [`fnv`]: the FNV-1a 64-bit digest all content addresses use.
+//! - [`store`]: the artifact store — namespaced, keyed byte blobs with
+//!   atomic writes and best-effort reads ([`TraceEvent::ArtifactHit`] /
+//!   [`TraceEvent::ArtifactMiss`] telemetry).
+//! - [`dag`]: jobs with declared inputs/outputs and validated dependency
+//!   edges (duplicate ids, dangling deps and cycles are construction
+//!   errors), plus transitive-closure subgraphs for `--only`.
+//! - [`exec`]: the executor — a work-stealing pool (workers claim ready
+//!   jobs off a shared queue), a resumable JSONL run manifest (completed
+//!   jobs are skipped on rerun and their recorded stdout replayed), and a
+//!   per-job scorecard ([`JobReport`] / [`RunReport`]) for the end-of-run
+//!   summary table.
+//! - [`manifest`]: the hand-rolled JSONL manifest codec (the vendored
+//!   `serde` is a no-op stub); truncated trailing lines — a killed run —
+//!   parse as "not completed", which is what makes resume safe.
+//!
+//! Determinism contract: a job's `run` closure must be a pure function of
+//! its declared inputs (plus the artifact store's content), so executing a
+//! DAG with 1, 4 or 8 workers yields byte-identical job stdout and artifact
+//! digests. The executor only decides *when* jobs run, never *what* they
+//! compute.
+//!
+//! [`TraceEvent::ArtifactHit`]: av_telemetry::TraceEvent::ArtifactHit
+//! [`TraceEvent::ArtifactMiss`]: av_telemetry::TraceEvent::ArtifactMiss
+
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod exec;
+pub mod fnv;
+pub mod manifest;
+pub mod store;
+
+pub use dag::{Dag, DagError, Job, JobOutcome};
+pub use exec::{execute, ExecError, ExecOptions, JobReport, RunReport};
+pub use fnv::Fnv1a;
+pub use manifest::ManifestEntry;
+pub use store::ArtifactStore;

@@ -1,0 +1,156 @@
+//! The content-addressed artifact store.
+//!
+//! A generalization of the oracle cache's on-disk layout: byte blobs live
+//! one-per-file under a root directory as `{key:016x}.{namespace}` (the
+//! `oracle` namespace is therefore file-compatible with caches written
+//! before the store existed). The store moves bytes only — encoding,
+//! decoding and validation belong to the callers, which treat every file
+//! as hostile.
+//!
+//! All I/O is best-effort: an unreadable file is a miss and a failed write
+//! is silently skipped, so a read-only or full disk degrades to "recompute
+//! everything" rather than an error.
+
+use av_telemetry::{Telemetry, TraceEvent};
+use std::path::{Path, PathBuf};
+
+/// A persistent, namespaced, content-addressed store of byte blobs.
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    dir: Option<PathBuf>,
+    telemetry: Telemetry,
+}
+
+impl ArtifactStore {
+    /// A store that never hits and never writes (`--no-cache`).
+    pub fn disabled() -> ArtifactStore {
+        ArtifactStore {
+            dir: None,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// A store rooted at `dir` (created lazily on first write).
+    pub fn at(dir: impl Into<PathBuf>) -> ArtifactStore {
+        ArtifactStore {
+            dir: Some(dir.into()),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle; reads emit
+    /// [`TraceEvent::ArtifactHit`] / [`TraceEvent::ArtifactMiss`].
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ArtifactStore {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry handle in place (for owners holding a
+    /// not-yet-shared store).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Whether reads can ever hit.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The root directory, if enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn path_for(dir: &Path, namespace: &str, key: u64) -> PathBuf {
+        dir.join(format!("{key:016x}.{namespace}"))
+    }
+
+    /// Reads the blob stored under ⟨`namespace`, `key`⟩. Any I/O failure
+    /// (including a disabled store) is a miss.
+    pub fn get(&self, namespace: &'static str, key: u64) -> Option<Vec<u8>> {
+        let found = self
+            .dir
+            .as_deref()
+            .and_then(|dir| std::fs::read(Self::path_for(dir, namespace, key)).ok());
+        match &found {
+            Some(_) => self
+                .telemetry
+                .emit(0.0, || TraceEvent::ArtifactHit { namespace, key }),
+            None => self
+                .telemetry
+                .emit(0.0, || TraceEvent::ArtifactMiss { namespace, key }),
+        }
+        found
+    }
+
+    /// Persists `bytes` under ⟨`namespace`, `key`⟩ (atomic tmp + rename;
+    /// best-effort — failures are silently skipped).
+    pub fn put(&self, namespace: &'static str, key: u64, bytes: &[u8]) {
+        let Some(dir) = self.dir.as_deref() else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!("{key:016x}.{namespace}.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, bytes).is_ok()
+            && std::fs::rename(&tmp, Self::path_for(dir, namespace, key)).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_telemetry::{EventKind, RingBufferSink, SharedSink};
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("artifact-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_bytes_per_namespace() {
+        let dir = scratch("roundtrip");
+        let store = ArtifactStore::at(&dir);
+        assert!(store.get("oracle", 7).is_none(), "cold store misses");
+        store.put("oracle", 7, b"alpha");
+        store.put("dataset", 7, b"beta");
+        assert_eq!(store.get("oracle", 7).as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(store.get("dataset", 7).as_deref(), Some(&b"beta"[..]));
+        assert!(store.get("oracle", 8).is_none(), "other keys stay cold");
+        // Layout is file-compatible with the pre-store oracle cache.
+        assert!(dir.join(format!("{:016x}.oracle", 7)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_store_never_hits_or_writes() {
+        let store = ArtifactStore::disabled();
+        store.put("oracle", 1, b"ignored");
+        assert!(store.get("oracle", 1).is_none());
+        assert!(!store.is_enabled());
+    }
+
+    #[test]
+    fn reads_emit_hit_and_miss_telemetry() {
+        let dir = scratch("telemetry");
+        let sink = SharedSink::new(RingBufferSink::new(16));
+        let store = ArtifactStore::at(&dir).with_telemetry(Telemetry::with_sink(sink.clone()));
+        let _ = store.get("dataset", 3);
+        store.put("dataset", 3, b"x");
+        let _ = store.get("dataset", 3);
+        let kinds: Vec<EventKind> = sink
+            .lock()
+            .records()
+            .iter()
+            .map(|r| r.event.kind())
+            .collect();
+        assert_eq!(kinds, vec![EventKind::ArtifactMiss, EventKind::ArtifactHit]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -150,6 +150,30 @@ pub enum TraceEvent {
         /// The cache key digest (hex in the JSONL schema).
         key: u64,
     },
+    /// A suite-orchestrator job began executing on a worker.
+    JobStarted {
+        /// The job's DAG identifier (e.g. `oracle:DS-1:Disappear`).
+        job: String,
+    },
+    /// A suite-orchestrator job finished executing.
+    JobFinished {
+        /// The job's DAG identifier.
+        job: String,
+    },
+    /// An artifact-store read found usable bytes under the key.
+    ArtifactHit {
+        /// Store namespace (`oracle`, `dataset`, …).
+        namespace: &'static str,
+        /// The content-address digest (hex in the JSONL schema).
+        key: u64,
+    },
+    /// An artifact-store read found nothing (absent or unreadable).
+    ArtifactMiss {
+        /// Store namespace (`oracle`, `dataset`, …).
+        namespace: &'static str,
+        /// The content-address digest (hex in the JSONL schema).
+        key: u64,
+    },
 }
 
 /// Dense event-kind tags for counting (one counter per kind).
@@ -172,11 +196,15 @@ pub enum EventKind {
     CampaignRunDispatched,
     OracleCacheHit,
     OracleCacheMiss,
+    JobStarted,
+    JobFinished,
+    ArtifactHit,
+    ArtifactMiss,
 }
 
 impl EventKind {
     /// Every event kind, in taxonomy order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::RunStarted,
         EventKind::SchedulerTask,
         EventKind::SensorSample,
@@ -193,6 +221,10 @@ impl EventKind {
         EventKind::CampaignRunDispatched,
         EventKind::OracleCacheHit,
         EventKind::OracleCacheMiss,
+        EventKind::JobStarted,
+        EventKind::JobFinished,
+        EventKind::ArtifactHit,
+        EventKind::ArtifactMiss,
     ];
 
     /// Number of event kinds (registry array size).
@@ -222,6 +254,10 @@ impl EventKind {
             EventKind::CampaignRunDispatched => "campaign_run_dispatched",
             EventKind::OracleCacheHit => "oracle_cache_hit",
             EventKind::OracleCacheMiss => "oracle_cache_miss",
+            EventKind::JobStarted => "job_started",
+            EventKind::JobFinished => "job_finished",
+            EventKind::ArtifactHit => "artifact_hit",
+            EventKind::ArtifactMiss => "artifact_miss",
         }
     }
 }
@@ -246,6 +282,10 @@ impl TraceEvent {
             TraceEvent::CampaignRunDispatched { .. } => EventKind::CampaignRunDispatched,
             TraceEvent::OracleCacheHit { .. } => EventKind::OracleCacheHit,
             TraceEvent::OracleCacheMiss { .. } => EventKind::OracleCacheMiss,
+            TraceEvent::JobStarted { .. } => EventKind::JobStarted,
+            TraceEvent::JobFinished { .. } => EventKind::JobFinished,
+            TraceEvent::ArtifactHit { .. } => EventKind::ArtifactHit,
+            TraceEvent::ArtifactMiss { .. } => EventKind::ArtifactMiss,
         }
     }
 }
@@ -356,6 +396,17 @@ impl TraceRecord {
             TraceEvent::OracleCacheHit { key } | TraceEvent::OracleCacheMiss { key } => {
                 let _ = write!(s, ",\"key\":\"{key:016x}\"");
             }
+            TraceEvent::JobStarted { job } | TraceEvent::JobFinished { job } => {
+                let _ = write!(s, ",\"job\":\"{}\"", escape(job));
+            }
+            TraceEvent::ArtifactHit { namespace, key }
+            | TraceEvent::ArtifactMiss { namespace, key } => {
+                let _ = write!(
+                    s,
+                    ",\"namespace\":\"{}\",\"key\":\"{key:016x}\"",
+                    escape(namespace)
+                );
+            }
         }
         s.push('}');
         s
@@ -455,6 +506,20 @@ mod tests {
                 key: 0x88fd_3971_a1e3_db6f,
             },
             TraceEvent::OracleCacheMiss { key: 1 },
+            TraceEvent::JobStarted {
+                job: "oracle:DS-1:Disappear".to_string(),
+            },
+            TraceEvent::JobFinished {
+                job: "table2".to_string(),
+            },
+            TraceEvent::ArtifactHit {
+                namespace: "dataset",
+                key: 2,
+            },
+            TraceEvent::ArtifactMiss {
+                namespace: "oracle",
+                key: 3,
+            },
         ];
         assert_eq!(events.len(), EventKind::COUNT, "taxonomy covered");
         for (event, kind) in events.into_iter().zip(EventKind::ALL) {

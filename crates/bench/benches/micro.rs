@@ -72,6 +72,23 @@ fn bench_nn(c: &mut Criterion) {
     c.bench_function("nn_forward_100_100_50", |b| {
         b.iter(|| black_box(net.forward(black_box(&input))))
     });
+    // The batched-inference kernel at the batch engine's row counts: the
+    // per-row cost must drop well below the scalar forward for cross-session
+    // GEMM batching to pay off.
+    for rows in [4usize, 16] {
+        let mut batch = av_neural::matrix::Matrix::zeros(rows, 5);
+        for r in 0..rows {
+            batch.row_mut(r).copy_from_slice(&input);
+        }
+        let mut scratch = av_neural::matrix::Matrix::zeros(0, 0);
+        let mut out = av_neural::matrix::Matrix::zeros(0, 0);
+        c.bench_function(&format!("nn_forward_batch_{rows}_rows"), |b| {
+            b.iter(|| {
+                net.forward_batch_into(black_box(&batch), &mut scratch, &mut out);
+                black_box(out.get(0, 0))
+            })
+        });
+    }
 }
 
 fn bench_patch(c: &mut Criterion) {

@@ -13,6 +13,7 @@
 //! (§IV-B), the minimal sufficient attack length `K` (Eq. 2) is found by
 //! binary search in `O(log K_max)` oracle evaluations.
 
+use av_neural::matrix::Matrix;
 use av_neural::mlp::Mlp;
 use av_neural::train::Normalizer;
 use serde::{Deserialize, Serialize};
@@ -34,7 +35,12 @@ pub struct AttackFeatures {
 impl AttackFeatures {
     /// Flattens features plus the candidate `k` into the NN input vector.
     pub fn to_input(self, k: u32) -> Vec<f64> {
-        vec![
+        self.input_array(k).to_vec()
+    }
+
+    /// Allocation-free form of [`AttackFeatures::to_input`].
+    pub fn input_array(self, k: u32) -> [f64; Self::INPUT_DIM] {
+        [
             self.delta,
             self.v_rel_lon,
             self.v_rel_lat,
@@ -80,6 +86,39 @@ impl NnOracle {
     /// The input normalizer (for diagnostics and snapshotting).
     pub fn normalizer(&self) -> &Normalizer {
         &self.normalizer
+    }
+
+    /// Answers a batch of `(features, k)` queries with one GEMM per network
+    /// layer, appending one prediction per query to `out` (cleared first).
+    ///
+    /// Each output row is bit-identical to the corresponding
+    /// [`SafetyOracle::predict_delta`] call — see
+    /// [`Mlp::forward_batch_into`] for why — so a batch engine may coalesce
+    /// queries from many sessions without perturbing any session's decision.
+    pub fn predict_delta_batch(&self, queries: &[(AttackFeatures, u32)], out: &mut Vec<f64>) {
+        // A batch engine calls this once per k-search round on a hot loop;
+        // per-worker scratch keeps every round allocation-free.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<(Matrix, Matrix, Matrix)> = std::cell::RefCell::new((
+                Matrix::zeros(0, 0),
+                Matrix::zeros(0, 0),
+                Matrix::zeros(0, 0),
+            ));
+        }
+        out.clear();
+        if queries.is_empty() {
+            return;
+        }
+        SCRATCH.with(|cell| {
+            let (input, scratch, y) = &mut *cell.borrow_mut();
+            input.reshape(queries.len(), AttackFeatures::INPUT_DIM);
+            for (r, (features, k)) in queries.iter().enumerate() {
+                self.normalizer
+                    .apply_into(&features.input_array(*k), input.row_mut(r));
+            }
+            self.net.forward_batch_into(input, scratch, y);
+            out.extend((0..queries.len()).map(|r| y.get(r, 0)));
+        });
     }
 }
 
@@ -169,6 +208,153 @@ pub struct AttackDecision {
     pub predicted_delta: f64,
 }
 
+/// Resumable Eq. 2 search: the gate check plus binary search that
+/// [`SafetyHijacker::decide_capped`] runs, expressed as a state machine whose
+/// oracle evaluations are performed by the *caller*.
+///
+/// This inversion lets a batch engine gather the pending query from many
+/// concurrent sessions, answer them all with one GEMM
+/// ([`NnOracle::predict_delta_batch`]), and feed the predictions back — while
+/// producing exactly the same sequence of (features, k) queries, and
+/// therefore exactly the same decision, as the inline search.
+#[derive(Debug, Clone)]
+pub struct KSearch {
+    cfg: SafetyHijackerConfig,
+    state: KState,
+}
+
+#[derive(Debug, Clone)]
+enum KState {
+    /// Evaluating `k_max`: reject unless even the longest attack is
+    /// confidently below γ.
+    Gate,
+    /// Binary search over `[lo, hi]` for the minimal sufficient k.
+    Bisect { lo: u32, hi: u32 },
+    /// Re-evaluating the chosen k for the reported `predicted_delta`.
+    Final { k: u32 },
+    /// Terminal: the decision (or `None` for hold-fire).
+    Done(Option<AttackDecision>),
+}
+
+impl KSearch {
+    /// Starts a search under `config` with the per-vector cap `k_max`
+    /// (clamped to at least `config.k_min`, as in
+    /// [`SafetyHijacker::decide_capped`]).
+    pub fn new(config: SafetyHijackerConfig, k_max: u32) -> Self {
+        let mut cfg = config;
+        cfg.k_max = k_max.max(cfg.k_min);
+        KSearch {
+            cfg,
+            state: KState::Gate,
+        }
+    }
+
+    /// The `k` the oracle should be evaluated at next, or `None` once the
+    /// search has terminated.
+    pub fn pending_k(&self) -> Option<u32> {
+        match self.state {
+            KState::Gate => Some(self.cfg.k_max),
+            KState::Bisect { lo, hi } => Some(lo + (hi - lo) / 2),
+            KState::Final { k } => Some(k),
+            KState::Done(_) => None,
+        }
+    }
+
+    /// Feeds the oracle's prediction for the pending `k` and advances the
+    /// search. Ignored once terminal.
+    pub fn feed(&mut self, predicted_delta: f64) {
+        let cfg = &self.cfg;
+        self.state = match self.state {
+            KState::Gate => {
+                if predicted_delta > cfg.gamma - cfg.confidence_margin {
+                    // Even the longest admissible attack would not push δ to
+                    // crash level — wait for a more opportune state. (The
+                    // 10 m launch threshold of §IV-B is enforced through the
+                    // training labels: states that only yield emergency
+                    // braking produce labels near the stop margin, below γ
+                    // only when the EV is forced into a hard stop.)
+                    KState::Done(None)
+                } else if cfg.k_min >= cfg.k_max {
+                    KState::Final { k: cfg.k_min }
+                } else {
+                    KState::Bisect {
+                        lo: cfg.k_min,
+                        hi: cfg.k_max,
+                    }
+                }
+            }
+            KState::Bisect { lo, hi } => {
+                let mid = lo + (hi - lo) / 2;
+                let (lo, hi) = if predicted_delta <= cfg.gamma {
+                    (lo, mid)
+                } else {
+                    (mid + 1, hi)
+                };
+                if lo >= hi {
+                    KState::Final { k: lo }
+                } else {
+                    KState::Bisect { lo, hi }
+                }
+            }
+            KState::Final { k } => KState::Done(Some(AttackDecision { k, predicted_delta })),
+            KState::Done(d) => KState::Done(d),
+        };
+    }
+
+    /// Whether the search has terminated.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, KState::Done(_))
+    }
+
+    /// The terminal decision. Panics if the search is still pending.
+    pub fn into_decision(self) -> Option<AttackDecision> {
+        match self.state {
+            KState::Done(d) => d,
+            _ => panic!("KSearch still has a pending oracle query"),
+        }
+    }
+}
+
+/// A safety-hijacker launch decision whose oracle evaluations have been
+/// handed to the caller: the features to evaluate plus the in-flight
+/// [`KSearch`].
+///
+/// Returned by `Attacker::begin_frame` when the attacker needs oracle
+/// predictions it does not want to compute inline (so a batch engine can
+/// coalesce them across sessions); resolved by feeding predictions until
+/// [`DeferredDecision::pending`] returns `None`, then passing
+/// [`DeferredDecision::into_decision`] to `Attacker::finish_frame`.
+#[derive(Debug, Clone)]
+pub struct DeferredDecision {
+    features: AttackFeatures,
+    search: KSearch,
+}
+
+impl DeferredDecision {
+    /// Starts a deferred decision for `features` under `config` / `k_max`.
+    pub fn new(features: AttackFeatures, config: SafetyHijackerConfig, k_max: u32) -> Self {
+        DeferredDecision {
+            features,
+            search: KSearch::new(config, k_max),
+        }
+    }
+
+    /// The next oracle query as (features, k), or `None` once resolved.
+    pub fn pending(&self) -> Option<(AttackFeatures, u32)> {
+        self.search.pending_k().map(|k| (self.features, k))
+    }
+
+    /// Feeds the oracle's prediction for the pending query.
+    pub fn feed(&mut self, predicted_delta: f64) {
+        self.search.feed(predicted_delta);
+    }
+
+    /// The resolved decision. Panics if queries are still pending.
+    pub fn into_decision(self) -> Option<AttackDecision> {
+        self.search.into_decision()
+    }
+}
+
 /// Safety hijacker: oracle + Eq. 2 search + launch policy.
 #[derive(Debug, Clone)]
 pub struct SafetyHijacker<O> {
@@ -203,33 +389,16 @@ impl<O: SafetyOracle> SafetyHijacker<O> {
     /// attacks are capped at the class's natural misdetection 99th
     /// percentile, §IV-B).
     pub fn decide_capped(&self, features: &AttackFeatures, k_max: u32) -> Option<AttackDecision> {
-        let mut cfg = self.config;
-        cfg.k_max = k_max.max(cfg.k_min);
-        let at_max = self.oracle.predict_delta(features, cfg.k_max);
-        if at_max > cfg.gamma - cfg.confidence_margin {
-            // Even the longest admissible attack would not push δ to
-            // crash level — wait for a more opportune state. (The 10 m
-            // launch threshold of §IV-B is enforced through the training
-            // labels: states that only yield emergency braking produce
-            // labels near the stop margin, below γ only when the EV is
-            // forced into a hard stop.)
-            return None;
+        // Gate at k_max, binary search for the minimal k with predicted
+        // δ ≤ γ (valid since f_α is non-increasing in k here), then one
+        // final evaluation at the chosen k. The query sequence lives in
+        // [`KSearch`] so the batch engine's deferred path is this exact
+        // search by construction.
+        let mut search = KSearch::new(self.config, k_max);
+        while let Some(k) = search.pending_k() {
+            search.feed(self.oracle.predict_delta(features, k));
         }
-        // Binary search for the minimal k with predicted δ ≤ γ (valid since
-        // f_α is non-increasing in k here).
-        let (mut lo, mut hi) = (cfg.k_min, cfg.k_max);
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if self.oracle.predict_delta(features, mid) <= cfg.gamma {
-                hi = mid;
-            } else {
-                lo = mid + 1;
-            }
-        }
-        Some(AttackDecision {
-            k: lo,
-            predicted_delta: self.oracle.predict_delta(features, lo),
-        })
+        search.into_decision()
     }
 
     /// Exhaustive (linear) version of [`SafetyHijacker::decide`] — used by
@@ -324,6 +493,91 @@ mod tests {
         let d = sh.decide(&features(47.0)).unwrap();
         assert_eq!(d.k, 86);
         assert!(d.predicted_delta <= 4.0);
+    }
+
+    /// Oracle that records the sequence of k values it is asked about.
+    struct RecordingOracle(std::cell::RefCell<Vec<u32>>);
+    impl SafetyOracle for RecordingOracle {
+        fn predict_delta(&self, f: &AttackFeatures, k: u32) -> f64 {
+            self.0.borrow_mut().push(k);
+            f.delta - 0.5 * f64::from(k)
+        }
+    }
+
+    #[test]
+    fn ksearch_replays_decide_capped_query_sequence() {
+        for delta in [4.2, 8.0, 20.0, 44.9, 47.0, 49.0, 49.5, 80.0] {
+            for k_max in [1u32, 3, 5, 28, 59, 90] {
+                let sh = SafetyHijacker::new(
+                    RecordingOracle(std::cell::RefCell::new(Vec::new())),
+                    SafetyHijackerConfig::default(),
+                );
+                let inline = sh.decide_capped(&features(delta), k_max);
+                let inline_ks = sh.oracle().0.borrow().clone();
+
+                let mut search = KSearch::new(SafetyHijackerConfig::default(), k_max);
+                let mut deferred_ks = Vec::new();
+                while let Some(k) = search.pending_k() {
+                    deferred_ks.push(k);
+                    search.feed(delta - 0.5 * f64::from(k));
+                }
+                assert_eq!(
+                    deferred_ks, inline_ks,
+                    "query order diverged at delta {delta}, k_max {k_max}"
+                );
+                assert_eq!(search.into_decision(), inline);
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_decision_matches_inline() {
+        let cfg = SafetyHijackerConfig::default();
+        let sh = SafetyHijacker::new(LinearOracle, cfg);
+        for delta in [8.0, 20.0, 47.0, 49.0] {
+            let f = features(delta);
+            let mut d = DeferredDecision::new(f, cfg, cfg.k_max);
+            while let Some((qf, k)) = d.pending() {
+                d.feed(LinearOracle.predict_delta(&qf, k));
+            }
+            assert_eq!(d.into_decision(), sh.decide(&f));
+        }
+    }
+
+    #[test]
+    fn nn_oracle_batch_matches_scalar_bitwise() {
+        use av_neural::train::{Dataset, Normalizer};
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+        let net = Mlp::paper_architecture(AttackFeatures::INPUT_DIM, &mut rng);
+        let data = Dataset::from_rows((0..8).map(|i| {
+            let x = f64::from(i);
+            (vec![x, -x, 0.5 * x, x * x, x + 1.0], vec![x])
+        }));
+        let oracle = NnOracle::new(net, Normalizer::fit(&data));
+        let queries: Vec<(AttackFeatures, u32)> = (0..17)
+            .map(|i| {
+                let x = f64::from(i);
+                (
+                    AttackFeatures {
+                        delta: 30.0 - x,
+                        v_rel_lon: -5.0 + 0.3 * x,
+                        v_rel_lat: 0.1 * x,
+                        a_rel_lon: -0.2 * x,
+                    },
+                    5 + i,
+                )
+            })
+            .collect();
+        let mut batched = Vec::new();
+        oracle.predict_delta_batch(&queries, &mut batched);
+        assert_eq!(batched.len(), queries.len());
+        for ((f, k), b) in queries.iter().zip(&batched) {
+            assert_eq!(
+                b.to_bits(),
+                oracle.predict_delta(f, *k).to_bits(),
+                "batched prediction diverged at k={k}"
+            );
+        }
     }
 
     #[test]

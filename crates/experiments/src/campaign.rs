@@ -182,6 +182,15 @@ pub enum DispatchMode {
     /// contiguous chunk per worker up front. One long run stalls its whole
     /// chunk. Kept as a comparison shim for benchmarks and regression tests.
     StaticChunks,
+    /// Lockstep batched execution (`crate::batch`): workers claim contiguous
+    /// blocks of `batch_size` runs and advance each block's sessions in
+    /// lockstep off one shared scheduler, a structure-of-arrays world, and
+    /// batched oracle inference. Outcomes are bit-identical to the other
+    /// modes at any batch size (the differential-equivalence suite pins it).
+    Batched {
+        /// Sessions advanced per lockstep block (clamped to at least 1).
+        batch_size: usize,
+    },
 }
 
 /// Executes a campaign, parallelized across worker threads.
@@ -253,7 +262,19 @@ pub fn run_campaign_dispatch(
     // under static chunking, the old `chunk.max(1)` misassigned seeds when
     // threads > runs); cap the worker count at the queue length.
     let workers = threads.min(runs);
-    if workers <= 1 {
+    // Batched dispatch replaces the per-run execution engine itself, so it
+    // engages even on the single-worker path (unlike the scheduling-only
+    // modes, which all degenerate to a plain sequential loop there).
+    if let DispatchMode::Batched { batch_size } = mode {
+        let batch_size = batch_size.max(1);
+        run_campaign_batched(
+            campaign,
+            batch_size,
+            workers.max(1),
+            &mut outcomes,
+            &worker_telemetry,
+        );
+    } else if workers <= 1 {
         let tele = worker_telemetry(0);
         let mut session_worker = SessionWorker::new();
         for (i, slot) in outcomes.iter_mut().enumerate() {
@@ -320,6 +341,7 @@ pub fn run_campaign_dispatch(
                 })
                 .expect("campaign worker panicked");
             }
+            DispatchMode::Batched { .. } => unreachable!("batched dispatch handled above"),
         }
     }
 
@@ -341,12 +363,82 @@ pub fn run_campaign_dispatch(
     })
 }
 
-fn run_one(
+/// Executes the whole campaign through the lockstep batch engine. Workers
+/// claim contiguous blocks of `batch_size` run indices off an atomic
+/// counter (block-granular work stealing) and each block runs as one
+/// lockstep batch; outcomes scatter back into seed order.
+fn run_campaign_batched(
     campaign: &Campaign,
-    index: u64,
-    telemetry: &Telemetry,
-    worker: &mut SessionWorker,
-) -> RunOutcome {
+    batch_size: usize,
+    workers: usize,
+    outcomes: &mut [Option<RunOutcome>],
+    worker_telemetry: &dyn Fn(usize) -> Telemetry,
+) {
+    let runs = outcomes.len();
+    let blocks = runs.div_ceil(batch_size.max(1));
+    let workers = workers.min(blocks.max(1));
+    let run_block = |block: usize, tele: &Telemetry, pool: &mut crate::batch::LanePool| {
+        let start = block * batch_size;
+        let end = (start + batch_size).min(runs);
+        let sessions: Vec<SimSession> = (start..end)
+            .map(|i| {
+                tele.emit(0.0, || TraceEvent::CampaignRunDispatched {
+                    index: i as u64,
+                });
+                session_for(campaign, i as u64, tele)
+            })
+            .collect();
+        (start, pool.run_batch(&sessions, tele))
+    };
+    if workers <= 1 {
+        let tele = worker_telemetry(0);
+        let mut pool = crate::batch::LanePool::new();
+        for block in 0..blocks {
+            let (start, batch_outcomes) = run_block(block, &tele, &mut pool);
+            for (slot, outcome) in outcomes[start..].iter_mut().zip(batch_outcomes) {
+                *slot = Some(outcome);
+            }
+        }
+    } else {
+        let next = AtomicU64::new(0);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let tele = worker_telemetry(worker);
+                    let next = &next;
+                    let run_block = &run_block;
+                    scope.spawn(move |_| {
+                        let mut pool = crate::batch::LanePool::new();
+                        let mut claimed: Vec<(usize, Vec<RunOutcome>)> = Vec::new();
+                        loop {
+                            let block = next.fetch_add(1, Ordering::Relaxed);
+                            let Ok(block) = usize::try_from(block) else {
+                                break;
+                            };
+                            if block >= blocks {
+                                break;
+                            }
+                            claimed.push(run_block(block, &tele, &mut pool));
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            // The claimed blocks partition 0..runs, so every slot fills once.
+            for handle in handles {
+                for (start, batch_outcomes) in handle.join().expect("campaign worker panicked") {
+                    for (slot, outcome) in outcomes[start..].iter_mut().zip(batch_outcomes) {
+                        *slot = Some(outcome);
+                    }
+                }
+            }
+        })
+        .expect("campaign scope panicked");
+    }
+}
+
+/// Builds the session for run `index` of the campaign.
+fn session_for(campaign: &Campaign, index: u64, telemetry: &Telemetry) -> SimSession {
     let config = RunConfig::new(campaign.scenario, campaign.base_seed + index)
         .with_faults(campaign.faults.clone());
     SimSession::builder(campaign.scenario)
@@ -354,7 +446,15 @@ fn run_one(
         .attacker(campaign.attacker.clone())
         .telemetry(telemetry.clone())
         .build()
-        .run_with(worker)
+}
+
+fn run_one(
+    campaign: &Campaign,
+    index: u64,
+    telemetry: &Telemetry,
+    worker: &mut SessionWorker,
+) -> RunOutcome {
+    session_for(campaign, index, telemetry).run_with(worker)
 }
 
 #[cfg(test)]
@@ -388,6 +488,26 @@ mod tests {
             let chunked =
                 run_campaign_dispatch(&campaign, threads, DispatchMode::StaticChunks).unwrap();
             assert_same_outcomes(&seq, &chunked, &format!("{threads} threads, chunked"));
+        }
+    }
+
+    #[test]
+    fn batched_dispatch_matches_sequential() {
+        let campaign = Campaign::new("test-batched", ScenarioId::Ds3, AttackerSpec::None, 5, 100);
+        let seq = run_campaign_with_threads(&campaign, 1).unwrap();
+        // Batch sizes below, at, and above the run count; single- and
+        // multi-worker block claiming.
+        for batch_size in [1, 2, 5, 8] {
+            for threads in [1, 3] {
+                let batched =
+                    run_campaign_dispatch(&campaign, threads, DispatchMode::Batched { batch_size })
+                        .unwrap();
+                assert_same_outcomes(
+                    &seq,
+                    &batched,
+                    &format!("batch {batch_size}, {threads} threads"),
+                );
+            }
         }
     }
 

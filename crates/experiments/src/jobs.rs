@@ -89,14 +89,22 @@ pub fn table2(args: &Args, cache: &OracleCache) -> String {
         let (oracle, desc) = oracle_for(*scenario, *vector, &sweep, cache);
         eprintln!("  {desc}");
         eprintln!("running campaign {name} ...");
-        let result = run_r_campaign(name, *scenario, *vector, oracle, args.runs, args.seed);
+        let result = run_r_campaign(
+            name,
+            *scenario,
+            *vector,
+            oracle,
+            args.runs,
+            args.seed,
+            args.dispatch,
+        );
         let crashes_apply = !name.contains("Move_In");
         rows.push((result, reference, crashes_apply));
     }
 
     report_cache(cache);
     eprintln!("running DS-5-Baseline-Random ...");
-    let baseline = run_baseline_campaign(args.runs.max(24), args.seed + 5000);
+    let baseline = run_baseline_campaign(args.runs.max(24), args.seed + 5000, args.dispatch);
 
     let mut out = String::new();
     writeln!(out, "{}", render_table2(&rows, &baseline)).unwrap();
@@ -154,8 +162,23 @@ pub fn fig6(args: &Args, cache: &OracleCache) -> String {
         eprintln!("training oracle for {label} ...");
         let (oracle, desc) = oracle_for(scenario, vector, &sweep, cache);
         eprintln!("  {desc}");
-        let with_sh = run_r_campaign("R", scenario, vector, oracle, args.runs, args.seed);
-        let without_sh = run_nosh_campaign("R w/o SH", scenario, vector, args.runs, args.seed + 77);
+        let with_sh = run_r_campaign(
+            "R",
+            scenario,
+            vector,
+            oracle,
+            args.runs,
+            args.seed,
+            args.dispatch,
+        );
+        let without_sh = run_nosh_campaign(
+            "R w/o SH",
+            scenario,
+            vector,
+            args.runs,
+            args.seed + 77,
+            args.dispatch,
+        );
         writeln!(
             out,
             "{}",
@@ -187,7 +210,16 @@ pub fn fig7(args: &Args, cache: &OracleCache) -> String {
     let run = |scenario, vector, name: &str| {
         eprintln!("campaign {name} ...");
         let (oracle, _) = oracle_for(scenario, vector, &sweep, cache);
-        run_r_campaign(name, scenario, vector, oracle, args.runs, args.seed).k_primes()
+        run_r_campaign(
+            name,
+            scenario,
+            vector,
+            oracle,
+            args.runs,
+            args.seed,
+            args.dispatch,
+        )
+        .k_primes()
     };
     let veh = [
         (
@@ -271,6 +303,7 @@ pub fn fig8(args: &Args, cache: &OracleCache) -> String {
             oracle,
             args.runs,
             args.seed,
+            args.dispatch,
         );
         for outcome in result.launched() {
             if let (Some(pred), Some(actual)) = (
@@ -738,7 +771,8 @@ pub fn resilience(args: &Args, cache: &OracleCache) -> String {
                 args.seed,
             )
             .with_faults(intensity.plan.clone());
-            let result = run_campaign(&campaign);
+            let result = run_campaign_dispatch(&campaign, default_threads(), args.dispatch)
+                .expect("default_threads() is nonzero");
 
             let launched = result.n_launched();
             let (_, eb_pct) = result.eb();

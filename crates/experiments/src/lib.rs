@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod campaign;
 pub mod characterize;
 pub mod jobs;
@@ -49,6 +50,7 @@ pub mod stats;
 pub mod suite;
 pub mod train_sh;
 
+pub use batch::LanePool;
 pub use campaign::{Campaign, CampaignError, CampaignResult};
 pub use oracle_cache::{cache_key, OracleCache};
 pub use runner::{AttackerSpec, RunConfig, RunOutcome};

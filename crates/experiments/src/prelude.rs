@@ -11,8 +11,8 @@
 //! binaries need for their main loops.
 
 pub use crate::campaign::{
-    default_threads, run_campaign, run_campaign_with_threads, Campaign, CampaignError,
-    CampaignResult,
+    default_threads, run_campaign, run_campaign_dispatch, run_campaign_with_threads, Campaign,
+    CampaignError, CampaignResult, DispatchMode,
 };
 pub use crate::runner::{AttackerSpec, OracleSpec, RunConfig, RunOutcome};
 pub use crate::session::{SessionWorker, SimSession, SimSessionBuilder};

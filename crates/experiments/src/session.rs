@@ -39,8 +39,13 @@ use av_sensing::tap::{CameraTapVerdict, SensorTap, TracingTap};
 use av_simkit::recorder::{Event, RunRecord, Sample};
 use av_simkit::rng::run_rng;
 use av_simkit::scenario::{Scenario, ScenarioId};
+use av_simkit::scheduler::{Scheduler, Task};
 use av_simkit::units::{CAMERA_HZ, GPS_HZ, LIDAR_HZ, PLANNER_HZ, SIM_DT};
-use av_telemetry::{SensorChannel, Stage, Telemetry, TraceEvent, TraceSink};
+use av_simkit::World;
+use av_telemetry::{SensorChannel, Stage, StageTimer, Telemetry, TraceEvent, TraceSink};
+use rand::rngs::StdRng;
+use robotack::malware::Attacker;
+use robotack::safety_hijacker::{AttackDecision, AttackFeatures, DeferredDecision};
 use robotack::vector::AttackVector;
 
 /// Builder for a [`SimSession`].
@@ -148,7 +153,7 @@ pub struct SessionWorker {
     /// Reused camera-frame buffer (truth boxes + optional raster).
     frame: CameraFrame,
     /// Reused scheduler fire buffer (~900 `advance_to` calls per run).
-    fired: Vec<av_simkit::scheduler::Task>,
+    fired: Vec<Task>,
 }
 
 impl SessionWorker {
@@ -156,15 +161,461 @@ impl SessionWorker {
     pub fn new() -> Self {
         Self::default()
     }
+}
 
-    /// Returns an ADS for `config`: resets the held one when the
-    /// configuration matches, rebuilds otherwise.
-    fn ads_for(slot: &mut Option<(AdsConfig, Ads)>, config: AdsConfig) -> &mut Ads {
-        match slot {
-            Some((held, ads)) if *held == config => ads.reset(),
-            _ => *slot = Some((config, Ads::new(config))),
+/// The four periodic session tasks, registered in the fixed order every
+/// engine must use (the batch engine shares one scheduler across lanes, so
+/// [`Task`] handles are only portable because registration order is fixed —
+/// see `Scheduler::advance_into`'s buffer-reuse contract).
+pub(crate) struct SessionTasks {
+    pub(crate) gps: Task,
+    pub(crate) camera: Task,
+    pub(crate) lidar: Task,
+    pub(crate) planner: Task,
+}
+
+impl SessionTasks {
+    /// Registers the paper's sensor/software rates (§V-B) on `scheduler`.
+    pub(crate) fn register(scheduler: &mut Scheduler) -> SessionTasks {
+        SessionTasks {
+            gps: scheduler.add_task_hz("gps", GPS_HZ),
+            camera: scheduler.add_task_hz("camera", CAMERA_HZ),
+            lidar: scheduler.add_task_hz("lidar", LIDAR_HZ),
+            planner: scheduler.add_task_hz("planner", PLANNER_HZ),
         }
-        &mut slot.as_mut().expect("just populated").1
+    }
+}
+
+/// All per-run state of one executing session, with the simulation loop
+/// decomposed into per-task methods.
+///
+/// [`SimSession::run_with`] drives a `RunState` tick by tick; the batch
+/// engine (`crate::batch`) drives N of them in lockstep off one shared
+/// scheduler. Both call the *same* methods in the same order, which is what
+/// makes the bit-identical-digest contract between the two engines hold by
+/// construction rather than by parallel maintenance of two loops.
+///
+/// The camera task is split-phase to let the batch engine aggregate oracle
+/// inference across lanes: [`RunState::camera_task`] runs capture, the
+/// fault tap, and the attacker's `begin_frame`; when that returns a
+/// [`DeferredDecision`] the engine answers its oracle queries (inline and
+/// scalar in the sequential engine, batched GEMM across lanes in the batch
+/// engine) and then calls [`RunState::camera_resume`].
+pub(crate) struct RunState {
+    config: RunConfig,
+    scenario: Scenario,
+    tele: Telemetry,
+    rng: StdRng,
+    attacker: Box<dyn Attacker>,
+    tap: TracingTap<FaultInjector>,
+    fault_stats_seen: FaultStats,
+    /// The exact configuration `ads` was built with, returned to the worker
+    /// slot at [`RunState::finish`] so the next run can reuse the ADS.
+    ads_config: AdsConfig,
+    ads: Ads,
+    frame: CameraFrame,
+    camera: Camera,
+    lidar: Lidar,
+    gps: GpsImu,
+    ids: Ids,
+    record: RunRecord,
+    seq: u64,
+    collided: bool,
+    attack_seen: bool,
+    k_prime_ads: Option<u32>,
+    frames_since_launch: u32,
+    target_delta_at_attack_end: Option<f64>,
+    min_perceived_delta: Option<f64>,
+    replica_divergence: Option<f64>,
+    /// Rolling window so one-tick phantom dips don't pollute the minimum.
+    perceived_window: [f64; 3],
+    perceived_idx: usize,
+    /// Held for the whole run; drops (and records `Stage::Run`) at finish.
+    _run_timer: StageTimer,
+}
+
+impl RunState {
+    /// Builds the run: scenario, RNG stream, attacker, fault tap, ADS
+    /// (taken from `worker` and `reset()` when the configuration matches —
+    /// bit-identical to fresh construction, pinned by the golden-trace
+    /// suite), sensors, IDS, and bookkeeping. Emits [`TraceEvent::RunStarted`].
+    ///
+    /// Everything that draws from the run RNG stream happens here in the
+    /// exact order the historical loop used, so seeds replay identically.
+    pub(crate) fn new(session: &SimSession, worker: &mut SessionWorker) -> RunState {
+        let run_timer = session.telemetry.time(Stage::Run);
+        let config = session.config.clone();
+        let tele = session.telemetry.clone();
+
+        let scenario = Scenario::build(config.scenario, config.seed);
+        let mut rng = run_rng(config.seed, 0xA77ACC);
+        let mut attacker = session.attacker.build(&scenario, &config, &mut rng);
+        attacker.set_telemetry(tele.clone());
+        // The injector draws from its own seeded stream, so the main run RNG
+        // sequence is identical whether or not faults fire.
+        let tap = TracingTap::new(
+            FaultInjector::new(config.faults.clone(), config.seed),
+            tele.clone(),
+        );
+
+        let mut ads_config = AdsConfig::default();
+        ads_config.perception.calibration = config.calibration;
+        ads_config.perception.fusion = config.fusion;
+        ads_config.planner.cruise_speed = scenario.cruise_speed;
+        let mut ads = match worker.ads.take() {
+            Some((held, mut ads)) if held == ads_config => {
+                ads.reset();
+                ads
+            }
+            _ => Ads::new(ads_config),
+        };
+        ads.set_telemetry(tele.clone());
+
+        let ids = Ids::new(IdsConfig {
+            calibration: config.calibration,
+            ..IdsConfig::default()
+        });
+
+        tele.emit(0.0, || TraceEvent::RunStarted {
+            scenario: config.scenario.name(),
+            seed: config.seed,
+        });
+
+        RunState {
+            frame: std::mem::take(&mut worker.frame),
+            config,
+            scenario,
+            tele,
+            rng,
+            attacker,
+            tap,
+            fault_stats_seen: FaultStats::default(),
+            ads_config,
+            ads,
+            camera: Camera::default(),
+            lidar: Lidar::default(),
+            gps: GpsImu::default(),
+            ids,
+            record: RunRecord::new(),
+            seq: 0,
+            collided: false,
+            attack_seen: false,
+            k_prime_ads: None,
+            frames_since_launch: 0,
+            target_delta_at_attack_end: None,
+            min_perceived_delta: None,
+            replica_divergence: None,
+            perceived_window: [f64::INFINITY; 3],
+            perceived_idx: 0,
+            _run_timer: run_timer,
+        }
+    }
+
+    /// The world this run simulates, cloned from the scenario.
+    pub(crate) fn spawn_world(&self) -> World {
+        self.scenario.world.clone()
+    }
+
+    /// Number of 30 Hz physics ticks in the scenario.
+    pub(crate) fn total_steps(&self) -> u64 {
+        (self.scenario.duration / SIM_DT).ceil() as u64
+    }
+
+    /// This run's telemetry handle.
+    pub(crate) fn telemetry(&self) -> &Telemetry {
+        &self.tele
+    }
+
+    /// Mirrors the scheduler telemetry a sequential run gets from its
+    /// private scheduler's `advance_into`: one [`Stage::SchedulerAdvance`]
+    /// timing sample plus one [`TraceEvent::SchedulerTask`] per dispatched
+    /// task. The batch engine advances ONE telemetry-disabled scheduler for
+    /// all lanes and echoes the dispatch into each lane's stream so
+    /// per-session event counts stay identical to the sequential engine.
+    pub(crate) fn echo_scheduler(&self, scheduler: &Scheduler, fired: &[Task], now_us: u64) {
+        let _timer = self.tele.time(Stage::SchedulerAdvance);
+        if self.tele.is_enabled() {
+            let t = now_us as f64 / 1e6;
+            for &task in fired {
+                let name = scheduler.name(task);
+                self.tele
+                    .emit(t, || TraceEvent::SchedulerTask { task: name });
+            }
+        }
+    }
+
+    /// The GPS/IMU task: sample, fault tap, deliver to the ADS.
+    pub(crate) fn gps_task(&mut self, world: &World) {
+        let mut fix = {
+            let _t = self.tele.time(Stage::GpsSample);
+            self.gps.fix(world, &mut self.rng)
+        };
+        self.tap.on_gps(&mut fix);
+        emit_fault_diffs(
+            &self.tele,
+            world.time(),
+            &mut self.fault_stats_seen,
+            self.tap.inner(),
+        );
+        self.ads.on_gps(fix);
+    }
+
+    /// The camera task up to (and including) the attacker's `begin_frame`.
+    ///
+    /// Returns `Some` when the attacker needs oracle queries answered before
+    /// it can decide; the caller resolves them and calls
+    /// [`RunState::camera_resume`] with the decision. Returns `None` when
+    /// the frame is fully handled — either dropped by a fault, or processed
+    /// to completion (the non-deferring path resumes internally).
+    pub(crate) fn camera_task(&mut self, world: &World) -> Option<DeferredDecision> {
+        {
+            let _t = self.tele.time(Stage::CameraCapture);
+            capture_into(&self.camera, world, self.seq, false, &mut self.frame);
+        }
+        self.seq += 1;
+        // Faults act on the sensor side of the E/E network: a dropped frame
+        // never reaches the attacker's MITM hook, and a rewritten frame is
+        // what the malware replica sees too.
+        let verdict = self.tap.on_camera(&mut self.frame);
+        emit_fault_diffs(
+            &self.tele,
+            world.time(),
+            &mut self.fault_stats_seen,
+            self.tap.inner(),
+        );
+        if verdict == CameraTapVerdict::Drop {
+            return None;
+        }
+        if let Some(deferred) =
+            self.attacker
+                .begin_frame(&mut self.frame, world.ego().speed, &mut self.rng)
+        {
+            return Some(deferred);
+        }
+        self.camera_resume(world, None);
+        None
+    }
+
+    /// Answers one oracle query on behalf of a [`DeferredDecision`] — the
+    /// sequential engine's scalar resolution path.
+    pub(crate) fn oracle_eval(&self, features: &AttackFeatures, k: u32) -> f64 {
+        self.attacker.oracle_eval(features, k)
+    }
+
+    /// The rest of the camera task: the attacker commits (or declines) its
+    /// launch, the ADS and IDS consume the (possibly perturbed) frame, and
+    /// the attack bookkeeping runs at camera rate.
+    pub(crate) fn camera_resume(&mut self, world: &World, decision: Option<AttackDecision>) {
+        self.attacker.finish_frame(decision, &mut self.frame);
+        self.ads.on_camera_frame(&self.frame, &mut self.rng);
+        self.ids
+            .on_camera(world.time(), self.ads.perception().last_detections());
+
+        // Attack bookkeeping at camera rate.
+        let stats = *self.attacker.stats();
+        if let Some(t0) = stats.launched_at {
+            if !self.attack_seen {
+                self.attack_seen = true;
+                self.record.push_event(t0, Event::AttackStarted);
+            }
+            self.frames_since_launch += 1;
+            if self.k_prime_ads.is_none() {
+                if let (Some(vector), Some(target)) = (stats.vector, stats.target) {
+                    if let Some(truth) = world.actor(target) {
+                        if k_prime_reached(vector, &self.ads, truth.pose.position) {
+                            self.k_prime_ads = Some(self.frames_since_launch);
+                        }
+                    }
+                }
+            }
+            // Label for the SH training set: δ w.r.t. the target at the
+            // frame the attack window closes.
+            if self.target_delta_at_attack_end.is_none() && stats.frames_perturbed >= stats.k {
+                self.record.push_event(world.time(), Event::AttackEnded);
+                self.target_delta_at_attack_end = av_planning::safety::target_delta(
+                    &self.config.safety,
+                    world,
+                    self.scenario.target,
+                );
+            }
+        }
+    }
+
+    /// The LiDAR task: scan, fault tap, deliver to the ADS and IDS.
+    pub(crate) fn lidar_task(&mut self, world: &World) {
+        let mut scan = {
+            let _t = self.tele.time(Stage::LidarScan);
+            self.lidar.scan(world, &mut self.rng)
+        };
+        let delivered = self.tap.on_lidar(&mut scan);
+        emit_fault_diffs(
+            &self.tele,
+            world.time(),
+            &mut self.fault_stats_seen,
+            self.tap.inner(),
+        );
+        if delivered {
+            self.ads.on_lidar(&scan);
+            self.ids
+                .on_lidar(world.time(), &scan, &self.ads.world_model());
+        }
+    }
+
+    /// The planner task: plan tick, replica-divergence probe, and the
+    /// ground-truth safety sample.
+    pub(crate) fn planner_task(&mut self, world: &World) {
+        let entered_eb = self.ads.plan_tick_at(world.time());
+        // Mirrored-replica divergence: both models estimate the scripted
+        // target ego-relative; track the worst disagreement.
+        if let Some(replica) = self.attacker.replica_world() {
+            let ego = self.ads.ego_position();
+            let ads_rel = self
+                .ads
+                .world_model()
+                .iter()
+                .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID))
+                .map(|o| o.position - ego);
+            let rep_rel = replica
+                .iter()
+                .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID))
+                .map(|o| o.position);
+            if let (Some(a), Some(r)) = (ads_rel, rep_rel) {
+                let d = a.distance(r);
+                self.replica_divergence =
+                    Some(self.replica_divergence.map_or(d, |m: f64| m.max(d)));
+            }
+        }
+        if entered_eb {
+            self.record.push_event(world.time(), Event::EmergencyBrake);
+        }
+        if self.attack_seen {
+            let d =
+                perceived_in_path_delta(&self.ads, &self.config.safety).unwrap_or(f64::INFINITY);
+            self.perceived_window[self.perceived_idx % 3] = d;
+            self.perceived_idx += 1;
+            if self.perceived_idx >= 3 {
+                // A dip only counts if it persisted 3 planner ticks.
+                let sustained = self
+                    .perceived_window
+                    .iter()
+                    .copied()
+                    .fold(f64::MIN, f64::max);
+                if sustained.is_finite() {
+                    self.min_perceived_delta = Some(
+                        self.min_perceived_delta
+                            .map_or(sustained, |m: f64| m.min(sustained)),
+                    );
+                }
+            }
+        }
+        let (delta, _) = ground_truth_delta(&self.config.safety, world, HORIZON_M);
+        let target_gap = world
+            .separation_to_ego(self.scenario.target)
+            .unwrap_or(f64::INFINITY);
+        self.record.push_sample(Sample {
+            t: world.time(),
+            ego_speed: world.ego().speed,
+            ego_accel: self.ads.plan().accel,
+            delta,
+            target_gap,
+            attack_active: self.attacker.attacking(),
+            emergency_braking: self.ads.emergency_braking(),
+        });
+    }
+
+    /// The 30 Hz control tick: the ADS's longitudinal acceleration command.
+    pub(crate) fn control_tick(&mut self) -> f64 {
+        self.ads.control_tick(SIM_DT)
+    }
+
+    /// Advances the sequential engine's world under the `WorldStep` timer.
+    fn step_world(&self, world: &mut World, accel: f64) {
+        let _t = self.tele.time(Stage::WorldStep);
+        world.step(SIM_DT, accel);
+    }
+
+    /// Post-step contact check (the LGSVL behavior): bumper-to-bumper
+    /// contact with an in-path obstacle halts the run. Returns whether the
+    /// run just collided and must stop.
+    pub(crate) fn after_step(&mut self, world: &World) -> bool {
+        if let Some(o) = world.in_path_obstacle(0.0) {
+            if o.gap <= 0.05 && o.closing_speed > -0.1 {
+                self.record.push_event(world.time(), Event::Collision);
+                self.tele.emit(world.time(), || TraceEvent::Collision);
+                self.collided = true;
+            }
+        }
+        self.collided
+    }
+
+    /// Closes the run: final labels, outcome assembly, the
+    /// [`TraceEvent::RunFinished`] emit/flush, and handing the warmed ADS
+    /// and frame buffer back to `worker` for the next run.
+    pub(crate) fn finish(mut self, world: &World, worker: &mut SessionWorker) -> RunOutcome {
+        // If the attack window never closed (run ended first), take the
+        // label at the end of the run.
+        let stats = *self.attacker.stats();
+        if stats.launched_at.is_some() && self.target_delta_at_attack_end.is_none() {
+            self.target_delta_at_attack_end =
+                av_planning::safety::target_delta(&self.config.safety, world, self.scenario.target);
+        }
+
+        let min_delta_post_attack = stats
+            .launched_at
+            .and_then(|t0| self.record.min_delta_since(t0));
+        let attack_end_t = self
+            .record
+            .first_event(Event::AttackEnded)
+            .unwrap_or(world.time());
+        let min_delta_attack_window = stats.launched_at.map(|t0| {
+            self.record
+                .samples
+                .iter()
+                .filter(|s| s.t >= t0 && s.t <= attack_end_t + 3.0)
+                .map(|s| s.delta)
+                .fold(f64::INFINITY, f64::min)
+        });
+        let accident = self.collided
+            || min_delta_post_attack.is_some_and(|d| self.config.safety.is_accident(d));
+        let eb_after_attack = stats.launched_at.is_some_and(|t0| {
+            self.record
+                .events
+                .iter()
+                .any(|(t, e)| *e == Event::EmergencyBrake && *t >= t0 - 1e-9)
+        });
+        let eb_any = self.record.has_event(Event::EmergencyBrake);
+
+        let samples = self.record.samples.len() as u64;
+        self.tele.emit(world.time(), || TraceEvent::RunFinished {
+            sim_seconds: world.time(),
+            samples,
+        });
+        self.tele.flush();
+
+        let stale_frames = self.ads.perception().stale_frames();
+        worker.ads = Some((self.ads_config, self.ads));
+        worker.frame = self.frame;
+
+        RunOutcome {
+            scenario: self.config.scenario,
+            seed: self.config.seed,
+            sim_seconds: world.time(),
+            record: self.record,
+            attack: stats,
+            collided: self.collided,
+            accident,
+            eb_after_attack,
+            eb_any,
+            min_delta_post_attack,
+            min_delta_attack_window,
+            target_delta_at_attack_end: self.target_delta_at_attack_end,
+            min_perceived_delta_post_attack: self.min_perceived_delta,
+            k_prime_ads: self.k_prime_ads,
+            ids_alarms: self.ids.alarms().to_vec(),
+            faults: *self.tap.inner().stats(),
+            stale_frames,
+            replica_divergence: self.replica_divergence,
+        }
     }
 }
 
@@ -188,6 +639,12 @@ impl SimSession {
         &self.telemetry
     }
 
+    /// The attacker specification this session builds per run (the batch
+    /// engine groups sessions by oracle identity to batch NN inference).
+    pub(crate) fn attacker_spec(&self) -> &AttackerSpec {
+        &self.attacker
+    }
+
     /// Executes the run. A session is reusable: running twice with the same
     /// configuration produces bit-identical records (and, modulo wall-clock
     /// metrics, identical event streams).
@@ -200,276 +657,49 @@ impl SimSession {
     /// Bit-identical to [`SimSession::run`] for any worker state — a reused
     /// ADS is `reset()` (or rebuilt on configuration change) before the run.
     pub fn run_with(&self, worker: &mut SessionWorker) -> RunOutcome {
-        let config = &self.config;
-        let tele = &self.telemetry;
-        let _run_timer = tele.time(Stage::Run);
+        // The scheduler lives outside RunState so the batch engine can share
+        // one across lanes; registration emits nothing, so creating it first
+        // keeps RunStarted the first event in the stream.
+        let mut scheduler = Scheduler::new();
+        scheduler.set_telemetry(self.telemetry.clone());
+        let tasks = SessionTasks::register(&mut scheduler);
 
-        let scenario = Scenario::build(config.scenario, config.seed);
-        let mut rng = run_rng(config.seed, 0xA77ACC);
-        let mut attacker = self.attacker.build(&scenario, config, &mut rng);
-        attacker.set_telemetry(tele.clone());
-        // The injector draws from its own seeded stream, so the main run RNG
-        // sequence is identical whether or not faults fire.
-        let mut tap = TracingTap::new(
-            FaultInjector::new(config.faults.clone(), config.seed),
-            tele.clone(),
-        );
-        let mut fault_stats_seen = FaultStats::default();
+        let mut state = RunState::new(self, worker);
+        let mut world = state.spawn_world();
+        let mut fired = std::mem::take(&mut worker.fired);
 
-        let mut ads_config = AdsConfig::default();
-        ads_config.perception.calibration = config.calibration;
-        ads_config.perception.fusion = config.fusion;
-        ads_config.planner.cruise_speed = scenario.cruise_speed;
-        // Disjoint borrows: `ads` (reset or rebuilt) and the reused frame
-        // buffer both live in the worker.
-        let SessionWorker {
-            ads: ads_slot,
-            frame,
-            fired,
-        } = worker;
-        let ads = SessionWorker::ads_for(ads_slot, ads_config);
-        ads.set_telemetry(tele.clone());
-
-        let camera = Camera::default();
-        let lidar = Lidar::default();
-        let gps = GpsImu::default();
-
-        let mut ids = Ids::new(IdsConfig {
-            calibration: config.calibration,
-            ..IdsConfig::default()
-        });
-
-        let mut scheduler = av_simkit::scheduler::Scheduler::new();
-        scheduler.set_telemetry(tele.clone());
-        let task_gps = scheduler.add_task_hz("gps", GPS_HZ);
-        let task_camera = scheduler.add_task_hz("camera", CAMERA_HZ);
-        let task_lidar = scheduler.add_task_hz("lidar", LIDAR_HZ);
-        let task_planner = scheduler.add_task_hz("planner", PLANNER_HZ);
-
-        let mut world = scenario.world.clone();
-        let mut record = RunRecord::new();
-        let mut seq: u64 = 0;
-        let mut collided = false;
-        let mut attack_seen = false;
-        let mut k_prime_ads: Option<u32> = None;
-        let mut frames_since_launch: u32 = 0;
-        let mut target_delta_at_attack_end = None;
-        let mut min_perceived_delta: Option<f64> = None;
-        let mut replica_divergence: Option<f64> = None;
-        // Rolling window so one-tick phantom dips don't pollute the minimum.
-        let mut perceived_window: [f64; 3] = [f64::INFINITY; 3];
-        let mut perceived_idx = 0usize;
-
-        tele.emit(0.0, || TraceEvent::RunStarted {
-            scenario: config.scenario.name(),
-            seed: config.seed,
-        });
-
-        let steps = (scenario.duration / SIM_DT).ceil() as u64;
-        for _ in 0..steps {
-            scheduler.advance_into(world.time_us(), fired);
+        for _ in 0..state.total_steps() {
+            scheduler.advance_into(world.time_us(), &mut fired);
             for &task in fired.iter() {
-                if task == task_gps {
-                    let mut fix = {
-                        let _t = tele.time(Stage::GpsSample);
-                        gps.fix(&world, &mut rng)
-                    };
-                    tap.on_gps(&mut fix);
-                    emit_fault_diffs(tele, world.time(), &mut fault_stats_seen, tap.inner());
-                    ads.on_gps(fix);
-                } else if task == task_camera {
-                    {
-                        let _t = tele.time(Stage::CameraCapture);
-                        capture_into(&camera, &world, seq, false, frame);
-                    }
-                    seq += 1;
-                    // Faults act on the sensor side of the E/E network: a
-                    // dropped frame never reaches the attacker's MITM hook,
-                    // and a rewritten frame is what the malware replica sees
-                    // too.
-                    let verdict = tap.on_camera(frame);
-                    emit_fault_diffs(tele, world.time(), &mut fault_stats_seen, tap.inner());
-                    if verdict == CameraTapVerdict::Drop {
-                        continue;
-                    }
-                    attacker.process_frame(frame, world.ego().speed, &mut rng);
-                    ads.on_camera_frame(frame, &mut rng);
-                    ids.on_camera(world.time(), ads.perception().last_detections());
-
-                    // Attack bookkeeping at camera rate.
-                    let stats = attacker.stats();
-                    if let Some(t0) = stats.launched_at {
-                        if !attack_seen {
-                            attack_seen = true;
-                            record.push_event(t0, Event::AttackStarted);
+                if task == tasks.gps {
+                    state.gps_task(&world);
+                } else if task == tasks.camera {
+                    if let Some(mut deferred) = state.camera_task(&world) {
+                        // Scalar inline resolution — the batch engine
+                        // answers the same queries with one GEMM across
+                        // lanes instead.
+                        while let Some((features, k)) = deferred.pending() {
+                            let delta = state.oracle_eval(&features, k);
+                            deferred.feed(delta);
                         }
-                        frames_since_launch += 1;
-                        if k_prime_ads.is_none() {
-                            if let (Some(vector), Some(target)) = (stats.vector, stats.target) {
-                                if let Some(truth) = world.actor(target) {
-                                    if k_prime_reached(vector, ads, truth.pose.position) {
-                                        k_prime_ads = Some(frames_since_launch);
-                                    }
-                                }
-                            }
-                        }
-                        // Label for the SH training set: δ w.r.t. the target
-                        // at the frame the attack window closes.
-                        if target_delta_at_attack_end.is_none() && stats.frames_perturbed >= stats.k
-                        {
-                            record.push_event(world.time(), Event::AttackEnded);
-                            target_delta_at_attack_end = av_planning::safety::target_delta(
-                                &config.safety,
-                                &world,
-                                scenario.target,
-                            );
-                        }
+                        state.camera_resume(&world, deferred.into_decision());
                     }
-                } else if task == task_lidar {
-                    let mut scan = {
-                        let _t = tele.time(Stage::LidarScan);
-                        lidar.scan(&world, &mut rng)
-                    };
-                    let delivered = tap.on_lidar(&mut scan);
-                    emit_fault_diffs(tele, world.time(), &mut fault_stats_seen, tap.inner());
-                    if delivered {
-                        ads.on_lidar(&scan);
-                        ids.on_lidar(world.time(), &scan, &ads.world_model());
-                    }
-                } else if task == task_planner {
-                    let entered_eb = ads.plan_tick_at(world.time());
-                    // Mirrored-replica divergence: both models estimate the
-                    // scripted target ego-relative; track the worst
-                    // disagreement.
-                    if let Some(replica) = attacker.replica_world() {
-                        let ego = ads.ego_position();
-                        let ads_rel = ads
-                            .world_model()
-                            .iter()
-                            .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID))
-                            .map(|o| o.position - ego);
-                        let rep_rel = replica
-                            .iter()
-                            .find(|o| o.provenance == Some(av_simkit::scenario::TARGET_ID))
-                            .map(|o| o.position);
-                        if let (Some(a), Some(r)) = (ads_rel, rep_rel) {
-                            let d = a.distance(r);
-                            replica_divergence =
-                                Some(replica_divergence.map_or(d, |m: f64| m.max(d)));
-                        }
-                    }
-                    if entered_eb {
-                        record.push_event(world.time(), Event::EmergencyBrake);
-                    }
-                    if attack_seen {
-                        let d =
-                            perceived_in_path_delta(ads, &config.safety).unwrap_or(f64::INFINITY);
-                        perceived_window[perceived_idx % 3] = d;
-                        perceived_idx += 1;
-                        if perceived_idx >= 3 {
-                            // A dip only counts if it persisted 3 planner
-                            // ticks.
-                            let sustained =
-                                perceived_window.iter().copied().fold(f64::MIN, f64::max);
-                            if sustained.is_finite() {
-                                min_perceived_delta = Some(
-                                    min_perceived_delta
-                                        .map_or(sustained, |m: f64| m.min(sustained)),
-                                );
-                            }
-                        }
-                    }
-                    let (delta, _) = ground_truth_delta(&config.safety, &world, HORIZON_M);
-                    let target_gap = world
-                        .separation_to_ego(scenario.target)
-                        .unwrap_or(f64::INFINITY);
-                    record.push_sample(Sample {
-                        t: world.time(),
-                        ego_speed: world.ego().speed,
-                        ego_accel: ads.plan().accel,
-                        delta,
-                        target_gap,
-                        attack_active: attacker.attacking(),
-                        emergency_braking: ads.emergency_braking(),
-                    });
+                } else if task == tasks.lidar {
+                    state.lidar_task(&world);
+                } else if task == tasks.planner {
+                    state.planner_task(&world);
                 }
             }
 
-            let accel = ads.control_tick(SIM_DT);
-            {
-                let _t = tele.time(Stage::WorldStep);
-                world.step(SIM_DT, accel);
-            }
-
-            // Contact halt (the LGSVL behavior): bumper-to-bumper contact
-            // with an in-path obstacle.
-            if let Some(o) = world.in_path_obstacle(0.0) {
-                if o.gap <= 0.05 && o.closing_speed > -0.1 {
-                    record.push_event(world.time(), Event::Collision);
-                    tele.emit(world.time(), || TraceEvent::Collision);
-                    collided = true;
-                    break;
-                }
+            let accel = state.control_tick();
+            state.step_world(&mut world, accel);
+            if state.after_step(&world) {
+                break;
             }
         }
 
-        // If the attack window never closed (run ended first), take the
-        // label at the end of the run.
-        let stats = *attacker.stats();
-        if stats.launched_at.is_some() && target_delta_at_attack_end.is_none() {
-            target_delta_at_attack_end =
-                av_planning::safety::target_delta(&config.safety, &world, scenario.target);
-        }
-
-        let min_delta_post_attack = stats.launched_at.and_then(|t0| record.min_delta_since(t0));
-        let attack_end_t = record
-            .first_event(Event::AttackEnded)
-            .unwrap_or(world.time());
-        let min_delta_attack_window = stats.launched_at.map(|t0| {
-            record
-                .samples
-                .iter()
-                .filter(|s| s.t >= t0 && s.t <= attack_end_t + 3.0)
-                .map(|s| s.delta)
-                .fold(f64::INFINITY, f64::min)
-        });
-        let accident =
-            collided || min_delta_post_attack.is_some_and(|d| config.safety.is_accident(d));
-        let eb_after_attack = stats.launched_at.is_some_and(|t0| {
-            record
-                .events
-                .iter()
-                .any(|(t, e)| *e == Event::EmergencyBrake && *t >= t0 - 1e-9)
-        });
-        let eb_any = record.has_event(Event::EmergencyBrake);
-
-        let samples = record.samples.len() as u64;
-        tele.emit(world.time(), || TraceEvent::RunFinished {
-            sim_seconds: world.time(),
-            samples,
-        });
-        tele.flush();
-
-        RunOutcome {
-            scenario: config.scenario,
-            seed: config.seed,
-            sim_seconds: world.time(),
-            record,
-            attack: stats,
-            collided,
-            accident,
-            eb_after_attack,
-            eb_any,
-            min_delta_post_attack,
-            min_delta_attack_window,
-            target_delta_at_attack_end,
-            min_perceived_delta_post_attack: min_perceived_delta,
-            k_prime_ads,
-            ids_alarms: ids.alarms().to_vec(),
-            faults: *tap.inner().stats(),
-            stale_frames: ads.perception().stale_frames(),
-            replica_divergence,
-        }
+        worker.fired = fired;
+        state.finish(&world, worker)
     }
 }
 

@@ -1,7 +1,9 @@
 //! The standard experiment suite: the paper's campaign matrix and shared
 //! CLI handling for the experiment binaries.
 
-use crate::campaign::{run_campaign, Campaign, CampaignResult};
+use crate::campaign::{
+    default_threads, run_campaign_dispatch, Campaign, CampaignResult, DispatchMode,
+};
 use crate::oracle_cache::{OracleCache, DATASET_CODE_VERSION};
 use crate::runner::{AttackerSpec, OracleSpec};
 use crate::train_sh::SweepConfig;
@@ -36,6 +38,9 @@ pub struct Args {
     pub cache_dir: Option<PathBuf>,
     /// Disable the oracle cache entirely (`--no-cache`).
     pub no_cache: bool,
+    /// Campaign dispatch mode (`--batch N` selects the lockstep batch
+    /// engine with N-session blocks; default is work stealing).
+    pub dispatch: DispatchMode,
 }
 
 impl Default for Args {
@@ -46,13 +51,15 @@ impl Default for Args {
             seed: 2020,
             cache_dir: None,
             no_cache: false,
+            dispatch: DispatchMode::WorkStealing,
         }
     }
 }
 
 impl Args {
     /// Parses `--runs N`, `--quick`, `--seed S`, `--cache-dir DIR`,
-    /// `--no-cache` from `std::env::args`, warning about anything else.
+    /// `--no-cache`, `--batch N` from `std::env::args`, warning about
+    /// anything else.
     pub fn parse() -> Args {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let (args, unknown) = Args::parse_known(&argv);
@@ -91,6 +98,11 @@ impl Args {
                     }
                 }
                 "--no-cache" => args.no_cache = true,
+                "--batch" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        args.dispatch = DispatchMode::Batched { batch_size: v };
+                    }
+                }
                 other => unknown.push(other.to_string()),
             }
         }
@@ -122,6 +134,11 @@ impl Args {
     /// configuration — the run manifest's compatibility key. Two
     /// invocations with the same config key may resume each other's
     /// manifests; anything else starts fresh.
+    ///
+    /// [`Args::dispatch`] is deliberately **excluded**: the batch engine's
+    /// determinism contract makes every job output bit-identical across
+    /// dispatch modes, so sequential and batched invocations share
+    /// manifests and caches (and CI byte-diffs their stdout).
     pub fn config_key(&self) -> u64 {
         let sweep = self.sweep();
         let mut h = Fnv1a::new();
@@ -296,17 +313,23 @@ pub fn run_r_campaign(
     oracle: OracleSpec,
     runs: u64,
     seed: u64,
+    dispatch: DispatchMode,
 ) -> CampaignResult {
-    run_campaign(&Campaign::new(
-        name,
-        scenario,
-        AttackerSpec::RoboTack {
-            vector: Some(vector),
-            oracle,
-        },
-        runs,
-        seed,
-    ))
+    run_campaign_dispatch(
+        &Campaign::new(
+            name,
+            scenario,
+            AttackerSpec::RoboTack {
+                vector: Some(vector),
+                oracle,
+            },
+            runs,
+            seed,
+        ),
+        default_threads(),
+        dispatch,
+    )
+    .expect("default_threads() is nonzero")
 }
 
 /// Builds and runs one "R w/o SH" campaign.
@@ -316,27 +339,38 @@ pub fn run_nosh_campaign(
     vector: AttackVector,
     runs: u64,
     seed: u64,
+    dispatch: DispatchMode,
 ) -> CampaignResult {
-    run_campaign(&Campaign::new(
-        name,
-        scenario,
-        AttackerSpec::RoboTackNoSh {
-            vector: Some(vector),
-        },
-        runs,
-        seed,
-    ))
+    run_campaign_dispatch(
+        &Campaign::new(
+            name,
+            scenario,
+            AttackerSpec::RoboTackNoSh {
+                vector: Some(vector),
+            },
+            runs,
+            seed,
+        ),
+        default_threads(),
+        dispatch,
+    )
+    .expect("default_threads() is nonzero")
 }
 
 /// Builds and runs the DS-5 random baseline campaign.
-pub fn run_baseline_campaign(runs: u64, seed: u64) -> CampaignResult {
-    run_campaign(&Campaign::new(
-        "DS-5-Baseline-Random",
-        ScenarioId::Ds5,
-        AttackerSpec::Random,
-        runs,
-        seed,
-    ))
+pub fn run_baseline_campaign(runs: u64, seed: u64, dispatch: DispatchMode) -> CampaignResult {
+    run_campaign_dispatch(
+        &Campaign::new(
+            "DS-5-Baseline-Random",
+            ScenarioId::Ds5,
+            AttackerSpec::Random,
+            runs,
+            seed,
+        ),
+        default_threads(),
+        dispatch,
+    )
+    .expect("default_threads() is nonzero")
 }
 
 #[cfg(test)]

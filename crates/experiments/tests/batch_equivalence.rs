@@ -1,0 +1,260 @@
+//! Differential-equivalence suite for the lockstep batch engine.
+//!
+//! The batch engine (`av_experiments::batch`) promises that
+//! `RunRecord::digest()` is **bit-identical** to the sequential engine for
+//! every scenario, seed, fault plan, attacker, and batch size. This suite
+//! pins that contract end to end:
+//!
+//! - the DS-1..DS-5 golden digests (the same committed fixtures the
+//!   sequential golden-trace suite pins) reproduced at batch sizes 1, 7,
+//!   and 64;
+//! - fault-injected runs (sensor-side drops rewriting the RNG-visible
+//!   world) and malware runs (kinematic, NN-oracle, random-timing, and
+//!   baseline attackers) batch-equivalent at every batch size;
+//! - ragged batches: lanes with different scenario durations retire at
+//!   different ticks without perturbing the survivors' RNG streams.
+
+use av_experiments::batch::LanePool;
+use av_experiments::prelude::*;
+use av_experiments::train_sh::train_oracle_on;
+use av_faults::{FaultKind, FaultPlan, FaultSpec};
+use av_neural::train::Dataset;
+use std::sync::Arc;
+
+/// The committed golden fixtures (kept in sync with `golden_traces.rs`): if
+/// the batch engine reproduces these, it reproduces the exact sequential
+/// trajectories down to the last ULP.
+const GOLDEN: [(ScenarioId, u64, &str); 5] = [
+    (ScenarioId::Ds1, 7, "88fd3971a1e3db6f"),
+    (ScenarioId::Ds2, 7, "8ac9cef96c26d7c6"),
+    (ScenarioId::Ds3, 7, "a7da8c6ce2fbf298"),
+    (ScenarioId::Ds4, 7, "a3119dae4c2710e6"),
+    (ScenarioId::Ds5, 7, "cfdbc2735d4a6661"),
+];
+
+const BATCH_SIZES: [usize; 3] = [1, 7, 64];
+
+fn session(
+    scenario: ScenarioId,
+    seed: u64,
+    attacker: AttackerSpec,
+    faults: FaultPlan,
+) -> SimSession {
+    SimSession::builder(scenario)
+        .seed(seed)
+        .attacker(attacker)
+        .faults(faults)
+        .build()
+}
+
+/// Runs every session through the sequential engine.
+fn sequential(sessions: &[SimSession]) -> Vec<RunOutcome> {
+    let mut worker = SessionWorker::new();
+    sessions.iter().map(|s| s.run_with(&mut worker)).collect()
+}
+
+/// Runs the sessions through the batch engine in blocks of `batch_size`,
+/// reusing one lane pool across blocks exactly like a campaign worker.
+fn batched(sessions: &[SimSession], batch_size: usize) -> Vec<RunOutcome> {
+    let mut pool = LanePool::new();
+    let tele = Telemetry::disabled();
+    sessions
+        .chunks(batch_size)
+        .flat_map(|chunk| pool.run_batch(chunk, &tele))
+        .collect()
+}
+
+/// Field-by-field equivalence of a batch outcome against its sequential
+/// twin. The digest covers the full time series bit-exactly; the remaining
+/// asserts catch divergence in the outcome summary itself.
+fn assert_outcomes_equivalent(seq: &[RunOutcome], bat: &[RunOutcome], label: &str) {
+    assert_eq!(seq.len(), bat.len(), "{label}: run count");
+    for (a, b) in seq.iter().zip(bat) {
+        let ctx = format!("{label}: {:?} seed {}", a.scenario, a.seed);
+        assert_eq!(a.record.digest(), b.record.digest(), "{ctx}: digest");
+        assert_eq!(a.seed, b.seed, "{ctx}: seed order");
+        assert_eq!(
+            a.sim_seconds.to_bits(),
+            b.sim_seconds.to_bits(),
+            "{ctx}: end time"
+        );
+        assert_eq!(a.collided, b.collided, "{ctx}: collided");
+        assert_eq!(a.accident, b.accident, "{ctx}: accident");
+        assert_eq!(a.eb_any, b.eb_any, "{ctx}: eb_any");
+        assert_eq!(
+            a.eb_after_attack, b.eb_after_attack,
+            "{ctx}: eb_after_attack"
+        );
+        assert_eq!(
+            a.attack.launched_at, b.attack.launched_at,
+            "{ctx}: launch time"
+        );
+        assert_eq!(a.attack.k, b.attack.k, "{ctx}: planned K");
+        assert_eq!(
+            a.attack.frames_perturbed, b.attack.frames_perturbed,
+            "{ctx}: frames perturbed"
+        );
+        assert_eq!(
+            a.min_delta_post_attack.map(f64::to_bits),
+            b.min_delta_post_attack.map(f64::to_bits),
+            "{ctx}: min delta"
+        );
+        assert_eq!(a.k_prime_ads, b.k_prime_ads, "{ctx}: K'");
+        assert_eq!(a.faults, b.faults, "{ctx}: fault stats");
+        assert_eq!(a.stale_frames, b.stale_frames, "{ctx}: stale frames");
+        assert_eq!(a.ids_alarms.len(), b.ids_alarms.len(), "{ctx}: alarm count");
+    }
+}
+
+/// A small NN oracle trained on a synthetic dataset, shared across sessions
+/// so the batch engine's Arc-identity grouping sees one GEMM group.
+fn synthetic_nn_oracle() -> OracleSpec {
+    let data = Dataset::from_rows((0..64).map(|i| {
+        let delta = 5.0 + f64::from(i % 16) * 2.0;
+        let k = f64::from(i % 8) * 10.0;
+        (vec![delta, -3.0, 0.5, -0.1, k], vec![delta - 0.1 * k])
+    }));
+    OracleSpec::Nn(Arc::clone(
+        &train_oracle_on(&data)
+            .expect("synthetic dataset trains")
+            .oracle,
+    ))
+}
+
+#[test]
+fn golden_digests_identical_at_every_batch_size() {
+    // Seed-major interleave: each size-7 block mixes scenarios, so every
+    // batch is ragged in actor count AND duration (DS-3 is 20 s, DS-1 45 s).
+    let mut sessions = Vec::new();
+    for seed in [7, 8, 9] {
+        for (scenario, _, _) in GOLDEN {
+            sessions.push(session(
+                scenario,
+                seed,
+                AttackerSpec::None,
+                FaultPlan::none(),
+            ));
+        }
+    }
+    let seq = sequential(&sessions);
+    // The sequential engine still matches the committed fixtures…
+    for (scenario, seed, expected) in GOLDEN {
+        let out = seq
+            .iter()
+            .find(|o| o.scenario == scenario && o.seed == seed)
+            .expect("seed 7 present");
+        assert_eq!(
+            out.record.digest(),
+            expected,
+            "{scenario:?} seed {seed}: sequential trace drifted from fixture"
+        );
+    }
+    // …and the batch engine reproduces it bit-for-bit at every batch size.
+    for batch_size in BATCH_SIZES {
+        let bat = batched(&sessions, batch_size);
+        assert_outcomes_equivalent(&seq, &bat, &format!("golden, batch {batch_size}"));
+    }
+}
+
+#[test]
+fn faulted_runs_are_batch_equivalent() {
+    let plan = FaultPlan::single(FaultSpec::always(FaultKind::CameraFrameDrop {
+        probability: 0.3,
+    }));
+    let mut sessions = Vec::new();
+    for scenario in [ScenarioId::Ds1, ScenarioId::Ds2] {
+        for seed in [5, 6, 7] {
+            sessions.push(session(scenario, seed, AttackerSpec::None, plan.clone()));
+        }
+    }
+    let seq = sequential(&sessions);
+    assert!(
+        seq.iter().any(|o| o.faults.camera_frames_dropped > 0),
+        "the fault plan must actually fire"
+    );
+    for batch_size in BATCH_SIZES {
+        let bat = batched(&sessions, batch_size);
+        assert_outcomes_equivalent(&seq, &bat, &format!("faulted, batch {batch_size}"));
+    }
+}
+
+#[test]
+fn malware_runs_are_batch_equivalent() {
+    let nn = synthetic_nn_oracle();
+    let mut sessions = Vec::new();
+    // Kinematic-oracle RoboTack (scalar oracle path in the barrier).
+    for seed in [11, 12, 13] {
+        sessions.push(session(
+            ScenarioId::Ds1,
+            seed,
+            AttackerSpec::RoboTack {
+                vector: Some(AttackVector::MoveOut),
+                oracle: OracleSpec::Kinematic,
+            },
+            FaultPlan::none(),
+        ));
+    }
+    // NN-oracle RoboTack sharing ONE oracle (batched GEMM path); several
+    // lanes defer on the same camera tick, so k-search rounds batch rows.
+    for seed in [11, 12, 13, 14] {
+        sessions.push(session(
+            ScenarioId::Ds1,
+            seed,
+            AttackerSpec::RoboTack {
+                vector: Some(AttackVector::Disappear),
+                oracle: nn.clone(),
+            },
+            FaultPlan::none(),
+        ));
+    }
+    // Random-timing RoboTack (draws launch parameters from the run RNG at
+    // build time — any stream perturbation shows up instantly)…
+    sessions.push(session(
+        ScenarioId::Ds2,
+        5,
+        AttackerSpec::RoboTackNoSh {
+            vector: Some(AttackVector::MoveIn),
+        },
+        FaultPlan::none(),
+    ));
+    // …and the Baseline-Random attacker.
+    sessions.push(session(
+        ScenarioId::Ds1,
+        3,
+        AttackerSpec::Random,
+        FaultPlan::none(),
+    ));
+
+    let seq = sequential(&sessions);
+    assert!(
+        seq.iter().any(|o| o.attack.launched_at.is_some()),
+        "at least one attack must launch for the test to mean anything"
+    );
+    for batch_size in BATCH_SIZES {
+        let bat = batched(&sessions, batch_size);
+        assert_outcomes_equivalent(&seq, &bat, &format!("malware, batch {batch_size}"));
+    }
+}
+
+#[test]
+fn ragged_batches_retire_lanes_without_perturbing_survivors() {
+    // One batch holding every scenario: DS-3 (20 s) retires first, then
+    // DS-4 (25 s), DS-2 (30 s), and finally DS-1/DS-5 (45 s) — the
+    // surviving lanes keep stepping after each retirement wave.
+    let sessions: Vec<SimSession> = GOLDEN
+        .iter()
+        .map(|&(scenario, _, _)| session(scenario, 21, AttackerSpec::None, FaultPlan::none()))
+        .collect();
+    let seq = sequential(&sessions);
+    let mut end_ticks: Vec<u64> = seq.iter().map(|o| o.sim_seconds.to_bits()).collect();
+    end_ticks.sort_unstable();
+    end_ticks.dedup();
+    assert!(
+        end_ticks.len() >= 3,
+        "the batch must actually be ragged (got {} distinct end times)",
+        end_ticks.len()
+    );
+    // All five lanes in one lockstep batch.
+    let bat = batched(&sessions, sessions.len());
+    assert_outcomes_equivalent(&seq, &bat, "ragged full batch");
+}

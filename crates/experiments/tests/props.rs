@@ -22,6 +22,49 @@ fn dispatch_campaign() -> Campaign {
     Campaign::new("prop-dispatch", ScenarioId::Ds1, AttackerSpec::None, 5, 40)
 }
 
+/// All three dispatch modes, parameterized by a drawn batch size (ignored
+/// by the non-batched modes).
+fn dispatch_mode(selector: u8, batch_size: usize) -> DispatchMode {
+    match selector % 3 {
+        0 => DispatchMode::WorkStealing,
+        1 => DispatchMode::StaticChunks,
+        _ => DispatchMode::Batched { batch_size },
+    }
+}
+
+/// Deterministic telemetry counters with the engine-level `batch_*` events
+/// removed: their counts depend on the batch size by design (documented on
+/// the `TraceEvent::BatchStepped` / `BatchOracleInference` variants), while
+/// everything else must be invariant across threads and dispatch modes.
+fn invariant_counts(metrics: &MetricsSnapshot) -> Vec<(&'static str, u64)> {
+    metrics
+        .deterministic_counts()
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("batch_"))
+        .collect()
+}
+
+/// (launched, EB, crashes, invariant telemetry counts) — the summary every
+/// dispatch mode must reproduce.
+type MetricsBaseline = (usize, usize, usize, Vec<(&'static str, u64)>);
+
+/// Sequential (1-thread) campaign summary + merged telemetry baseline,
+/// computed once for all cases.
+fn metrics_baseline() -> &'static MetricsBaseline {
+    static BASELINE: OnceLock<MetricsBaseline> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let result = run_campaign_with_threads(&dispatch_campaign().with_metrics(), 1)
+            .expect("one thread is valid");
+        let metrics = result.metrics.as_ref().expect("metrics collected");
+        (
+            result.n_launched(),
+            result.eb().0,
+            result.crashes().0,
+            invariant_counts(metrics),
+        )
+    })
+}
+
 /// Sequential (1-thread) per-run digests, computed once for all cases.
 fn sequential_digests() -> &'static [String] {
     static BASELINE: OnceLock<Vec<String>> = OnceLock::new();
@@ -121,12 +164,29 @@ proptest! {
     }
 
     #[test]
-    fn work_stealing_digests_are_thread_count_invariant(threads in 1usize..33, chunked in any::<bool>()) {
-        let mode = if chunked { DispatchMode::StaticChunks } else { DispatchMode::WorkStealing };
+    fn work_stealing_digests_are_thread_count_invariant(threads in 1usize..33, selector in any::<u8>(), batch_size in 1usize..9) {
+        let mode = dispatch_mode(selector, batch_size);
         let result = run_campaign_dispatch(&dispatch_campaign(), threads, mode)
             .expect("nonzero thread count");
         let digests: Vec<String> = result.outcomes.iter().map(|o| o.record.digest()).collect();
         prop_assert_eq!(&digests[..], sequential_digests(), "threads={} mode={:?}", threads, mode);
+    }
+
+    #[test]
+    fn campaign_summary_and_metrics_are_dispatch_invariant(threads in 1usize..33, selector in any::<u8>(), batch_size in 1usize..9) {
+        let mode = dispatch_mode(selector, batch_size);
+        let result = run_campaign_dispatch(&dispatch_campaign().with_metrics(), threads, mode)
+            .expect("nonzero thread count");
+        let metrics = result.metrics.as_ref().expect("metrics collected");
+        let (n_launched, eb, crashes, counts) = metrics_baseline();
+        prop_assert_eq!(result.n_launched(), *n_launched, "threads={} mode={:?}", threads, mode);
+        prop_assert_eq!(result.eb().0, *eb, "threads={} mode={:?}", threads, mode);
+        prop_assert_eq!(result.crashes().0, *crashes, "threads={} mode={:?}", threads, mode);
+        prop_assert_eq!(
+            &invariant_counts(metrics),
+            counts,
+            "merged telemetry drifted: threads={} mode={:?}", threads, mode
+        );
     }
 
     #[test]

@@ -166,17 +166,48 @@ impl Matrix {
     /// overwritten). Each output element is one ordered dot product, so
     /// results are bit-identical to [`Matrix::matmul_t`].
     ///
+    /// This is the batched-inference kernel, and its speed over repeated
+    /// per-row dots comes from instruction-level parallelism rather than
+    /// reassociation: a single dot product is a serial chain of FP adds
+    /// (each ~4 cycles of latency), but the dots of *different* batch rows
+    /// are independent, so processing four rows of `self` against one row
+    /// of `other` keeps four accumulator chains in flight and hides the
+    /// add latency. Each accumulator still sums its row strictly in index
+    /// order, so every output bit matches the naive loop; the blocking
+    /// also loads each element of `other` once per four rows instead of
+    /// once per row.
+    ///
     /// # Panics
     ///
     /// Panics on column-count mismatch.
     pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         out.reshape(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
+        for j in 0..other.rows {
+            let brow = other.row(j);
+            let mut i = 0;
+            while i + 4 <= self.rows {
+                let a0 = self.row(i);
+                let a1 = self.row(i + 1);
+                let a2 = self.row(i + 2);
+                let a3 = self.row(i + 3);
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for ((((&b, &x0), &x1), &x2), &x3) in brow.iter().zip(a0).zip(a1).zip(a2).zip(a3) {
+                    s0 += x0 * b;
+                    s1 += x1 * b;
+                    s2 += x2 * b;
+                    s3 += x3 * b;
+                }
+                out.set(i, j, s0);
+                out.set(i + 1, j, s1);
+                out.set(i + 2, j, s2);
+                out.set(i + 3, j, s3);
+                i += 4;
+            }
+            while i < self.rows {
+                let arow = self.row(i);
                 out.set(i, j, arow.iter().zip(brow).map(|(a, b)| a * b).sum());
+                i += 1;
             }
         }
     }

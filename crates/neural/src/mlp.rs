@@ -157,6 +157,60 @@ impl Mlp {
         x
     }
 
+    /// Batched inference forward pass (dropout disabled); row `r` of the
+    /// result is bit-identical to `forward(batch.row(r))`.
+    ///
+    /// Allocating convenience wrapper around [`Mlp::forward_batch_into`].
+    pub fn forward_batch(&self, batch: &Matrix) -> Matrix {
+        let mut scratch = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_batch_into(batch, &mut scratch, &mut out);
+        out
+    }
+
+    /// Batched inference forward pass (dropout disabled) into reusable
+    /// scratch buffers; the result ends up in `out`.
+    ///
+    /// Bit-identity with the per-example path: the kernel accumulates each
+    /// output element as the same ordered dot product that [`Mlp::forward`]
+    /// uses, and adding the bias after the dot (`Σ + b` instead of `b + Σ`)
+    /// is exact because IEEE-754 addition is commutative. (A k-outer GEMM
+    /// with zero-skip like [`Matrix::matmul_into`] would not qualify: it
+    /// changes the accumulation order.)
+    ///
+    /// The speed over per-example forwards comes from keeping activations
+    /// *transposed* (feature-major, one column per batch row): the same
+    /// feature of 8 adjacent batch rows is contiguous, so the layer kernel
+    /// runs 8 independent k-ordered sums in SIMD lanes — per-row bits
+    /// unchanged, since no sum is reassociated, only interleaved with the
+    /// other rows' sums.
+    pub fn forward_batch_into(&self, batch: &Matrix, scratch: &mut Matrix, out: &mut Matrix) {
+        debug_assert_eq!(batch.cols(), self.input_dim());
+        let n = batch.rows();
+        // Transpose the batch into `scratch`: (N × K) → (K × N).
+        scratch.reshape(batch.cols(), n);
+        for r in 0..n {
+            for (k, &v) in batch.row(r).iter().enumerate() {
+                scratch.row_mut(k)[r] = v;
+            }
+        }
+        // `scratch` holds the transposed input of each layer, `out` receives
+        // its transposed output; the final swap leaves the last layer's
+        // output transposed in `scratch`.
+        for layer in &self.layers {
+            layer_forward_t(&layer.w, &layer.b, layer.relu, scratch, out);
+            std::mem::swap(scratch, out);
+        }
+        // Un-transpose the result into `out`: (J × N) → (N × J).
+        let j_out = scratch.rows();
+        out.reshape(n, j_out);
+        for j in 0..j_out {
+            for (i, &v) in scratch.row(j).iter().enumerate() {
+                out.row_mut(i)[j] = v;
+            }
+        }
+    }
+
     /// Batched training forward pass with inverted dropout; returns the
     /// output batch plus the cache for [`Mlp::backward`].
     ///
@@ -390,6 +444,60 @@ impl Mlp {
     }
 }
 
+/// One dense layer over transposed activations: `x_t` is (in × N), `out_t`
+/// becomes (out × N), both feature-major.
+///
+/// For each output unit `j`, the kernel runs a register block of 8 batch
+/// lanes: 8 accumulators, each summing its own lane's products strictly in
+/// `k` order — the independent lanes vectorize while every lane's sum keeps
+/// the exact accumulation order of [`Mlp::forward`]. Bias is added once per
+/// element after the full dot, then ReLU, matching the per-example path.
+fn layer_forward_t(w: &Matrix, bias: &[f64], relu: bool, x_t: &Matrix, out_t: &mut Matrix) {
+    let n = x_t.cols();
+    debug_assert_eq!(x_t.rows(), w.cols());
+    out_t.reshape(w.rows(), n);
+    // Lane-block widths: enough independent 8-wide vector chains to hide FMA
+    // latency on wide SIMD hosts, with narrower blocks mopping up.
+    macro_rules! lane_block {
+        ($width:literal, $i:ident, $wrow:ident, $xflat:ident, $orow:ident, $b:ident) => {
+            while $i + $width <= n {
+                let mut acc = [0.0f64; $width];
+                for (&wk, xrow) in $wrow.iter().zip($xflat.chunks_exact(n)) {
+                    let lanes = &xrow[$i..$i + $width];
+                    for (a, &x) in acc.iter_mut().zip(lanes) {
+                        *a += x * wk;
+                    }
+                }
+                for (o, a) in $orow[$i..$i + $width].iter_mut().zip(acc) {
+                    let v = a + $b;
+                    *o = if relu && v < 0.0 { 0.0 } else { v };
+                }
+                $i += $width;
+            }
+        };
+    }
+    debug_assert_eq!(bias.len(), w.rows());
+    let xflat = x_t.as_slice();
+    for (j, &b) in bias.iter().enumerate() {
+        let wrow = w.row(j);
+        let orow = out_t.row_mut(j);
+        let mut i = 0;
+        lane_block!(32, i, wrow, xflat, orow, b);
+        lane_block!(16, i, wrow, xflat, orow, b);
+        lane_block!(8, i, wrow, xflat, orow, b);
+        lane_block!(4, i, wrow, xflat, orow, b);
+        while i < n {
+            let mut s = 0.0;
+            for (&wk, xrow) in wrow.iter().zip(xflat.chunks_exact(n)) {
+                s += xrow[i] * wk;
+            }
+            let v = s + b;
+            orow[i] = if relu && v < 0.0 { 0.0 } else { v };
+            i += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +522,44 @@ mod tests {
         let a = net.forward(&[0.1, -0.2, 0.3]);
         let b = net.forward(&[0.1, -0.2, 0.3]);
         assert_eq!(a, b, "inference ignores dropout randomness");
+    }
+
+    #[test]
+    fn forward_batch_rows_are_bit_identical_to_forward() {
+        let mut r = rng();
+        let net = Mlp::new(&[5, 100, 100, 50, 1], 0.1, &mut r);
+        for rows in [1usize, 7, 64] {
+            let mut batch = Matrix::zeros(rows, 5);
+            for v in batch.as_mut_slice() {
+                *v = simrng::normal(&mut r, 0.0, 2.0);
+            }
+            let out = net.forward_batch(&batch);
+            assert_eq!(out.rows(), rows);
+            assert_eq!(out.cols(), 1);
+            for i in 0..rows {
+                let single = net.forward(batch.row(i));
+                assert_eq!(
+                    out.get(i, 0).to_bits(),
+                    single[0].to_bits(),
+                    "row {i} of a {rows}-row batch diverged from the scalar path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_into_reuses_buffers() {
+        let net = Mlp::new(&[3, 8, 2], 0.0, &mut rng());
+        let batch = Matrix::from_vec(2, 3, vec![0.1, -0.2, 0.3, 1.0, 2.0, -3.0]);
+        let mut scratch = Matrix::from_vec(1, 1, vec![9e9]);
+        let mut out = Matrix::from_vec(1, 1, vec![9e9]);
+        net.forward_batch_into(&batch, &mut scratch, &mut out);
+        let fresh = net.forward_batch(&batch);
+        assert_eq!(
+            out.as_slice(),
+            fresh.as_slice(),
+            "dirty scratch must not leak"
+        );
     }
 
     #[test]

@@ -100,12 +100,21 @@ impl Normalizer {
 
     /// Normalizes one input row.
     pub fn apply(&self, input: &[f64]) -> Vec<f64> {
-        input
-            .iter()
-            .zip(&self.mean)
+        let mut out = input.to_vec();
+        self.apply_into(input, &mut out);
+        out
+    }
+
+    /// Normalizes one input row into a caller-held buffer (same bits as
+    /// [`Normalizer::apply`], no allocation).
+    pub fn apply_into(&self, input: &[f64], out: &mut [f64]) {
+        for ((o, (x, m)), s) in out
+            .iter_mut()
+            .zip(input.iter().zip(&self.mean))
             .zip(&self.std)
-            .map(|((x, m), s)| (x - m) / s)
-            .collect()
+        {
+            *o = (x - m) / s;
+        }
     }
 }
 

@@ -1,0 +1,257 @@
+//! Structure-of-arrays world state for lockstep multi-session execution.
+//!
+//! A batch engine advances N independent sessions tick by tick. Stepping N
+//! separate [`World`]s touches N scattered `Vec<Actor>` allocations and
+//! clones every scripted [`Behavior`] (waypoint scripts heap-allocate) once
+//! per actor per tick. [`BatchWorld`] gathers the per-actor kinematics of
+//! all lanes into flat per-field arrays (lane-major), steps them in place,
+//! and scatters the results back into per-lane [`World`] views that the
+//! sensor/planner/safety code reads through the ordinary `&World` API.
+//!
+//! The integration is bit-identical to [`World::step`]: the same
+//! floating-point expressions evaluated in the same per-actor order, and
+//! [`Behavior::step`] mutated in place instead of clone-step-assign (which
+//! cannot change the result — the clone sees the same state the original
+//! would). The per-lane views' `Actor::behavior` fields are *not* scattered
+//! back (behaviors live in the batch arrays once gathered); nothing on the
+//! session read path consults them.
+
+use crate::behavior::Behavior;
+use crate::math::{Pose, Vec2};
+use crate::world::World;
+
+/// N worlds advanced in lockstep, stored as per-field arrays.
+#[derive(Debug, Clone)]
+pub struct BatchWorld {
+    /// Per-lane read views, kinematics-scattered after every step.
+    views: Vec<World>,
+    /// Slot offset of each lane's first actor; `offsets[lane + 1]` ends it.
+    offsets: Vec<usize>,
+    pos_x: Vec<f64>,
+    pos_y: Vec<f64>,
+    heading: Vec<f64>,
+    speed: Vec<f64>,
+    accel: Vec<f64>,
+    /// Whether the slot is the lane's ego (integrated from the ADS
+    /// actuation rather than a behavior script).
+    is_ego: Vec<bool>,
+    behaviors: Vec<Behavior>,
+}
+
+impl BatchWorld {
+    /// Gathers per-lane worlds into the batch layout. Lane indices follow
+    /// the input order.
+    pub fn new(worlds: Vec<World>) -> Self {
+        let mut bw = BatchWorld {
+            offsets: Vec::with_capacity(worlds.len() + 1),
+            pos_x: Vec::new(),
+            pos_y: Vec::new(),
+            heading: Vec::new(),
+            speed: Vec::new(),
+            accel: Vec::new(),
+            is_ego: Vec::new(),
+            behaviors: Vec::new(),
+            views: worlds,
+        };
+        bw.offsets.push(0);
+        for world in &bw.views {
+            for actor in world.actors() {
+                bw.pos_x.push(actor.pose.position.x);
+                bw.pos_y.push(actor.pose.position.y);
+                bw.heading.push(actor.pose.heading);
+                bw.speed.push(actor.speed);
+                bw.accel.push(actor.accel);
+                bw.is_ego.push(matches!(actor.behavior, Behavior::Ego));
+                bw.behaviors.push(actor.behavior.clone());
+            }
+            bw.offsets.push(bw.pos_x.len());
+        }
+        bw
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the batch holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The lane's world view (kinematics current as of the last
+    /// [`BatchWorld::step_lane`] on that lane).
+    pub fn lane(&self, lane: usize) -> &World {
+        &self.views[lane]
+    }
+
+    /// Advances one lane by `dt` seconds, bit-identical to calling
+    /// [`World::step`] on that lane's world. Lanes that have retired from
+    /// the batch are simply never stepped again — their views freeze at the
+    /// tick they ended, exactly like a sequential run that left its loop.
+    pub fn step_lane(&mut self, lane: usize, dt: f64, ego_accel: f64) {
+        let (start, end) = (self.offsets[lane], self.offsets[lane + 1]);
+        for slot in start..end {
+            if self.is_ego[slot] {
+                let v0 = self.speed[slot];
+                let v1 = (v0 + ego_accel * dt).max(0.0);
+                // Trapezoidal integration with the clamped speed.
+                self.pos_x[slot] += (v0 + v1) / 2.0 * dt;
+                self.accel[slot] = (v1 - v0) / dt;
+                self.speed[slot] = v1;
+            } else {
+                let pose = Pose::new(
+                    Vec2::new(self.pos_x[slot], self.pos_y[slot]),
+                    self.heading[slot],
+                );
+                let speed0 = self.speed[slot];
+                let (pose, speed) = self.behaviors[slot].step(pose, speed0, dt);
+                self.accel[slot] = (speed - speed0) / dt;
+                self.pos_x[slot] = pose.position.x;
+                self.pos_y[slot] = pose.position.y;
+                self.heading[slot] = pose.heading;
+                self.speed[slot] = speed;
+            }
+        }
+        // Scatter the stepped kinematics into the lane's read view.
+        let view = &mut self.views[lane];
+        for (actor, slot) in view.actors_slice_mut().iter_mut().zip(start..end) {
+            actor.pose.position.x = self.pos_x[slot];
+            actor.pose.position.y = self.pos_y[slot];
+            actor.pose.heading = self.heading[slot];
+            actor.speed = self.speed[slot];
+            actor.accel = self.accel[slot];
+        }
+        view.advance_time(dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Actor, ActorId, ActorKind};
+    use crate::behavior::{OnFinish, Waypoint};
+    use crate::road::Road;
+
+    fn world(seed: f64) -> World {
+        let ego = Actor::new(
+            ActorId(0),
+            ActorKind::Car,
+            Vec2::new(seed, 0.0),
+            10.0 + seed,
+            Behavior::Ego,
+        );
+        let mut w = World::new(Road::default(), ego);
+        w.add_actor(Actor::new(
+            ActorId(1),
+            ActorKind::Car,
+            Vec2::new(40.0 + seed, 0.1 * seed),
+            8.0,
+            Behavior::CruiseStraight { speed: 8.0 },
+        ))
+        .unwrap();
+        w.add_actor(Actor::new(
+            ActorId(2),
+            ActorKind::Pedestrian,
+            Vec2::new(25.0, -6.0),
+            0.0,
+            Behavior::waypoints(
+                vec![
+                    Waypoint::new(Vec2::new(25.0 + seed, 0.0), 1.4),
+                    Waypoint::new(Vec2::new(25.0 + seed, 6.0), 1.4),
+                ],
+                OnFinish::Stop,
+            ),
+        ))
+        .unwrap();
+        w
+    }
+
+    fn assert_worlds_bit_identical(a: &World, b: &World, ctx: &str) {
+        assert_eq!(a.time_us(), b.time_us(), "{ctx}: time");
+        assert_eq!(a.actors().len(), b.actors().len(), "{ctx}: actor count");
+        for (x, y) in a.actors().iter().zip(b.actors()) {
+            assert_eq!(
+                x.pose.position.x.to_bits(),
+                y.pose.position.x.to_bits(),
+                "{ctx}: pos.x of {}",
+                x.id
+            );
+            assert_eq!(
+                x.pose.position.y.to_bits(),
+                y.pose.position.y.to_bits(),
+                "{ctx}: pos.y of {}",
+                x.id
+            );
+            assert_eq!(
+                x.pose.heading.to_bits(),
+                y.pose.heading.to_bits(),
+                "{ctx}: heading of {}",
+                x.id
+            );
+            assert_eq!(x.speed.to_bits(), y.speed.to_bits(), "{ctx}: speed");
+            assert_eq!(x.accel.to_bits(), y.accel.to_bits(), "{ctx}: accel");
+        }
+    }
+
+    #[test]
+    fn step_lane_matches_world_step_bitwise() {
+        let dt = 1.0 / 30.0;
+        let lanes: Vec<World> = (0..5).map(|i| world(f64::from(i))).collect();
+        let mut reference = lanes.clone();
+        let mut batch = BatchWorld::new(lanes);
+        for tick in 0..400 {
+            for (lane, reference) in reference.iter_mut().enumerate() {
+                // Different per-lane actuation to keep the lanes distinct.
+                let accel = 0.3 * f64::from(tick % 7) - 0.5 * lane as f64;
+                reference.step(dt, accel);
+                batch.step_lane(lane, dt, accel);
+                assert_worlds_bit_identical(
+                    reference,
+                    batch.lane(lane),
+                    &format!("tick {tick} lane {lane}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retired_lane_freezes_while_others_advance() {
+        let dt = 1.0 / 30.0;
+        let lanes: Vec<World> = (0..3).map(|i| world(f64::from(i))).collect();
+        let mut batch = BatchWorld::new(lanes);
+        for _ in 0..10 {
+            for lane in 0..3 {
+                batch.step_lane(lane, dt, 0.4);
+            }
+        }
+        let frozen = batch.lane(1).clone();
+        for _ in 0..10 {
+            batch.step_lane(0, dt, 0.4);
+            batch.step_lane(2, dt, 0.4);
+        }
+        assert_worlds_bit_identical(&frozen, batch.lane(1), "retired lane");
+        assert!(batch.lane(0).time_us() > batch.lane(1).time_us());
+    }
+
+    #[test]
+    fn lanes_with_different_actor_counts() {
+        let mut small = world(0.0);
+        let _ = small; // lane 0: 3 actors, lane 1: 1 actor (ego only)
+        small = World::new(
+            Road::default(),
+            Actor::new(ActorId(0), ActorKind::Car, Vec2::ZERO, 5.0, Behavior::Ego),
+        );
+        let lanes = vec![world(1.0), small.clone()];
+        let mut batch = BatchWorld::new(lanes);
+        let mut reference = world(1.0);
+        for _ in 0..50 {
+            reference.step(1.0 / 30.0, 1.0);
+            small.step(1.0 / 30.0, -1.0);
+            batch.step_lane(0, 1.0 / 30.0, 1.0);
+            batch.step_lane(1, 1.0 / 30.0, -1.0);
+        }
+        assert_worlds_bit_identical(&reference, batch.lane(0), "ragged lane 0");
+        assert_worlds_bit_identical(&small, batch.lane(1), "ragged lane 1");
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod actor;
+pub mod batch_world;
 pub mod behavior;
 pub mod error;
 pub mod math;
@@ -45,6 +46,7 @@ pub mod units;
 pub mod world;
 
 pub use actor::{Actor, ActorId, ActorKind, Size};
+pub use batch_world::BatchWorld;
 pub use error::SimError;
 pub use math::Vec2;
 pub use recorder::RunRecord;

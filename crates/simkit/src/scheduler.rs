@@ -85,6 +85,18 @@ impl Scheduler {
 
     /// Allocation-free [`Scheduler::advance_to`]: clears `fired` and appends
     /// every task whose fire time has been reached, in registration order.
+    ///
+    /// # Buffer reuse across sessions
+    ///
+    /// `fired` is cleared *unconditionally* at the top of every call — never
+    /// merged into — so one buffer may be shared across ticks, schedulers,
+    /// and batch members without a stale entry from a previous session
+    /// leaking into the next dispatch. The one contract a sharing caller
+    /// must uphold: [`Task`] handles are registration *indices*, private to
+    /// the scheduler that issued them. Reading this buffer against a
+    /// *different* scheduler is only meaningful when both registered the
+    /// same task list in the same order (the lockstep batch engine's
+    /// invariant; see `tests::shared_buffer_across_schedulers`).
     pub fn advance_into(&mut self, now_us: u64, fired: &mut Vec<Task>) {
         let _timer = self.telemetry.time(Stage::SchedulerAdvance);
         fired.clear();
@@ -165,6 +177,46 @@ mod tests {
         // The buffer is cleared each call, not accumulated.
         b.advance_into(121, &mut fired);
         assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn shared_buffer_across_schedulers() {
+        // A batch engine reuses ONE fired buffer across many sessions'
+        // schedulers. A stale entry surviving from session A's dispatch
+        // into session B's would silently corrupt session B, so pin the
+        // clearing contract in the sharing pattern itself.
+        let mut a = Scheduler::new();
+        let mut b = Scheduler::new();
+        // Identical registration order → identical Task handles (the
+        // invariant that makes a shared fired list readable by every lane).
+        let (a_fast, a_slow) = (a.add_task("fast", 10), a.add_task("slow", 30));
+        let (b_fast, b_slow) = (b.add_task("fast", 10), b.add_task("slow", 30));
+        assert_eq!((a_fast, a_slow), (b_fast, b_slow));
+
+        let mut fired = Vec::new();
+        // Put the schedulers out of phase: A consumed t=0, B has not.
+        a.advance_into(0, &mut fired);
+        assert_eq!(fired, vec![a_fast, a_slow]);
+        // B at t=5 fires both (first fire is t=0, caught up late)...
+        b.advance_into(5, &mut fired);
+        assert_eq!(fired, vec![b_fast, b_slow]);
+        // ...and A at t=5 fires nothing: the buffer must come back empty,
+        // not holding B's leftovers.
+        a.advance_into(5, &mut fired);
+        assert!(
+            fired.is_empty(),
+            "stale fired entries leaked across sessions"
+        );
+        // Interleave both schedulers through one buffer and compare every
+        // dispatch against control schedulers that each own a private
+        // buffer — any cross-contamination shows up as a mismatch.
+        let (mut ctl_a, mut ctl_b) = (a.clone(), b.clone());
+        for t in (10..=120).step_by(5) {
+            a.advance_into(t, &mut fired);
+            assert_eq!(fired, ctl_a.advance_to(t), "A contaminated at t={t}");
+            b.advance_into(t, &mut fired);
+            assert_eq!(fired, ctl_b.advance_to(t), "B contaminated at t={t}");
+        }
     }
 
     #[test]

@@ -120,6 +120,19 @@ impl World {
         self.time_us += (dt * 1e6).round() as u64;
     }
 
+    /// All actors, mutably — for [`crate::batch_world::BatchWorld`]'s
+    /// scatter step only; everything else goes through [`World::step`].
+    pub(crate) fn actors_slice_mut(&mut self) -> &mut [Actor] {
+        &mut self.actors
+    }
+
+    /// Advances the clock exactly as [`World::step`] does, without moving
+    /// any actor — for [`crate::batch_world::BatchWorld`], which integrates
+    /// the kinematics itself.
+    pub(crate) fn advance_time(&mut self, dt: f64) {
+        self.time_us += (dt * 1e6).round() as u64;
+    }
+
     /// The corridor the ego sweeps: lateral interval `[y0, y1]` covering the
     /// ego width plus `margin` on each side.
     pub fn ego_corridor(&self, margin: f64) -> (f64, f64) {

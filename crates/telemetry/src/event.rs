@@ -174,6 +174,24 @@ pub enum TraceEvent {
         /// The content-address digest (hex in the JSONL schema).
         key: u64,
     },
+    /// The lockstep batch engine advanced all live sessions by one tick.
+    ///
+    /// Engine-level bookkeeping: its count depends on the batch size, so it
+    /// is excluded (by its `batch_` name prefix) from the cross-dispatch
+    /// telemetry-invariance contract that per-run events obey.
+    BatchStepped {
+        /// Sessions still live in the batch this tick.
+        lanes: u32,
+    },
+    /// The batch engine answered one round of coalesced oracle queries with
+    /// a single batched forward pass.
+    ///
+    /// Engine-level bookkeeping, excluded from cross-dispatch invariance
+    /// like [`TraceEvent::BatchStepped`].
+    BatchOracleInference {
+        /// Queries answered in this round.
+        queries: u32,
+    },
 }
 
 /// Dense event-kind tags for counting (one counter per kind).
@@ -200,11 +218,13 @@ pub enum EventKind {
     JobFinished,
     ArtifactHit,
     ArtifactMiss,
+    BatchStepped,
+    BatchOracleInference,
 }
 
 impl EventKind {
     /// Every event kind, in taxonomy order.
-    pub const ALL: [EventKind; 20] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::RunStarted,
         EventKind::SchedulerTask,
         EventKind::SensorSample,
@@ -225,6 +245,8 @@ impl EventKind {
         EventKind::JobFinished,
         EventKind::ArtifactHit,
         EventKind::ArtifactMiss,
+        EventKind::BatchStepped,
+        EventKind::BatchOracleInference,
     ];
 
     /// Number of event kinds (registry array size).
@@ -258,6 +280,8 @@ impl EventKind {
             EventKind::JobFinished => "job_finished",
             EventKind::ArtifactHit => "artifact_hit",
             EventKind::ArtifactMiss => "artifact_miss",
+            EventKind::BatchStepped => "batch_stepped",
+            EventKind::BatchOracleInference => "batch_oracle_inference",
         }
     }
 }
@@ -286,6 +310,8 @@ impl TraceEvent {
             TraceEvent::JobFinished { .. } => EventKind::JobFinished,
             TraceEvent::ArtifactHit { .. } => EventKind::ArtifactHit,
             TraceEvent::ArtifactMiss { .. } => EventKind::ArtifactMiss,
+            TraceEvent::BatchStepped { .. } => EventKind::BatchStepped,
+            TraceEvent::BatchOracleInference { .. } => EventKind::BatchOracleInference,
         }
     }
 }
@@ -407,6 +433,12 @@ impl TraceRecord {
                     escape(namespace)
                 );
             }
+            TraceEvent::BatchStepped { lanes } => {
+                let _ = write!(s, ",\"lanes\":{lanes}");
+            }
+            TraceEvent::BatchOracleInference { queries } => {
+                let _ = write!(s, ",\"queries\":{queries}");
+            }
         }
         s.push('}');
         s
@@ -520,6 +552,8 @@ mod tests {
                 namespace: "oracle",
                 key: 3,
             },
+            TraceEvent::BatchStepped { lanes: 16 },
+            TraceEvent::BatchOracleInference { queries: 9 },
         ];
         assert_eq!(events.len(), EventKind::COUNT, "taxonomy covered");
         for (event, kind) in events.into_iter().zip(EventKind::ALL) {

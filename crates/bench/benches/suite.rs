@@ -185,14 +185,8 @@ fn bench_orchestrator(c: &mut Criterion) {
             |b, &workers| {
                 b.iter(|| {
                     black_box(
-                        execute(
-                            &orchestrator_dag(),
-                            &ExecOptions {
-                                workers,
-                                ..ExecOptions::default()
-                            },
-                        )
-                        .expect("bench run"),
+                        execute(&orchestrator_dag(), &ExecOptions::new().workers(workers))
+                            .expect("bench run"),
                     )
                 })
             },
@@ -207,11 +201,7 @@ fn bench_orchestrator(c: &mut Criterion) {
             black_box(
                 execute(
                     &orchestrator_dag(),
-                    &ExecOptions {
-                        workers: 2,
-                        manifest: Some(path.clone()),
-                        ..ExecOptions::default()
-                    },
+                    &ExecOptions::new().workers(2).manifest(path.clone()),
                 )
                 .expect("bench run"),
             )

@@ -37,12 +37,15 @@ use crate::suite::{
 };
 use av_defense::ids::AlarmKind;
 use av_faults::{FaultKind, FaultPlan, FaultSpec};
+use av_suite::api::{ErrorCode, EvalRequest};
+use av_suite::serve::EvalService;
 use av_suite::{ArtifactStore, Dag, DagError, Job, JobOutcome};
 use robotack::safety_hijacker::{
     AttackFeatures, KinematicOracle, SafetyHijacker, SafetyHijackerConfig, SafetyOracle,
 };
+use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Table II: the six RoboTack campaigns plus the DS-5 random baseline,
 /// with the paper's reference numbers inline.
@@ -991,6 +994,85 @@ pub fn paper_dag(args: &Args, store: &Arc<ArtifactStore>) -> Result<Dag, DagErro
     Dag::new(jobs)
 }
 
+/// Maps a wire [`EvalRequest`] onto the experiment options it describes —
+/// the inverse of [`crate::suite::SuiteArgs::to_request`]. Run shape
+/// (`runs`/`quick`/`seed`/`batch`) comes from the request; cache placement
+/// (`cache_dir`/`no_cache`) stays with the daemon's `base`, because the
+/// store is the shared resource requests dedup against, not something a
+/// client may relocate.
+pub fn request_args(req: &EvalRequest, base: &Args) -> Args {
+    Args {
+        runs: req.runs,
+        quick: req.quick,
+        seed: req.seed,
+        cache_dir: base.cache_dir.clone(),
+        no_cache: base.no_cache,
+        dispatch: match req.batch {
+            Some(batch_size) => DispatchMode::Batched { batch_size },
+            None => DispatchMode::WorkStealing,
+        },
+    }
+}
+
+/// The [`EvalService`] the `suite` binary serves: [`paper_dag`] subgraphs
+/// over one shared [`ArtifactStore`]. Canonical DAGs are cached per
+/// configuration key, so concurrent requests with the same run shape
+/// validate against one DAG instead of rebuilding it per request.
+pub struct PaperEvalService {
+    base: Args,
+    store: Arc<ArtifactStore>,
+    dags: Mutex<HashMap<u64, Arc<Dag>>>,
+}
+
+impl PaperEvalService {
+    /// A service executing requests against `store`, with `base` supplying
+    /// the per-daemon options requests don't carry (cache placement).
+    pub fn new(base: Args, store: Arc<ArtifactStore>) -> PaperEvalService {
+        PaperEvalService {
+            base,
+            store,
+            dags: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared store every request executes against.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    fn canonical_dag(&self, args: &Args) -> Result<Arc<Dag>, DagError> {
+        let mut dags = self.dags.lock().expect("canonical DAG cache lock");
+        match dags.get(&args.config_key()) {
+            Some(dag) => Ok(dag.clone()),
+            None => {
+                let dag = Arc::new(paper_dag(args, &self.store)?);
+                dags.insert(args.config_key(), dag.clone());
+                Ok(dag)
+            }
+        }
+    }
+}
+
+impl EvalService for PaperEvalService {
+    fn dag_for(&self, req: &EvalRequest) -> Result<Dag, (ErrorCode, String)> {
+        let args = request_args(req, &self.base);
+        let canonical = self
+            .canonical_dag(&args)
+            .map_err(|e| (ErrorCode::BadRequest, e.to_string()))?;
+        if req.only.is_empty() {
+            return Ok((*canonical).clone());
+        }
+        canonical.subgraph(&req.only).map_err(|e| match e {
+            DagError::UnknownTarget(_) => (ErrorCode::UnknownJob, e.to_string()),
+            other => (ErrorCode::BadRequest, other.to_string()),
+        })
+    }
+
+    fn dedup_counters(&self) -> (u64, u64) {
+        self.store.dedup_counters()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1056,5 +1138,78 @@ mod tests {
             .expect("subgraph");
         assert_eq!(dag.len(), 13, "6 datasets + 6 oracles + table2");
         assert!(dag.position("fig5").is_none());
+    }
+
+    #[test]
+    fn request_args_carries_run_shape_and_keeps_daemon_cache_placement() {
+        let base = Args {
+            cache_dir: Some(std::path::PathBuf::from("/tmp/daemon-cache")),
+            no_cache: false,
+            ..Args::default()
+        };
+        let req = EvalRequest {
+            runs: 7,
+            quick: true,
+            seed: 99,
+            batch: Some(4),
+            ..EvalRequest::default()
+        };
+        let args = request_args(&req, &base);
+        assert_eq!((args.runs, args.quick, args.seed), (7, true, 99));
+        assert!(matches!(
+            args.dispatch,
+            DispatchMode::Batched { batch_size: 4 }
+        ));
+        assert_eq!(args.cache_dir, base.cache_dir, "store stays the daemon's");
+
+        // The round trip through SuiteArgs::to_request is lossless for the
+        // request-carried fields.
+        let suite = crate::suite::SuiteArgs {
+            base: args.clone(),
+            jobs: 3,
+            ..crate::suite::SuiteArgs::default()
+        };
+        let back = suite.to_request();
+        assert_eq!(
+            (back.runs, back.quick, back.seed, back.batch, back.jobs),
+            (7, true, 99, Some(4), 3)
+        );
+    }
+
+    #[test]
+    fn service_validates_requests_into_subgraphs_with_typed_errors() {
+        let service = PaperEvalService::new(Args::default(), Arc::new(ArtifactStore::disabled()));
+
+        let full = service
+            .dag_for(&EvalRequest::default())
+            .expect("full DAG for an unrestricted request");
+        assert_eq!(full.len(), 6 + 6 + 8);
+
+        let table2 = service
+            .dag_for(&EvalRequest {
+                only: vec!["table2".into()],
+                ..EvalRequest::default()
+            })
+            .expect("table2 subgraph");
+        assert_eq!(table2.len(), 13);
+
+        let (code, message) = service
+            .dag_for(&EvalRequest {
+                only: vec!["fig99".into()],
+                ..EvalRequest::default()
+            })
+            .expect_err("unknown job is rejected");
+        assert_eq!(code, ErrorCode::UnknownJob);
+        assert!(message.contains("fig99"), "names the offender: {message}");
+
+        // Same run shape → one cached canonical DAG; different shape → two.
+        assert_eq!(service.dags.lock().unwrap().len(), 1);
+        service
+            .dag_for(&EvalRequest {
+                quick: true,
+                ..EvalRequest::default()
+            })
+            .expect("quick DAG");
+        assert_eq!(service.dags.lock().unwrap().len(), 2);
     }
 }

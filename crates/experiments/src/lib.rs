@@ -7,8 +7,8 @@
 //!   attacker on the camera link, the ADS, ground-truth safety recording,
 //!   the collision halt) with an optional `av-telemetry` handle observing
 //!   every pipeline stage.
-//! - [`runner`]: the run-level types (configuration, attacker spec, outcome)
-//!   and the deprecated `run_once` shim.
+//! - [`runner`]: the run-level types (configuration, attacker spec,
+//!   outcome); [`SimSession`] is the only entry point for executing a run.
 //! - [`campaign`]: seeded batches of runs with the Table II / Fig. 6 / Fig. 7
 //!   metrics, parallelized with crossbeam; per-worker metrics registries are
 //!   merged into the campaign result.

@@ -30,6 +30,7 @@ use crate::train_sh::{collect_dataset, train_oracle_on, SweepConfig, TrainedOrac
 use av_neural::mlp::Mlp;
 use av_neural::train::{Dataset, Normalizer};
 use av_simkit::scenario::ScenarioId;
+use av_suite::dedup::Claim;
 use av_suite::fnv::{fnv1a, Fnv1a};
 use av_suite::ArtifactStore;
 use av_telemetry::{Telemetry, TraceEvent};
@@ -196,13 +197,28 @@ impl OracleCache {
         )
     }
 
+    /// Reads and decodes ⟨`namespace`, `key`⟩ without touching this view's
+    /// counters. Real I/O failures are surfaced on stderr once and then
+    /// degrade to a miss — the computation still runs, just uncached.
+    fn fetch<T>(
+        &self,
+        namespace: &'static str,
+        key: u64,
+        decode: impl FnOnce(&[u8]) -> Option<T>,
+    ) -> Option<T> {
+        match self.artifacts.get(namespace, key) {
+            Ok(bytes) => bytes.as_deref().and_then(decode),
+            Err(e) => {
+                eprintln!("[oracle-cache] degraded to recompute: {e}");
+                None
+            }
+        }
+    }
+
     /// Looks up an oracle snapshot by key. Any I/O or decode failure is a
     /// miss.
     pub fn lookup(&self, key: u64) -> Option<TrainedOracle> {
-        let found = self
-            .artifacts
-            .get(NS_ORACLE, key)
-            .and_then(|bytes| decode(key, &bytes));
+        let found = self.fetch(NS_ORACLE, key, |bytes| decode(key, bytes));
         match found {
             Some(oracle) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -227,10 +243,7 @@ impl OracleCache {
     /// Looks up a collected dataset by key. Any I/O or decode failure is a
     /// miss.
     pub fn lookup_dataset(&self, key: u64) -> Option<Dataset> {
-        let found = self
-            .artifacts
-            .get(NS_DATASET, key)
-            .and_then(|bytes| decode_dataset(key, &bytes));
+        let found = self.fetch(NS_DATASET, key, |bytes| decode_dataset(key, bytes));
         match found {
             Some(data) => {
                 self.dataset_hits.fetch_add(1, Ordering::Relaxed);
@@ -252,7 +265,9 @@ impl OracleCache {
     /// The cached equivalent of [`collect_dataset`]: returns the stored
     /// sweep when present, otherwise collects, stores, and returns it —
     /// each 〈scenario, vector〉 sweep runs its ~715 simulations once per
-    /// store, no matter how many consumers ask.
+    /// store, no matter how many *concurrent* consumers ask: a miss claims
+    /// the key in the store's in-flight registry, so parallel requests for
+    /// the same sweep coalesce onto one collection.
     pub fn dataset_for(
         &self,
         scenario: ScenarioId,
@@ -260,17 +275,42 @@ impl OracleCache {
         sweep: &SweepConfig,
     ) -> Dataset {
         let key = cache_key(scenario, vector, sweep);
-        if let Some(data) = self.lookup_dataset(key) {
-            return data;
+        loop {
+            if let Some(data) = self.lookup_dataset(key) {
+                return data;
+            }
+            match self.artifacts.claim(NS_DATASET, key) {
+                Claim::Leader(token) => {
+                    // Double-check: a finishing leader may have stored the
+                    // sweep between our miss and our claim. Raw fetch — the
+                    // miss above already counted this consultation.
+                    if let Some(data) = self.fetch(NS_DATASET, key, |b| decode_dataset(key, b)) {
+                        token.disavow();
+                        return data;
+                    }
+                    let data = collect_dataset(scenario, vector, sweep);
+                    self.store_dataset(key, &data);
+                    drop(token);
+                    return data;
+                }
+                // A leader just finished this key: loop and re-read (counts
+                // as this view's hit). If the leader failed to persist, the
+                // next iteration claims fresh leadership and computes.
+                Claim::Coalesced => continue,
+                Claim::Uncoordinated => {
+                    let data = collect_dataset(scenario, vector, sweep);
+                    self.store_dataset(key, &data);
+                    return data;
+                }
+            }
         }
-        let data = collect_dataset(scenario, vector, sweep);
-        self.store_dataset(key, &data);
-        data
     }
 
     /// The cached equivalent of [`crate::train_sh::train_oracle`]: returns
     /// the snapshot when present, otherwise trains (on the cached dataset
-    /// when one exists), stores, and returns the fresh oracle.
+    /// when one exists), stores, and returns the fresh oracle. Concurrent
+    /// trainings of the same key coalesce exactly like [`Self::dataset_for`]
+    /// — the expensive 300-epoch job runs once per store.
     pub fn oracle_for(
         &self,
         scenario: ScenarioId,
@@ -278,13 +318,33 @@ impl OracleCache {
         sweep: &SweepConfig,
     ) -> Option<TrainedOracle> {
         let key = cache_key(scenario, vector, sweep);
-        if let Some(oracle) = self.lookup(key) {
-            return Some(oracle);
+        loop {
+            if let Some(oracle) = self.lookup(key) {
+                return Some(oracle);
+            }
+            match self.artifacts.claim(NS_ORACLE, key) {
+                Claim::Leader(token) => {
+                    if let Some(oracle) = self.fetch(NS_ORACLE, key, |b| decode(key, b)) {
+                        token.disavow();
+                        return Some(oracle);
+                    }
+                    let data = self.dataset_for(scenario, vector, sweep);
+                    // `?` drops the token during unwind of this frame, so a
+                    // scarce-data bailout never strands coalesced waiters.
+                    let trained = train_oracle_on(&data)?;
+                    self.store(key, &trained);
+                    drop(token);
+                    return Some(trained);
+                }
+                Claim::Coalesced => continue,
+                Claim::Uncoordinated => {
+                    let data = self.dataset_for(scenario, vector, sweep);
+                    let trained = train_oracle_on(&data)?;
+                    self.store(key, &trained);
+                    return Some(trained);
+                }
+            }
         }
-        let data = self.dataset_for(scenario, vector, sweep);
-        let trained = train_oracle_on(&data)?;
-        self.store(key, &trained);
-        Some(trained)
     }
 }
 
@@ -625,6 +685,40 @@ mod tests {
             "oracle ns untouched"
         );
         assert_eq!(reader.artifact_totals(), (1, 0));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_dataset_requests_coalesce_onto_one_collection() {
+        let dir = std::env::temp_dir().join(format!("dataset-dedup-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ArtifactStore::at(&dir));
+        let sweep = SweepConfig::tiny();
+
+        let digests: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let store = store.clone();
+                    let sweep = sweep.clone();
+                    s.spawn(move || {
+                        let cache = OracleCache::over(store);
+                        let data =
+                            cache.dataset_for(ScenarioId::Ds1, AttackVector::MoveOut, &sweep);
+                        dataset_digest(&data)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("view"))
+                .collect()
+        });
+
+        assert!(digests.windows(2).all(|w| w[0] == w[1]), "identical sweeps");
+        // However the four views interleave — straight hit, coalesced wait,
+        // or disavowed leadership — exactly one collection ran.
+        assert_eq!(store.dedup_counters().0, 1, "one collection led");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

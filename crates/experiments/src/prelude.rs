@@ -8,7 +8,8 @@
 //!
 //! Re-exports the session builder, the run/campaign types, the telemetry
 //! layer, and the scenario ids — everything the `src/bin` experiment
-//! binaries need for their main loops.
+//! binaries need for their main loops. [`SimSession`] is the only entry
+//! point for executing a run.
 
 pub use crate::campaign::{
     default_threads, run_campaign, run_campaign_dispatch, run_campaign_with_threads, Campaign,

@@ -1,9 +1,8 @@
-//! Run-level types (configuration, attacker spec, outcome) and the
-//! deprecated [`run_once`] shim.
+//! Run-level types: configuration, attacker spec, outcome.
 //!
 //! The simulation loop itself lives in [`crate::session`]; construct a
-//! [`crate::session::SimSession`] via its builder instead of calling
-//! [`run_once`].
+//! [`crate::session::SimSession`] via its builder — it is the only entry
+//! point for executing a run.
 
 use av_defense::ids::Alarm;
 use av_faults::{FaultPlan, FaultStats};
@@ -214,39 +213,5 @@ impl AttackerSpec {
                 Box::new(RoboTack::new(rt_config, OracleSpec::Kinematic))
             }
         }
-    }
-}
-
-/// Executes one full simulation run.
-///
-/// Deprecated shim over the session API: equivalent to
-/// `SimSession::builder(config.scenario).config(config.clone())
-/// .attacker(attacker_spec.clone()).build().run()` with telemetry disabled.
-#[deprecated(
-    since = "0.1.0",
-    note = "use crate::session::SimSession::builder(..) instead"
-)]
-pub fn run_once(config: &RunConfig, attacker_spec: &AttackerSpec) -> RunOutcome {
-    crate::session::SimSession::builder(config.scenario)
-        .config(config.clone())
-        .attacker(attacker_spec.clone())
-        .build()
-        .run()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::session::SimSession;
-
-    #[test]
-    #[allow(deprecated)]
-    fn shim_matches_the_session_api_bit_for_bit() {
-        let config = RunConfig::new(ScenarioId::Ds1, 7);
-        let via_shim = run_once(&config, &AttackerSpec::None);
-        let via_session = SimSession::builder(ScenarioId::Ds1).seed(7).build().run();
-        assert_eq!(via_shim.record.digest(), via_session.record.digest());
-        assert_eq!(via_shim.sim_seconds, via_session.sim_seconds);
-        assert_eq!(via_shim.collided, via_session.collided);
     }
 }

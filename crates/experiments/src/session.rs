@@ -1,8 +1,8 @@
-//! The [`SimSession`] builder — the redesigned single-run API.
+//! The [`SimSession`] builder — the single-run API.
 //!
-//! A session owns everything `run_once` used to take as loose parameters:
-//! the run configuration, the attacker, and (new) a [`Telemetry`] handle
-//! observing every pipeline stage. Construction is builder-style:
+//! A session owns everything one simulation run needs: the run
+//! configuration, the attacker, and a [`Telemetry`] handle observing every
+//! pipeline stage. Construction is builder-style:
 //!
 //! ```
 //! use av_experiments::prelude::*;
@@ -22,8 +22,8 @@
 //! planning cycle, and the run halts on contact — the LGSVL behavior the
 //! paper works around with its 4 m accident threshold.
 //!
-//! With the default disabled telemetry handle the session is bit-identical
-//! to the historical `run_once` — the golden-trace suite pins that.
+//! With the default disabled telemetry handle the session's traces are
+//! bit-stable — the golden-trace suite pins them.
 
 use crate::runner::{AttackerSpec, RunConfig, RunOutcome, HORIZON_M};
 use av_defense::ids::{Ids, IdsConfig};

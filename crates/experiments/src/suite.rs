@@ -8,6 +8,7 @@ use crate::oracle_cache::{OracleCache, DATASET_CODE_VERSION};
 use crate::runner::{AttackerSpec, OracleSpec};
 use crate::train_sh::SweepConfig;
 use av_simkit::scenario::ScenarioId;
+use av_suite::api::{EvalRequest, Priority};
 use av_suite::fnv::Fnv1a;
 use av_suite::ArtifactStore;
 use robotack::vector::AttackVector;
@@ -192,6 +193,21 @@ pub struct SuiteArgs {
     pub manifest: Option<PathBuf>,
     /// Ignore any existing manifest and re-run every job (`--no-resume`).
     pub no_resume: bool,
+    /// Unix-socket path for `suite serve` / `suite request`
+    /// (`--socket PATH`); `None` means `target/suite.sock`.
+    pub socket: Option<PathBuf>,
+    /// Concurrent requests the daemon admits at once
+    /// (`--request-slots N`, serve mode).
+    pub request_slots: usize,
+    /// Admission class of this request (`--priority interactive|batch`,
+    /// request mode).
+    pub priority: Priority,
+    /// Correlation id for this request (`--id NAME`, request mode); the
+    /// daemon assigns one when empty.
+    pub id: String,
+    /// Send the shutdown sentinel instead of a request
+    /// (`request --shutdown`).
+    pub shutdown: bool,
 }
 
 impl Default for SuiteArgs {
@@ -203,6 +219,11 @@ impl Default for SuiteArgs {
             list: false,
             manifest: None,
             no_resume: false,
+            socket: None,
+            request_slots: 2,
+            priority: Priority::Interactive,
+            id: String::new(),
+            shutdown: false,
         }
     }
 }
@@ -241,10 +262,32 @@ impl SuiteArgs {
                     }
                 }
                 "--no-resume" => args.no_resume = true,
+                "--socket" => {
+                    if let Some(v) = iter.next() {
+                        args.socket = Some(PathBuf::from(v));
+                    }
+                }
+                "--request-slots" => {
+                    if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                        args.request_slots = v;
+                    }
+                }
+                "--priority" => {
+                    if let Some(v) = iter.next().and_then(|v| Priority::parse(v)) {
+                        args.priority = v;
+                    }
+                }
+                "--id" => {
+                    if let Some(v) = iter.next() {
+                        args.id = v.to_string();
+                    }
+                }
+                "--shutdown" => args.shutdown = true,
                 other => eprintln!("ignoring unknown argument {other:?}"),
             }
         }
         args.jobs = args.jobs.max(1);
+        args.request_slots = args.request_slots.max(1);
         args
     }
 
@@ -253,6 +296,37 @@ impl SuiteArgs {
         self.manifest
             .clone()
             .unwrap_or_else(|| PathBuf::from("target").join("suite-manifest.jsonl"))
+    }
+
+    /// The Unix-socket path serve/request mode binds or connects to.
+    pub fn socket_path(&self) -> PathBuf {
+        self.socket
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("target").join("suite.sock"))
+    }
+
+    /// The typed [`EvalRequest`] these flags describe — the single request
+    /// type both the one-shot CLI and the daemon execute, so
+    /// `suite --only table2` and `suite request --only table2` are
+    /// *literally* the same evaluation (see [`crate::jobs::request_args`]
+    /// for the inverse mapping).
+    pub fn to_request(&self) -> EvalRequest {
+        EvalRequest {
+            id: self.id.clone(),
+            only: self.only.clone(),
+            runs: self.base.runs,
+            quick: self.base.quick,
+            seed: self.base.seed,
+            // The wire API models the two CLI-reachable modes; the
+            // historical static-chunks shim (benchmark-only) maps to the
+            // default.
+            batch: match self.base.dispatch {
+                DispatchMode::Batched { batch_size } => Some(batch_size),
+                DispatchMode::WorkStealing | DispatchMode::StaticChunks => None,
+            },
+            jobs: self.jobs,
+            priority: self.priority,
+        }
     }
 }
 

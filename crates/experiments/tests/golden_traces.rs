@@ -193,17 +193,3 @@ fn reused_worker_rebuilds_on_config_change() {
         .run_with(&mut worker);
     assert_eq!(outcome.record.digest(), GOLDEN[0].2);
 }
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_run_once_shim_matches_fixtures() {
-    for (scenario, seed, expected) in GOLDEN {
-        let outcome =
-            av_experiments::runner::run_once(&RunConfig::new(scenario, seed), &AttackerSpec::None);
-        assert_eq!(
-            outcome.record.digest(),
-            expected,
-            "{scenario:?} seed {seed}: run_once shim diverged from the session API"
-        );
-    }
-}

@@ -52,12 +52,10 @@ fn run_cold(dir: &Path, workers: usize) -> RunReport {
     let dag = paper_dag(&args, &store).expect("valid DAG");
     execute(
         &dag,
-        &ExecOptions {
-            workers,
-            manifest: Some(dir.join(format!("manifest-{workers}.jsonl"))),
-            config_key: args.config_key(),
-            ..ExecOptions::default()
-        },
+        &ExecOptions::new()
+            .workers(workers)
+            .manifest(dir.join(format!("manifest-{workers}.jsonl")))
+            .config_key(args.config_key()),
     )
     .expect("suite run")
 }
@@ -106,12 +104,10 @@ fn killed_run_resumes_from_truncated_manifest() {
     let args = quick_args();
     let store = Arc::new(ArtifactStore::at(dir.join("store")));
     let manifest = dir.join("manifest.jsonl");
-    let opts = ExecOptions {
-        workers: 2,
-        manifest: Some(manifest.clone()),
-        config_key: args.config_key(),
-        ..ExecOptions::default()
-    };
+    let opts = ExecOptions::new()
+        .workers(2)
+        .manifest(manifest.clone())
+        .config_key(args.config_key());
 
     let dag = paper_dag(&args, &store).expect("valid DAG");
     let first = execute(&dag, &opts).expect("first run");

@@ -7,6 +7,7 @@
 //! well-formed schedule.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// What one job execution produced.
 #[derive(Debug, Clone, Default)]
@@ -24,13 +25,18 @@ pub struct JobOutcome {
 }
 
 /// One schedulable unit of the evaluation suite.
+///
+/// Cloning a job is cheap: the `run` closure is shared behind an [`Arc`],
+/// which is what lets one canonical [`Dag`] serve every daemon request via
+/// [`Dag::subgraph`] without rebuilding closures.
+#[derive(Clone)]
 pub struct Job {
     id: String,
     deps: Vec<String>,
     inputs: Vec<String>,
     outputs: Vec<String>,
     emits_stdout: bool,
-    run: Box<dyn Fn() -> JobOutcome + Send + Sync>,
+    run: Arc<dyn Fn() -> JobOutcome + Send + Sync>,
 }
 
 impl std::fmt::Debug for Job {
@@ -52,7 +58,7 @@ impl Job {
             inputs: Vec::new(),
             outputs: Vec::new(),
             emits_stdout: false,
-            run: Box::new(run),
+            run: Arc::new(run),
         }
     }
 
@@ -158,7 +164,7 @@ impl std::error::Error for DagError {}
 
 /// A validated job DAG. Job order is declaration order; stdout-emitting
 /// jobs print in that order regardless of execution interleaving.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dag {
     jobs: Vec<Job>,
     index: HashMap<String, usize>,
@@ -251,8 +257,10 @@ impl Dag {
     }
 
     /// Restricts the DAG to `targets` plus everything they transitively
-    /// depend on, preserving declaration order (`--only`).
-    pub fn subgraph(self, targets: &[String]) -> Result<Dag, DagError> {
+    /// depend on, preserving declaration order (`--only`). Borrows rather
+    /// than consumes — job closures are shared, so one canonical DAG can
+    /// hand out per-request subgraphs indefinitely.
+    pub fn subgraph(&self, targets: &[String]) -> Result<Dag, DagError> {
         let mut keep = vec![false; self.jobs.len()];
         let mut stack = Vec::new();
         for t in targets {
@@ -271,9 +279,10 @@ impl Dag {
         }
         let kept: Vec<Job> = self
             .jobs
-            .into_iter()
+            .iter()
             .zip(keep)
-            .filter_map(|(j, k)| k.then_some(j))
+            .filter(|&(_, k)| k)
+            .map(|(j, _)| j.clone())
             .collect();
         Dag::new(kept)
     }
@@ -341,5 +350,24 @@ mod tests {
             dag.subgraph(&["nope".into()]).unwrap_err(),
             DagError::UnknownTarget("nope".into())
         );
+    }
+
+    #[test]
+    fn one_canonical_dag_serves_many_subgraphs() {
+        let dag = Dag::new(vec![
+            noop("data"),
+            noop("oracle").dep("data"),
+            noop("table2").dep("oracle"),
+            noop("fig5"),
+        ])
+        .expect("valid");
+        // `subgraph` borrows: the same DAG keeps answering requests, and a
+        // failed lookup doesn't poison it.
+        assert!(dag.subgraph(&["ghost".into()]).is_err());
+        let a = dag.subgraph(&["table2".into()]).expect("first request");
+        let b = dag.subgraph(&["fig5".into()]).expect("second request");
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 1);
+        assert_eq!(dag.len(), 4, "canonical DAG unchanged");
     }
 }

@@ -18,35 +18,128 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// How one run of [`execute`] should behave.
+/// A live progress notification from [`execute`], delivered to the
+/// [`ExecOptions::observer`] callback as jobs start and finish. This is the
+/// hook the evaluation daemon uses to stream per-request events; callbacks
+/// run outside the pool lock and may be invoked concurrently from several
+/// workers.
 #[derive(Debug)]
-pub struct ExecOptions {
-    /// Worker threads (`--jobs`). Must be ≥ 1.
-    pub workers: usize,
-    /// Manifest path; `None` disables persistence (and therefore resume).
-    pub manifest: Option<PathBuf>,
-    /// Whether to load the manifest and skip recovered jobs. When false,
-    /// an existing manifest is truncated and the run starts fresh.
-    pub resume: bool,
-    /// Digest of the run configuration; a manifest written under a
-    /// different digest is ignored wholesale.
-    pub config_key: u64,
-    /// Telemetry handle for `JobStarted`/`JobFinished` events.
-    pub telemetry: Telemetry,
+pub enum ExecEvent<'a> {
+    /// A job began executing.
+    JobStarted {
+        /// The job's id.
+        job: &'a str,
+    },
+    /// A job finished executing, or was recovered from the manifest
+    /// (`report.skipped`).
+    JobFinished {
+        /// The finished job's report.
+        report: &'a JobReport,
+    },
 }
 
-impl Default for ExecOptions {
-    fn default() -> Self {
+/// The observer callback type (see [`ExecOptions::observer`]).
+pub type ExecObserver = Arc<dyn Fn(ExecEvent<'_>) + Send + Sync>;
+
+/// How one run of [`execute`] should behave. Built fluently:
+///
+/// ```
+/// # use av_suite::ExecOptions;
+/// let opts = ExecOptions::new().workers(4).manifest("run.jsonl");
+/// ```
+pub struct ExecOptions {
+    workers: usize,
+    manifest: Option<PathBuf>,
+    resume: bool,
+    config_key: u64,
+    telemetry: Telemetry,
+    observer: Option<ExecObserver>,
+}
+
+impl std::fmt::Debug for ExecOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecOptions")
+            .field("workers", &self.workers)
+            .field("manifest", &self.manifest)
+            .field("resume", &self.resume)
+            .field("config_key", &self.config_key)
+            .field("observer", &self.observer.as_ref().map(|_| "…"))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExecOptions {
+    /// The defaults: 1 worker, no manifest, resume on, config key 0,
+    /// telemetry disabled, no observer.
+    pub fn new() -> ExecOptions {
         ExecOptions {
             workers: 1,
             manifest: None,
             resume: true,
             config_key: 0,
             telemetry: Telemetry::disabled(),
+            observer: None,
         }
+    }
+
+    /// Worker threads (`--jobs`). Must be ≥ 1 — [`execute`] rejects 0.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> ExecOptions {
+        self.workers = workers;
+        self
+    }
+
+    /// Manifest path; unset disables persistence (and therefore resume).
+    #[must_use]
+    pub fn manifest(mut self, path: impl Into<PathBuf>) -> ExecOptions {
+        self.manifest = Some(path.into());
+        self
+    }
+
+    /// Whether to load the manifest and skip recovered jobs. When false,
+    /// an existing manifest is truncated and the run starts fresh.
+    #[must_use]
+    pub fn resume(mut self, resume: bool) -> ExecOptions {
+        self.resume = resume;
+        self
+    }
+
+    /// Digest of the run configuration; a manifest written under a
+    /// different digest is ignored wholesale.
+    #[must_use]
+    pub fn config_key(mut self, key: u64) -> ExecOptions {
+        self.config_key = key;
+        self
+    }
+
+    /// Telemetry handle for `JobStarted`/`JobFinished` events.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> ExecOptions {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Streams [`ExecEvent`]s as jobs start and finish (the daemon's
+    /// per-request event feed).
+    #[must_use]
+    pub fn observer(mut self, observer: impl Fn(ExecEvent<'_>) + Send + Sync + 'static) -> Self {
+        self.observer = Some(Arc::new(observer));
+        self
+    }
+
+    fn notify(&self, event: ExecEvent<'_>) {
+        if let Some(observer) = &self.observer {
+            observer(event);
+        }
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions::new()
     }
 }
 
@@ -290,6 +383,9 @@ pub fn execute(dag: &Dag, opts: &ExecOptions) -> Result<RunReport, ExecError> {
         }
     }
     for i in to_skip {
+        if let Some(report) = &state.results[i] {
+            opts.notify(ExecEvent::JobFinished { report });
+        }
         complete(&mut state, &dependents, i);
     }
     for i in 0..n {
@@ -328,6 +424,7 @@ pub fn execute(dag: &Dag, opts: &ExecOptions) -> Result<RunReport, ExecError> {
                         opts.telemetry.emit(0.0, || TraceEvent::JobStarted {
                             job: job.id().to_string(),
                         });
+                        opts.notify(ExecEvent::JobStarted { job: job.id() });
                         let job_started = Instant::now();
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -337,36 +434,42 @@ pub fn execute(dag: &Dag, opts: &ExecOptions) -> Result<RunReport, ExecError> {
                         opts.telemetry.emit(0.0, || TraceEvent::JobFinished {
                             job: job.id().to_string(),
                         });
+                        // Build (and stream) the report outside the pool
+                        // lock — observers may do I/O.
+                        let report = outcome.as_ref().ok().map(|outcome| JobReport {
+                            id: job.id().to_string(),
+                            emits_stdout: job.is_stdout_job(),
+                            stdout: outcome.stdout.clone(),
+                            wall_ms: wall.as_millis() as u64,
+                            skipped: false,
+                            artifact_hits: outcome.artifact_hits,
+                            artifact_misses: outcome.artifact_misses,
+                            artifacts: outcome.artifacts.clone(),
+                        });
+                        if let Some(report) = &report {
+                            opts.notify(ExecEvent::JobFinished { report });
+                        }
 
                         let mut state = pool.lock().expect("pool lock");
                         state.busy += wall;
-                        match outcome {
-                            Ok(outcome) => {
+                        match report {
+                            Some(report) => {
                                 let entry = ManifestEntry {
-                                    job: job.id().to_string(),
-                                    wall_ms: wall.as_millis() as u64,
-                                    artifact_hits: outcome.artifact_hits,
-                                    artifact_misses: outcome.artifact_misses,
-                                    artifacts: outcome.artifacts.clone(),
-                                    stdout: outcome.stdout.clone(),
+                                    job: report.id.clone(),
+                                    wall_ms: report.wall_ms,
+                                    artifact_hits: report.artifact_hits,
+                                    artifact_misses: report.artifact_misses,
+                                    artifacts: report.artifacts.clone(),
+                                    stdout: report.stdout.clone(),
                                 };
                                 if let Some(file) = &mut state.manifest {
                                     let _ = writeln!(file, "{}", entry.to_json());
                                     let _ = file.flush();
                                 }
-                                state.results[i] = Some(JobReport {
-                                    id: job.id().to_string(),
-                                    emits_stdout: job.is_stdout_job(),
-                                    stdout: outcome.stdout,
-                                    wall_ms: wall.as_millis() as u64,
-                                    skipped: false,
-                                    artifact_hits: outcome.artifact_hits,
-                                    artifact_misses: outcome.artifact_misses,
-                                    artifacts: outcome.artifacts,
-                                });
+                                state.results[i] = Some(report);
                                 complete(&mut state, dependents, i);
                             }
-                            Err(_) => {
+                            None => {
                                 state.failed = Some(job.id().to_string());
                             }
                         }
@@ -456,10 +559,7 @@ mod tests {
         for workers in [2, 4, 8] {
             let report = execute(
                 &counting_dag(&counter),
-                &ExecOptions {
-                    workers,
-                    ..ExecOptions::default()
-                },
+                &ExecOptions::new().workers(workers),
             )
             .expect("run");
             assert_eq!(
@@ -478,14 +578,7 @@ mod tests {
     #[test]
     fn zero_workers_is_an_error() {
         let counter = Arc::new(AtomicU64::new(0));
-        let err = execute(
-            &counting_dag(&counter),
-            &ExecOptions {
-                workers: 0,
-                ..ExecOptions::default()
-            },
-        )
-        .unwrap_err();
+        let err = execute(&counting_dag(&counter), &ExecOptions::new().workers(0)).unwrap_err();
         assert!(matches!(err, ExecError::ZeroWorkers));
     }
 
@@ -495,11 +588,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let path = dir.join("manifest.jsonl");
         let counter = Arc::new(AtomicU64::new(0));
-        let opts = ExecOptions {
-            workers: 2,
-            manifest: Some(path.clone()),
-            ..ExecOptions::default()
-        };
+        let opts = ExecOptions::new().workers(2).manifest(path.clone());
 
         let first = execute(&counting_dag(&counter), &opts).expect("first run");
         assert_eq!(first.jobs_run(), 5);
@@ -530,12 +619,10 @@ mod tests {
         // A config change invalidates the manifest wholesale.
         let fourth = execute(
             &counting_dag(&counter),
-            &ExecOptions {
-                workers: 2,
-                manifest: Some(path.clone()),
-                config_key: 99,
-                ..ExecOptions::default()
-            },
+            &ExecOptions::new()
+                .workers(2)
+                .manifest(path.clone())
+                .config_key(99),
         )
         .expect("fourth run");
         assert_eq!(fourth.jobs_run(), 5);
@@ -543,12 +630,10 @@ mod tests {
         // resume=false reruns everything even with a matching manifest.
         let fifth = execute(
             &counting_dag(&counter),
-            &ExecOptions {
-                workers: 2,
-                manifest: Some(path.clone()),
-                resume: false,
-                ..ExecOptions::default()
-            },
+            &ExecOptions::new()
+                .workers(2)
+                .manifest(path.clone())
+                .resume(false),
         )
         .expect("fifth run");
         assert_eq!(fifth.jobs_run(), 5);
@@ -580,11 +665,7 @@ mod tests {
             mk("d").dep("b"),
         ])
         .expect("valid dag");
-        let opts = ExecOptions {
-            workers: 2,
-            manifest: Some(path.clone()),
-            ..ExecOptions::default()
-        };
+        let opts = ExecOptions::new().workers(2).manifest(path.clone());
         execute(&dag, &opts).expect("first run");
         assert_eq!(counter.load(Ordering::Relaxed), 4);
 
@@ -616,6 +697,68 @@ mod tests {
             matches!(err, ExecError::JobPanicked(ref j) if j == "boom"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn observer_streams_started_and_finished_for_run_and_skipped_jobs() {
+        let dir = std::env::temp_dir().join(format!("suite-observer-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("manifest.jsonl");
+        type EventLog = Arc<Mutex<Vec<(String, String, bool)>>>;
+        let counter = Arc::new(AtomicU64::new(0));
+        let events: EventLog = Arc::new(Mutex::new(Vec::new()));
+        let opts = |events: &EventLog| {
+            let events = events.clone();
+            ExecOptions::new()
+                .workers(2)
+                .manifest(path.clone())
+                .observer(move |event| {
+                    let mut log = events.lock().expect("event log");
+                    match event {
+                        ExecEvent::JobStarted { job } => {
+                            log.push(("started".into(), job.to_string(), false));
+                        }
+                        ExecEvent::JobFinished { report } => {
+                            log.push(("finished".into(), report.id.clone(), report.skipped));
+                        }
+                    }
+                })
+        };
+
+        execute(&counting_dag(&counter), &opts(&events)).expect("cold run");
+        {
+            let log = events.lock().expect("event log");
+            let started = log.iter().filter(|(k, _, _)| k == "started").count();
+            let finished = log.iter().filter(|(k, _, _)| k == "finished").count();
+            assert_eq!((started, finished), (5, 5), "every job start/finish seen");
+            assert!(log.iter().all(|(_, _, skipped)| !skipped));
+            // A job's finish never precedes its start.
+            for (kind, job, _) in log.iter() {
+                if kind == "finished" {
+                    assert!(
+                        log.iter()
+                            .position(|(k, j, _)| k == "started" && j == job)
+                            .unwrap()
+                            < log
+                                .iter()
+                                .position(|(k, j, _)| k == "finished" && j == job)
+                                .unwrap()
+                    );
+                }
+            }
+        }
+
+        // Resumed run: recovered jobs stream as finished+skipped, with no
+        // start event.
+        events.lock().expect("event log").clear();
+        execute(&counting_dag(&counter), &opts(&events)).expect("warm run");
+        let log = events.lock().expect("event log");
+        assert_eq!(log.len(), 5, "one finished event per recovered job");
+        assert!(log
+            .iter()
+            .all(|(k, _, skipped)| k == "finished" && *skipped));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

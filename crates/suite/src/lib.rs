@@ -24,6 +24,15 @@
 //! - [`manifest`]: the hand-rolled JSONL manifest codec (the vendored
 //!   `serde` is a no-op stub); truncated trailing lines — a killed run —
 //!   parse as "not completed", which is what makes resume safe.
+//! - [`api`]: the typed evaluation-service wire API — [`EvalRequest`] in,
+//!   streamed [`EvalEvent`]s out — shared verbatim by the one-shot CLI and
+//!   the daemon, with a hostile-input-safe JSON reader.
+//! - [`dedup`]: the cross-request in-flight claim registry — concurrent
+//!   computations of one artifact key coalesce onto a single leader.
+//! - [`serve`]: the evaluation daemon — newline-delimited requests over
+//!   stdin/stdout or a Unix socket, a priority-FIFO admission queue over a
+//!   bounded slot pool, per-request event streams, and the client helpers
+//!   `suite request` uses.
 //!
 //! Determinism contract: a job's `run` closure must be a pure function of
 //! its declared inputs (plus the artifact store's content), so executing a
@@ -36,14 +45,20 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod dag;
+pub mod dedup;
 pub mod exec;
 pub mod fnv;
 pub mod manifest;
+pub mod serve;
 pub mod store;
 
+pub use api::{ApiError, ClientMessage, ErrorCode, EvalEvent, EvalRequest, EvalResponse, Priority};
 pub use dag::{Dag, DagError, Job, JobOutcome};
-pub use exec::{execute, ExecError, ExecOptions, JobReport, RunReport};
+pub use dedup::{Claim, ClaimToken, InFlight};
+pub use exec::{execute, ExecError, ExecEvent, ExecObserver, ExecOptions, JobReport, RunReport};
 pub use fnv::Fnv1a;
 pub use manifest::ManifestEntry;
-pub use store::ArtifactStore;
+pub use serve::{EvalService, ServeOptions, ServeReport};
+pub use store::{ArtifactStore, StoreError};

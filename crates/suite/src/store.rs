@@ -7,18 +7,56 @@
 //! decoding and validation belong to the callers, which treat every file
 //! as hostile.
 //!
-//! All I/O is best-effort: an unreadable file is a miss and a failed write
-//! is silently skipped, so a read-only or full disk degrades to "recompute
-//! everything" rather than an error.
+//! Reads distinguish "not there" from "there but unreadable": [`get`]
+//! returns `Ok(None)` on a plain miss and a typed [`StoreError`] on real
+//! I/O failure, so callers can log degradation instead of silently
+//! recomputing. Writes stay best-effort (atomic tmp + rename, failures
+//! skipped) so a read-only or full disk degrades to "recompute everything"
+//! rather than an error.
+//!
+//! The store also carries the cross-request [`InFlight`] dedup registry:
+//! concurrent computations of the same ⟨namespace, key⟩ coordinate through
+//! [`ArtifactStore::claim`], which is what lets an evaluation daemon run
+//! one training job for N identical requests.
+//!
+//! [`get`]: ArtifactStore::get
 
+use crate::dedup::{Claim, InFlight};
 use av_telemetry::{Telemetry, TraceEvent};
 use std::path::{Path, PathBuf};
+
+/// A store read that failed for a reason other than the blob being absent.
+#[derive(Debug)]
+pub struct StoreError {
+    /// The file the read touched.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "artifact store read failed for {}: {}",
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// A persistent, namespaced, content-addressed store of byte blobs.
 #[derive(Debug, Default)]
 pub struct ArtifactStore {
     dir: Option<PathBuf>,
     telemetry: Telemetry,
+    inflight: InFlight,
 }
 
 impl ArtifactStore {
@@ -27,6 +65,7 @@ impl ArtifactStore {
         ArtifactStore {
             dir: None,
             telemetry: Telemetry::disabled(),
+            inflight: InFlight::new(),
         }
     }
 
@@ -35,6 +74,7 @@ impl ArtifactStore {
         ArtifactStore {
             dir: Some(dir.into()),
             telemetry: Telemetry::disabled(),
+            inflight: InFlight::new(),
         }
     }
 
@@ -66,22 +106,34 @@ impl ArtifactStore {
         dir.join(format!("{key:016x}.{namespace}"))
     }
 
-    /// Reads the blob stored under ⟨`namespace`, `key`⟩. Any I/O failure
-    /// (including a disabled store) is a miss.
-    pub fn get(&self, namespace: &'static str, key: u64) -> Option<Vec<u8>> {
-        let found = self
-            .dir
-            .as_deref()
-            .and_then(|dir| std::fs::read(Self::path_for(dir, namespace, key)).ok());
-        match &found {
-            Some(_) => self
-                .telemetry
-                .emit(0.0, || TraceEvent::ArtifactHit { namespace, key }),
-            None => self
-                .telemetry
-                .emit(0.0, || TraceEvent::ArtifactMiss { namespace, key }),
+    /// Reads the blob stored under ⟨`namespace`, `key`⟩. `Ok(None)` means
+    /// the blob is absent (including on a disabled store); `Err` reports a
+    /// real I/O failure — permissions, corruption, a vanished mount — that
+    /// callers may treat as a miss but should surface.
+    pub fn get(&self, namespace: &'static str, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        let Some(dir) = self.dir.as_deref() else {
+            self.telemetry
+                .emit(0.0, || TraceEvent::ArtifactMiss { namespace, key });
+            return Ok(None);
+        };
+        let path = Self::path_for(dir, namespace, key);
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                self.telemetry
+                    .emit(0.0, || TraceEvent::ArtifactHit { namespace, key });
+                Ok(Some(bytes))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.telemetry
+                    .emit(0.0, || TraceEvent::ArtifactMiss { namespace, key });
+                Ok(None)
+            }
+            Err(source) => {
+                self.telemetry
+                    .emit(0.0, || TraceEvent::ArtifactMiss { namespace, key });
+                Err(StoreError { path, source })
+            }
         }
-        found
     }
 
     /// Persists `bytes` under ⟨`namespace`, `key`⟩ (atomic tmp + rename;
@@ -100,6 +152,25 @@ impl ArtifactStore {
             let _ = std::fs::remove_file(&tmp);
         }
     }
+
+    /// Claims the in-flight computation of ⟨`namespace`, `key`⟩ — call
+    /// after a [`get`] miss and before computing. On a disabled store the
+    /// claim is [`Claim::Uncoordinated`]: followers could never read the
+    /// leader's result back, so everyone computes locally.
+    ///
+    /// [`get`]: ArtifactStore::get
+    pub fn claim(&self, namespace: &'static str, key: u64) -> Claim<'_> {
+        if self.dir.is_none() {
+            return Claim::Uncoordinated;
+        }
+        self.inflight.claim(namespace, key)
+    }
+
+    /// Store-wide dedup counters: ⟨computations led, computations
+    /// coalesced onto another caller's in-flight work⟩.
+    pub fn dedup_counters(&self) -> (u64, u64) {
+        (self.inflight.led(), self.inflight.coalesced())
+    }
 }
 
 #[cfg(test)]
@@ -117,12 +188,22 @@ mod tests {
     fn round_trips_bytes_per_namespace() {
         let dir = scratch("roundtrip");
         let store = ArtifactStore::at(&dir);
-        assert!(store.get("oracle", 7).is_none(), "cold store misses");
+        assert_eq!(store.get("oracle", 7).expect("readable"), None);
         store.put("oracle", 7, b"alpha");
         store.put("dataset", 7, b"beta");
-        assert_eq!(store.get("oracle", 7).as_deref(), Some(&b"alpha"[..]));
-        assert_eq!(store.get("dataset", 7).as_deref(), Some(&b"beta"[..]));
-        assert!(store.get("oracle", 8).is_none(), "other keys stay cold");
+        assert_eq!(
+            store.get("oracle", 7).expect("readable").as_deref(),
+            Some(&b"alpha"[..])
+        );
+        assert_eq!(
+            store.get("dataset", 7).expect("readable").as_deref(),
+            Some(&b"beta"[..])
+        );
+        assert_eq!(
+            store.get("oracle", 8).expect("readable"),
+            None,
+            "other keys stay cold"
+        );
         // Layout is file-compatible with the pre-store oracle cache.
         assert!(dir.join(format!("{:016x}.oracle", 7)).exists());
         let _ = std::fs::remove_dir_all(&dir);
@@ -132,8 +213,27 @@ mod tests {
     fn disabled_store_never_hits_or_writes() {
         let store = ArtifactStore::disabled();
         store.put("oracle", 1, b"ignored");
-        assert!(store.get("oracle", 1).is_none());
+        assert_eq!(store.get("oracle", 1).expect("absent, not an error"), None);
         assert!(!store.is_enabled());
+        // No persistence → no coordination: claims never block.
+        assert!(matches!(store.claim("oracle", 1), Claim::Uncoordinated));
+        assert_eq!(store.dedup_counters(), (0, 0));
+    }
+
+    #[test]
+    fn io_failure_is_a_typed_error_not_a_silent_miss() {
+        let dir = scratch("io-error");
+        let store = ArtifactStore::at(&dir);
+        store.put("oracle", 9, b"payload");
+        // Replace the blob with a directory: reading it now fails with a
+        // real I/O error, not NotFound.
+        let path = dir.join(format!("{:016x}.oracle", 9));
+        std::fs::remove_file(&path).expect("remove blob");
+        std::fs::create_dir_all(&path).expect("shadow dir");
+        let err = store.get("oracle", 9).expect_err("typed I/O error");
+        assert_eq!(err.path, path);
+        assert!(err.to_string().contains("artifact store read failed"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -151,6 +251,20 @@ mod tests {
             .map(|r| r.event.kind())
             .collect();
         assert_eq!(kinds, vec![EventKind::ArtifactMiss, EventKind::ArtifactHit]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enabled_store_coordinates_claims() {
+        let dir = scratch("claims");
+        let store = ArtifactStore::at(&dir);
+        let token = match store.claim("oracle", 5) {
+            Claim::Leader(t) => t,
+            other => panic!("expected leader, got {other:?}"),
+        };
+        store.put("oracle", 5, b"trained");
+        drop(token);
+        assert_eq!(store.dedup_counters(), (1, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

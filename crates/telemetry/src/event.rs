@@ -192,6 +192,17 @@ pub enum TraceEvent {
         /// Queries answered in this round.
         queries: u32,
     },
+    /// The evaluation daemon admitted a request and began executing its
+    /// subgraph.
+    RequestAccepted {
+        /// The request's correlation id.
+        request: String,
+    },
+    /// The evaluation daemon finished a request (done or typed error).
+    RequestFinished {
+        /// The request's correlation id.
+        request: String,
+    },
 }
 
 /// Dense event-kind tags for counting (one counter per kind).
@@ -220,11 +231,13 @@ pub enum EventKind {
     ArtifactMiss,
     BatchStepped,
     BatchOracleInference,
+    RequestAccepted,
+    RequestFinished,
 }
 
 impl EventKind {
     /// Every event kind, in taxonomy order.
-    pub const ALL: [EventKind; 22] = [
+    pub const ALL: [EventKind; 24] = [
         EventKind::RunStarted,
         EventKind::SchedulerTask,
         EventKind::SensorSample,
@@ -247,6 +260,8 @@ impl EventKind {
         EventKind::ArtifactMiss,
         EventKind::BatchStepped,
         EventKind::BatchOracleInference,
+        EventKind::RequestAccepted,
+        EventKind::RequestFinished,
     ];
 
     /// Number of event kinds (registry array size).
@@ -282,6 +297,8 @@ impl EventKind {
             EventKind::ArtifactMiss => "artifact_miss",
             EventKind::BatchStepped => "batch_stepped",
             EventKind::BatchOracleInference => "batch_oracle_inference",
+            EventKind::RequestAccepted => "request_accepted",
+            EventKind::RequestFinished => "request_finished",
         }
     }
 }
@@ -312,6 +329,8 @@ impl TraceEvent {
             TraceEvent::ArtifactMiss { .. } => EventKind::ArtifactMiss,
             TraceEvent::BatchStepped { .. } => EventKind::BatchStepped,
             TraceEvent::BatchOracleInference { .. } => EventKind::BatchOracleInference,
+            TraceEvent::RequestAccepted { .. } => EventKind::RequestAccepted,
+            TraceEvent::RequestFinished { .. } => EventKind::RequestFinished,
         }
     }
 }
@@ -439,6 +458,9 @@ impl TraceRecord {
             TraceEvent::BatchOracleInference { queries } => {
                 let _ = write!(s, ",\"queries\":{queries}");
             }
+            TraceEvent::RequestAccepted { request } | TraceEvent::RequestFinished { request } => {
+                let _ = write!(s, ",\"request\":\"{}\"", escape(request));
+            }
         }
         s.push('}');
         s
@@ -554,6 +576,12 @@ mod tests {
             },
             TraceEvent::BatchStepped { lanes: 16 },
             TraceEvent::BatchOracleInference { queries: 9 },
+            TraceEvent::RequestAccepted {
+                request: "req-0".to_string(),
+            },
+            TraceEvent::RequestFinished {
+                request: "req-0".to_string(),
+            },
         ];
         assert_eq!(events.len(), EventKind::COUNT, "taxonomy covered");
         for (event, kind) in events.into_iter().zip(EventKind::ALL) {

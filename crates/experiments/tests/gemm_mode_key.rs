@@ -1,0 +1,31 @@
+//! The oracle cache key must fold in a reordering GEMM mode.
+//!
+//! This lives in its own integration-test binary (its own process) because
+//! it flips the process-wide [`av_neural::gemm`] mode; sharing a binary
+//! with tests that run GEMMs would race their numerics.
+
+use av_experiments::oracle_cache::cache_key;
+use av_experiments::train_sh::SweepConfig;
+use av_neural::gemm::{set_mode, GemmMode};
+use av_simkit::scenario::ScenarioId;
+use robotack::vector::AttackVector;
+
+#[test]
+fn reordering_mode_gets_its_own_addresses() {
+    let sweep = SweepConfig::default();
+    let key = |mode| {
+        set_mode(mode);
+        cache_key(ScenarioId::Ds1, AttackVector::MoveOut, &sweep)
+    };
+    let blocked = key(GemmMode::Blocked);
+    let naive = key(GemmMode::Naive);
+    let tiled = key(GemmMode::Tiled);
+    set_mode(GemmMode::Blocked);
+    // Blocked and naive are bit-identical by construction, so they *must*
+    // share artifact addresses — that equivalence is what CI's kernel
+    // smoke job diffs byte-for-byte.
+    assert_eq!(blocked, naive, "bit-identical modes must share addresses");
+    // Tiled reorders FP accumulation: last-ulp-different oracles may not
+    // alias the default family's artifacts.
+    assert_ne!(blocked, tiled, "reordering mode must be keyed separately");
+}

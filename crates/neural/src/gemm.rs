@@ -1,0 +1,910 @@
+//! The shared GEMM micro-kernel layer behind every matrix product in the
+//! crate.
+//!
+//! Training a safety-hijacker oracle is GEMM-bound: the minibatch forward
+//! pass (`x · Wᵀ`), the weight gradients (`δᵀ · x`), and the backpropagated
+//! deltas (`δ · W`) each run one of the three kernel families here on every
+//! minibatch of every epoch, and the batch engine's cross-session inference
+//! rides the same layer through [`layer_forward_t`]. All callers —
+//! [`Matrix::matmul_into`], [`Matrix::t_matmul_into`],
+//! [`Matrix::matmul_t_into`], `Mlp::forward_train_into`/`backward_into`,
+//! and `Mlp::forward_batch_into` — resolve to the kernels in this module,
+//! so there is exactly one place where accumulation order (and therefore
+//! bit-level reproducibility) is decided.
+//!
+//! # Kernel families
+//!
+//! | family | computes | reduction | used by |
+//! |---|---|---|---|
+//! | `nt` | `C = A × Bᵀ` | over columns (`k`) | training/batch forward |
+//! | `tn` | `C = Aᵀ × B` | over rows (`r`) | weight gradients |
+//! | `nn` | `C = A × B` | over inner dim (`k`) | backpropagated deltas |
+//!
+//! Each family ships three implementations:
+//!
+//! - **naive** — reference triple loops. Every output element accumulates
+//!   its contributions strictly in ascending reduction-index order from a
+//!   `+0.0` start. This is the bit-level ground truth the other kernels
+//!   are pinned against (and what `AV_GEMM_MODE=naive` routes through).
+//! - **blocked** (default) — register-blocked 4×4 micro-kernels: a 4×4
+//!   tile of outputs is held in 16 register accumulators while the
+//!   reduction loop streams over both operands once. Every accumulator
+//!   still sums *its* contributions strictly in ascending index order, so
+//!   the speedup comes purely from instruction-level parallelism (16
+//!   independent FP-add chains hide the ~4-cycle add latency) and from
+//!   loading each operand element once per 4 outputs instead of once per
+//!   output — **bit-identical** to naive on every non-NaN output (finite
+//!   values, signed zeros, and infinities), with NaNs appearing in exactly
+//!   the same places for non-finite inputs. NaN *payloads* are the one
+//!   thing left unpinned: IEEE-754 leaves payload propagation
+//!   implementation-defined and LLVM may commute add/mul operands, so two
+//!   codegens of the same chain can surface different payload bits.
+//!   (Pinned by unit tests and `tests/gemm_props.rs`.)
+//! - **tiled** — the `TiledGemm` configuration ([`GemmMode::Tiled`]):
+//!   additionally blocks the reduction dimension into [`K_PANEL`]-wide
+//!   cache panels so each operand panel stays L1-resident across the whole
+//!   output tile sweep. Panel partial sums are accumulated into `C`
+//!   between panels, which **reorders floating-point addition** whenever
+//!   the reduction dimension exceeds one panel — results are no longer
+//!   bit-identical to naive (they agree to normal FP-summation error).
+//!   Because trained-oracle artifacts are content-addressed by bit
+//!   pattern, `av-experiments` keys tiled-mode artifacts separately; the
+//!   default mode is untiled exactly so that golden fixtures and cache
+//!   keys stay valid.
+//!
+//! # No sparsity shortcut
+//!
+//! The pre-PR-8 `nn`/`tn` loops skipped work when a left-hand element
+//! compared equal to `0.0`. That shortcut is **not IEEE-transparent**:
+//! `0.0 × NaN` and `0.0 × ∞` are NaN, so a NaN or infinity entering the
+//! backward pass (a diverging Adam step, a poisoned activation) was
+//! silently laundered into a finite gradient instead of propagating to
+//! the loss where a training stack must surface it. No kernel here skips
+//! any contribution; non-finite inputs propagate exactly as IEEE-754
+//! arithmetic dictates (pinned by regression tests in
+//! [`crate::matrix`]).
+//!
+//! # Selecting a mode
+//!
+//! The process-wide mode defaults to [`GemmMode::Blocked`], may be set
+//! programmatically with [`set_mode`], and is seeded on first use from the
+//! `AV_GEMM_MODE` environment variable (`blocked` | `tiled` | `naive`) —
+//! which is how CI's kernel-equivalence smoke job runs the whole
+//! oracle-training path against the naive reference build and diffs the
+//! resulting artifacts byte-for-byte.
+
+use crate::matrix::Matrix;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which GEMM implementation the [`Matrix`] product methods dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmMode {
+    /// Register-blocked 4×4 micro-kernels (the default). Bit-identical to
+    /// [`GemmMode::Naive`] for every input.
+    Blocked,
+    /// The `TiledGemm` configuration: register blocking plus
+    /// [`K_PANEL`]-wide cache tiling of the reduction dimension. Faster on
+    /// long reductions but **reorders FP accumulation** — results differ
+    /// from the other modes at the last-ulp level, so content-addressed
+    /// training artifacts are keyed separately under this mode.
+    Tiled,
+    /// Reference triple loops with strict index-order accumulation; the
+    /// bit-level ground truth the blocked kernels are pinned against.
+    Naive,
+}
+
+impl GemmMode {
+    /// Whether this mode reorders floating-point accumulation relative to
+    /// the strict index-order reference — i.e. whether its results can
+    /// differ bit-for-bit from [`GemmMode::Naive`]. Consumers that
+    /// content-address results by bit pattern (the oracle cache) must key
+    /// reordering modes separately.
+    pub fn reorders_fp(self) -> bool {
+        matches!(self, GemmMode::Tiled)
+    }
+}
+
+/// Reduction-dimension panel width of [`GemmMode::Tiled`]: 4 operand rows
+/// × 256 f64 = 8 KiB per operand panel, so both panels plus the output
+/// tile sit comfortably in a 32 KiB L1D.
+pub const K_PANEL: usize = 256;
+
+const MODE_UNSET: u8 = 0;
+const MODE_BLOCKED: u8 = 1;
+const MODE_TILED: u8 = 2;
+const MODE_NAIVE: u8 = 3;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+fn encode(mode: GemmMode) -> u8 {
+    match mode {
+        GemmMode::Blocked => MODE_BLOCKED,
+        GemmMode::Tiled => MODE_TILED,
+        GemmMode::Naive => MODE_NAIVE,
+    }
+}
+
+fn mode_from_env() -> GemmMode {
+    match std::env::var("AV_GEMM_MODE") {
+        Ok(v) if v == "blocked" => GemmMode::Blocked,
+        Ok(v) if v == "tiled" => GemmMode::Tiled,
+        Ok(v) if v == "naive" => GemmMode::Naive,
+        Ok(v) => {
+            eprintln!(
+                "[gemm] unknown AV_GEMM_MODE {v:?} (expected blocked|tiled|naive); using blocked"
+            );
+            GemmMode::Blocked
+        }
+        Err(_) => GemmMode::Blocked,
+    }
+}
+
+/// The process-wide GEMM mode. Seeded from `AV_GEMM_MODE` on first call
+/// (racing first readers all resolve the same environment value), defaults
+/// to [`GemmMode::Blocked`].
+pub fn mode() -> GemmMode {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_BLOCKED => GemmMode::Blocked,
+        MODE_TILED => GemmMode::Tiled,
+        MODE_NAIVE => GemmMode::Naive,
+        _ => {
+            let m = mode_from_env();
+            MODE.store(encode(m), Ordering::Relaxed);
+            m
+        }
+    }
+}
+
+/// Overrides the process-wide GEMM mode (e.g. a benchmark harness pinning
+/// one implementation). Set this before any training or inference runs:
+/// artifacts produced under a [reordering](GemmMode::reorders_fp) mode are
+/// not bit-compatible with default-mode golden fixtures.
+pub fn set_mode(mode: GemmMode) {
+    MODE.store(encode(mode), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// nt: C (m×n) = A (m×k) × B (n×k)ᵀ — reduction over columns of both operands.
+// ---------------------------------------------------------------------------
+
+/// Reference `C = A × Bᵀ`: each output is one strictly index-ordered dot
+/// product of a row of `A` (`m×k`) with a row of `B` (`n×k`). Overwrites
+/// every element of `c` (`m×n`).
+pub fn nt_naive(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..i * k + k];
+        let crow = &mut c[i * n..i * n + n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..j * k + k];
+            let mut s = 0.0;
+            for (x, y) in arow.iter().zip(brow) {
+                s += x * y;
+            }
+            *cv = s;
+        }
+    }
+}
+
+/// Register-blocked `C = A × Bᵀ`; bit-identical to [`nt_naive`] (each of
+/// the 16 accumulators of a 4×4 output tile is a single strict-`k`-order
+/// chain). Overwrites every element of `c`.
+///
+/// Large shapes first transpose `B` into a thread-local scratch and run
+/// the `nn` micro-kernel over it: `nt`'s natural inner loop gathers from
+/// four different `B` rows (which defeats vectorization), while the
+/// transposed form makes the `j` dimension contiguous. Per output element
+/// the contributions are still consumed in strictly ascending `k` order —
+/// operand layout changes, the accumulation chain does not — so the fast
+/// path stays bit-identical.
+pub fn nt_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
+    if m >= 4 && n >= 4 && k >= 8 {
+        with_transposed(b, n, k, |bt| nn_panel(a, bt, c, m, k, n, 0, k, true));
+    } else {
+        nt_panel(a, b, c, m, n, k, 0, k, true);
+    }
+}
+
+/// Cache-tiled `C = A × Bᵀ`: the `k` reduction runs in `k_panel`-wide
+/// panels, each panel's register-blocked partial sums accumulated into
+/// `c`. With more than one panel this **reorders FP addition** (a panel
+/// boundary splits each dot chain); with `k <= k_panel` it is bit-identical
+/// to [`nt_blocked`]. Overwrites every element of `c`.
+pub fn nt_tiled(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize, k_panel: usize) {
+    debug_assert!(k_panel > 0, "k_panel must be positive");
+    if k == 0 {
+        c[..m * n].fill(0.0);
+        return;
+    }
+    if m >= 4 && n >= 4 && k >= 8 {
+        with_transposed(b, n, k, |bt| {
+            let mut k0 = 0;
+            while k0 < k {
+                let kw = (k - k0).min(k_panel);
+                nn_panel(a, bt, c, m, k, n, k0, kw, k0 == 0);
+                k0 += kw;
+            }
+        });
+        return;
+    }
+    let mut k0 = 0;
+    while k0 < k {
+        let kw = (k - k0).min(k_panel);
+        nt_panel(a, b, c, m, n, k, k0, kw, k0 == 0);
+        k0 += kw;
+    }
+}
+
+thread_local! {
+    /// Scratch for the `nt` fast path's transposed copy of `B`. Thread-local
+    /// (not per-call) so steady-state training performs no heap allocation
+    /// after the first minibatch, mirroring the batch engine's scratch
+    /// pattern.
+    static BT_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` over `B` (`rows×cols`, row-major) transposed into the
+/// thread-local scratch (`cols×rows`, row-major).
+fn with_transposed(b: &[f64], rows: usize, cols: usize, f: impl FnOnce(&[f64])) {
+    BT_SCRATCH.with(|s| {
+        let mut buf = s.borrow_mut();
+        if buf.len() < rows * cols {
+            buf.resize(rows * cols, 0.0);
+        }
+        let bt = &mut buf[..rows * cols];
+        for (j, brow) in b.chunks_exact(cols).enumerate() {
+            for (t, &v) in brow.iter().enumerate() {
+                bt[t * rows + j] = v;
+            }
+        }
+        f(bt);
+    });
+}
+
+/// One reduction panel of the blocked `nt` kernel: columns `k0..k0+kw` of
+/// both operands. `store` overwrites `c` (first panel), otherwise panel
+/// sums accumulate into it.
+#[allow(clippy::too_many_arguments)] // private micro-kernel; the dims are the signature
+fn nt_panel(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    k0: usize,
+    kw: usize,
+    store: bool,
+) {
+    let mut i = 0;
+    while i + 4 <= m {
+        let a0 = &a[i * k + k0..i * k + k0 + kw];
+        let a1 = &a[(i + 1) * k + k0..(i + 1) * k + k0 + kw];
+        let a2 = &a[(i + 2) * k + k0..(i + 2) * k + k0 + kw];
+        let a3 = &a[(i + 3) * k + k0..(i + 3) * k + k0 + kw];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k + k0..j * k + k0 + kw];
+            let b1 = &b[(j + 1) * k + k0..(j + 1) * k + k0 + kw];
+            let b2 = &b[(j + 2) * k + k0..(j + 2) * k + k0 + kw];
+            let b3 = &b[(j + 3) * k + k0..(j + 3) * k + k0 + kw];
+            let mut s = [[0.0f64; 4]; 4];
+            for t in 0..kw {
+                let x = [a0[t], a1[t], a2[t], a3[t]];
+                let y = [b0[t], b1[t], b2[t], b3[t]];
+                for (si, &xi) in s.iter_mut().zip(&x) {
+                    for (sij, &yj) in si.iter_mut().zip(&y) {
+                        *sij += xi * yj;
+                    }
+                }
+            }
+            for (ii, si) in s.iter().enumerate() {
+                let crow = &mut c[(i + ii) * n + j..(i + ii) * n + j + 4];
+                if store {
+                    crow.copy_from_slice(si);
+                } else {
+                    for (cv, &sv) in crow.iter_mut().zip(si) {
+                        *cv += sv;
+                    }
+                }
+            }
+            j += 4;
+        }
+        while j < n {
+            let bj = &b[j * k + k0..j * k + k0 + kw];
+            let mut s = [0.0f64; 4];
+            for (t, &y) in bj.iter().enumerate() {
+                s[0] += a0[t] * y;
+                s[1] += a1[t] * y;
+                s[2] += a2[t] * y;
+                s[3] += a3[t] * y;
+            }
+            for (ii, &sv) in s.iter().enumerate() {
+                let cv = &mut c[(i + ii) * n + j];
+                if store {
+                    *cv = sv;
+                } else {
+                    *cv += sv;
+                }
+            }
+            j += 1;
+        }
+        i += 4;
+    }
+    while i < m {
+        let ai = &a[i * k + k0..i * k + k0 + kw];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k + k0..j * k + k0 + kw];
+            let b1 = &b[(j + 1) * k + k0..(j + 1) * k + k0 + kw];
+            let b2 = &b[(j + 2) * k + k0..(j + 2) * k + k0 + kw];
+            let b3 = &b[(j + 3) * k + k0..(j + 3) * k + k0 + kw];
+            let mut s = [0.0f64; 4];
+            for (t, &x) in ai.iter().enumerate() {
+                s[0] += x * b0[t];
+                s[1] += x * b1[t];
+                s[2] += x * b2[t];
+                s[3] += x * b3[t];
+            }
+            let crow = &mut c[i * n + j..i * n + j + 4];
+            if store {
+                crow.copy_from_slice(&s);
+            } else {
+                for (cv, &sv) in crow.iter_mut().zip(&s) {
+                    *cv += sv;
+                }
+            }
+            j += 4;
+        }
+        while j < n {
+            let bj = &b[j * k + k0..j * k + k0 + kw];
+            let mut s = 0.0;
+            for (x, y) in ai.iter().zip(bj) {
+                s += x * y;
+            }
+            let cv = &mut c[i * n + j];
+            if store {
+                *cv = s;
+            } else {
+                *cv += s;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tn: C (m×n) = A (r×m)ᵀ × B (r×n) — reduction over the shared row count.
+// ---------------------------------------------------------------------------
+
+/// Reference `C = Aᵀ × B`: `A` is `r×m`, `B` is `r×n`, and every output
+/// element accumulates its `r` contributions strictly in ascending row
+/// order (no sparsity shortcut — zero entries still multiply, so NaN/∞
+/// propagate). Overwrites every element of `c` (`m×n`).
+pub fn tn_naive(a: &[f64], b: &[f64], c: &mut [f64], r: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), r * m);
+    debug_assert_eq!(b.len(), r * n);
+    debug_assert_eq!(c.len(), m * n);
+    c[..m * n].fill(0.0);
+    for t in 0..r {
+        let arow = &a[t * m..t * m + m];
+        let brow = &b[t * n..t * n + n];
+        for (i, &x) in arow.iter().enumerate() {
+            let crow = &mut c[i * n..i * n + n];
+            for (cv, &y) in crow.iter_mut().zip(brow) {
+                *cv += x * y;
+            }
+        }
+    }
+}
+
+/// Register-blocked `C = Aᵀ × B`; bit-identical to [`tn_naive`] (each 4×4
+/// output tile holds 16 strict-row-order accumulator chains). Overwrites
+/// every element of `c`.
+pub fn tn_blocked(a: &[f64], b: &[f64], c: &mut [f64], r: usize, m: usize, n: usize) {
+    tn_panel(a, b, c, r, m, n, 0, r, true);
+}
+
+/// Cache-tiled `C = Aᵀ × B` with `r_panel`-row reduction panels; reorders
+/// FP addition once `r > r_panel` (bit-identical to [`tn_blocked`]
+/// otherwise). Overwrites every element of `c`.
+pub fn tn_tiled(a: &[f64], b: &[f64], c: &mut [f64], r: usize, m: usize, n: usize, r_panel: usize) {
+    debug_assert!(r_panel > 0, "r_panel must be positive");
+    if r == 0 {
+        c[..m * n].fill(0.0);
+        return;
+    }
+    let mut r0 = 0;
+    while r0 < r {
+        let rw = (r - r0).min(r_panel);
+        tn_panel(a, b, c, r, m, n, r0, rw, r0 == 0);
+        r0 += rw;
+    }
+}
+
+/// One reduction panel of the blocked `tn` kernel: rows `r0..r0+rw`.
+#[allow(clippy::too_many_arguments)] // private micro-kernel; the dims are the signature
+fn tn_panel(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    _r: usize,
+    m: usize,
+    n: usize,
+    r0: usize,
+    rw: usize,
+    store: bool,
+) {
+    let mut i = 0;
+    while i + 4 <= m {
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut s = [[0.0f64; 4]; 4];
+            for t in r0..r0 + rw {
+                let arow = &a[t * m + i..t * m + i + 4];
+                let brow = &b[t * n + j..t * n + j + 4];
+                for (si, &xi) in s.iter_mut().zip(arow) {
+                    for (sij, &yj) in si.iter_mut().zip(brow) {
+                        *sij += xi * yj;
+                    }
+                }
+            }
+            for (ii, si) in s.iter().enumerate() {
+                let crow = &mut c[(i + ii) * n + j..(i + ii) * n + j + 4];
+                if store {
+                    crow.copy_from_slice(si);
+                } else {
+                    for (cv, &sv) in crow.iter_mut().zip(si) {
+                        *cv += sv;
+                    }
+                }
+            }
+            j += 4;
+        }
+        while j < n {
+            let mut s = [0.0f64; 4];
+            for t in r0..r0 + rw {
+                let arow = &a[t * m + i..t * m + i + 4];
+                let y = b[t * n + j];
+                for (sv, &xi) in s.iter_mut().zip(arow) {
+                    *sv += xi * y;
+                }
+            }
+            for (ii, &sv) in s.iter().enumerate() {
+                let cv = &mut c[(i + ii) * n + j];
+                if store {
+                    *cv = sv;
+                } else {
+                    *cv += sv;
+                }
+            }
+            j += 1;
+        }
+        i += 4;
+    }
+    while i < m {
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut s = [0.0f64; 4];
+            for t in r0..r0 + rw {
+                let x = a[t * m + i];
+                let brow = &b[t * n + j..t * n + j + 4];
+                for (sv, &yj) in s.iter_mut().zip(brow) {
+                    *sv += x * yj;
+                }
+            }
+            let crow = &mut c[i * n + j..i * n + j + 4];
+            if store {
+                crow.copy_from_slice(&s);
+            } else {
+                for (cv, &sv) in crow.iter_mut().zip(&s) {
+                    *cv += sv;
+                }
+            }
+            j += 4;
+        }
+        while j < n {
+            let mut s = 0.0;
+            for t in r0..r0 + rw {
+                s += a[t * m + i] * b[t * n + j];
+            }
+            let cv = &mut c[i * n + j];
+            if store {
+                *cv = s;
+            } else {
+                *cv += s;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// nn: C (m×n) = A (m×k) × B (k×n) — reduction over A's columns / B's rows.
+// ---------------------------------------------------------------------------
+
+/// Reference `C = A × B`: every output element accumulates its `k`
+/// contributions strictly in ascending inner-index order (no sparsity
+/// shortcut). Overwrites every element of `c` (`m×n`).
+pub fn nn_naive(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    c[..m * n].fill(0.0);
+    for i in 0..m {
+        let arow = &a[i * k..i * k + k];
+        for (t, &x) in arow.iter().enumerate() {
+            let brow = &b[t * n..t * n + n];
+            let crow = &mut c[i * n..i * n + n];
+            for (cv, &y) in crow.iter_mut().zip(brow) {
+                *cv += x * y;
+            }
+        }
+    }
+}
+
+/// Register-blocked `C = A × B`; bit-identical to [`nn_naive`] (each 4×4
+/// output tile holds 16 strict-`k`-order accumulator chains). Overwrites
+/// every element of `c`.
+pub fn nn_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    nn_panel(a, b, c, m, k, n, 0, k, true);
+}
+
+/// Cache-tiled `C = A × B` with `k_panel`-wide reduction panels; reorders
+/// FP addition once `k > k_panel` (bit-identical to [`nn_blocked`]
+/// otherwise). Overwrites every element of `c`.
+pub fn nn_tiled(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize, k_panel: usize) {
+    debug_assert!(k_panel > 0, "k_panel must be positive");
+    if k == 0 {
+        c[..m * n].fill(0.0);
+        return;
+    }
+    let mut k0 = 0;
+    while k0 < k {
+        let kw = (k - k0).min(k_panel);
+        nn_panel(a, b, c, m, k, n, k0, kw, k0 == 0);
+        k0 += kw;
+    }
+}
+
+/// One reduction panel of the blocked `nn` kernel: inner indices
+/// `k0..k0+kw`.
+#[allow(clippy::too_many_arguments)] // private micro-kernel; the dims are the signature
+fn nn_panel(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    k0: usize,
+    kw: usize,
+    store: bool,
+) {
+    let mut i = 0;
+    while i + 4 <= m {
+        let a0 = &a[i * k + k0..i * k + k0 + kw];
+        let a1 = &a[(i + 1) * k + k0..(i + 1) * k + k0 + kw];
+        let a2 = &a[(i + 2) * k + k0..(i + 2) * k + k0 + kw];
+        let a3 = &a[(i + 3) * k + k0..(i + 3) * k + k0 + kw];
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut s = [[0.0f64; 4]; 4];
+            for t in 0..kw {
+                let x = [a0[t], a1[t], a2[t], a3[t]];
+                let brow = &b[(k0 + t) * n + j..(k0 + t) * n + j + 4];
+                for (si, &xi) in s.iter_mut().zip(&x) {
+                    for (sij, &yj) in si.iter_mut().zip(brow) {
+                        *sij += xi * yj;
+                    }
+                }
+            }
+            for (ii, si) in s.iter().enumerate() {
+                let crow = &mut c[(i + ii) * n + j..(i + ii) * n + j + 4];
+                if store {
+                    crow.copy_from_slice(si);
+                } else {
+                    for (cv, &sv) in crow.iter_mut().zip(si) {
+                        *cv += sv;
+                    }
+                }
+            }
+            j += 4;
+        }
+        while j < n {
+            let mut s = [0.0f64; 4];
+            for t in 0..kw {
+                let y = b[(k0 + t) * n + j];
+                s[0] += a0[t] * y;
+                s[1] += a1[t] * y;
+                s[2] += a2[t] * y;
+                s[3] += a3[t] * y;
+            }
+            for (ii, &sv) in s.iter().enumerate() {
+                let cv = &mut c[(i + ii) * n + j];
+                if store {
+                    *cv = sv;
+                } else {
+                    *cv += sv;
+                }
+            }
+            j += 1;
+        }
+        i += 4;
+    }
+    while i < m {
+        let ai = &a[i * k + k0..i * k + k0 + kw];
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut s = [0.0f64; 4];
+            for (t, &x) in ai.iter().enumerate() {
+                let brow = &b[(k0 + t) * n + j..(k0 + t) * n + j + 4];
+                for (sv, &yj) in s.iter_mut().zip(brow) {
+                    *sv += x * yj;
+                }
+            }
+            let crow = &mut c[i * n + j..i * n + j + 4];
+            if store {
+                crow.copy_from_slice(&s);
+            } else {
+                for (cv, &sv) in crow.iter_mut().zip(&s) {
+                    *cv += sv;
+                }
+            }
+            j += 4;
+        }
+        while j < n {
+            let mut s = 0.0;
+            for (t, &x) in ai.iter().enumerate() {
+                s += x * b[(k0 + t) * n + j];
+            }
+            let cv = &mut c[i * n + j];
+            if store {
+                *cv = s;
+            } else {
+                *cv += s;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mode dispatchers (what the Matrix product methods call).
+// ---------------------------------------------------------------------------
+
+pub(crate) fn nt(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
+    match mode() {
+        GemmMode::Blocked => nt_blocked(a, b, c, m, n, k),
+        GemmMode::Tiled => nt_tiled(a, b, c, m, n, k, K_PANEL),
+        GemmMode::Naive => nt_naive(a, b, c, m, n, k),
+    }
+}
+
+pub(crate) fn tn(a: &[f64], b: &[f64], c: &mut [f64], r: usize, m: usize, n: usize) {
+    match mode() {
+        GemmMode::Blocked => tn_blocked(a, b, c, r, m, n),
+        GemmMode::Tiled => tn_tiled(a, b, c, r, m, n, K_PANEL),
+        GemmMode::Naive => tn_naive(a, b, c, r, m, n),
+    }
+}
+
+pub(crate) fn nn(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    match mode() {
+        GemmMode::Blocked => nn_blocked(a, b, c, m, k, n),
+        GemmMode::Tiled => nn_tiled(a, b, c, m, k, n, K_PANEL),
+        GemmMode::Naive => nn_naive(a, b, c, m, k, n),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The batch engine's transposed layer kernel.
+// ---------------------------------------------------------------------------
+
+/// One dense layer over transposed activations: `x_t` is (in × N), `out_t`
+/// becomes (out × N), both feature-major.
+///
+/// For each output unit `j`, the kernel runs a register block of up to 32
+/// batch lanes: independent accumulators, each summing its own lane's
+/// products strictly in `k` order — the independent lanes vectorize while
+/// every lane's sum keeps the exact accumulation order of `Mlp::forward`.
+/// Bias is added once per element after the full dot, then ReLU, matching
+/// the per-example path.
+///
+/// This kernel is deliberately **mode-independent**: every [`GemmMode`]
+/// leaves batched inference bit-identical to the scalar forward pass, so
+/// campaign digests never depend on the training-kernel configuration.
+pub fn layer_forward_t(w: &Matrix, bias: &[f64], relu: bool, x_t: &Matrix, out_t: &mut Matrix) {
+    let n = x_t.cols();
+    debug_assert_eq!(x_t.rows(), w.cols());
+    out_t.reshape(w.rows(), n);
+    // Lane-block widths: enough independent 8-wide vector chains to hide FMA
+    // latency on wide SIMD hosts, with narrower blocks mopping up.
+    macro_rules! lane_block {
+        ($width:literal, $i:ident, $wrow:ident, $xflat:ident, $orow:ident, $b:ident) => {
+            while $i + $width <= n {
+                let mut acc = [0.0f64; $width];
+                for (&wk, xrow) in $wrow.iter().zip($xflat.chunks_exact(n)) {
+                    let lanes = &xrow[$i..$i + $width];
+                    for (a, &x) in acc.iter_mut().zip(lanes) {
+                        *a += x * wk;
+                    }
+                }
+                for (o, a) in $orow[$i..$i + $width].iter_mut().zip(acc) {
+                    let v = a + $b;
+                    *o = if relu && v < 0.0 { 0.0 } else { v };
+                }
+                $i += $width;
+            }
+        };
+    }
+    debug_assert_eq!(bias.len(), w.rows());
+    let xflat = x_t.as_slice();
+    for (j, &b) in bias.iter().enumerate() {
+        let wrow = w.row(j);
+        let orow = out_t.row_mut(j);
+        let mut i = 0;
+        lane_block!(32, i, wrow, xflat, orow, b);
+        lane_block!(16, i, wrow, xflat, orow, b);
+        lane_block!(8, i, wrow, xflat, orow, b);
+        lane_block!(4, i, wrow, xflat, orow, b);
+        while i < n {
+            let mut s = 0.0;
+            for (&wk, xrow) in wrow.iter().zip(xflat.chunks_exact(n)) {
+                s += xrow[i] * wk;
+            }
+            let v = s + b;
+            orow[i] = if relu && v < 0.0 { 0.0 } else { v };
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_simkit::rng as simrng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn filled(len: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..len).map(|_| simrng::normal(rng, 0.0, 2.0)).collect()
+    }
+
+    /// Every (m, n, reduction) shape combination the paper's training loop
+    /// hits, plus primes, degenerate zeros, and sizes straddling the tile
+    /// boundaries.
+    fn shapes() -> Vec<(usize, usize, usize)> {
+        vec![
+            (0, 0, 0),
+            (0, 3, 2),
+            (3, 0, 2),
+            (3, 2, 0),
+            (1, 1, 1),
+            (4, 4, 4),
+            (5, 7, 13),
+            (16, 100, 5),
+            (16, 1, 50),
+            (9, 64, 3),
+            (17, 23, 29),
+            (32, 64, 64),
+        ]
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_to_the_bit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for (m, n, k) in shapes() {
+            let a = filled(m * k, &mut rng);
+            let b = filled(n * k, &mut rng);
+            let mut want = vec![9e9; m * n];
+            let mut got = vec![-9e9; m * n];
+            nt_naive(&a, &b, &mut want, m, n, k);
+            nt_blocked(&a, &b, &mut got, m, n, k);
+            assert_bits(&want, &got, "nt", m, n, k);
+
+            let a = filled(k * m, &mut rng);
+            let b = filled(k * n, &mut rng);
+            tn_naive(&a, &b, &mut want, k, m, n);
+            tn_blocked(&a, &b, &mut got, k, m, n);
+            assert_bits(&want, &got, "tn", m, n, k);
+
+            let a = filled(m * k, &mut rng);
+            let b = filled(k * n, &mut rng);
+            nn_naive(&a, &b, &mut want, m, k, n);
+            nn_blocked(&a, &b, &mut got, m, k, n);
+            assert_bits(&want, &got, "nn", m, n, k);
+        }
+    }
+
+    #[test]
+    fn tiled_kernels_are_bit_identical_within_one_panel() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let (m, n, k) = (9, 6, 31);
+        let a = filled(m * k, &mut rng);
+        let b = filled(n * k, &mut rng);
+        let mut want = vec![0.0; m * n];
+        let mut got = vec![0.0; m * n];
+        nt_blocked(&a, &b, &mut want, m, n, k);
+        nt_tiled(&a, &b, &mut got, m, n, k, K_PANEL);
+        assert_bits(&want, &got, "nt_tiled(one panel)", m, n, k);
+    }
+
+    #[test]
+    fn tiled_kernels_reorder_but_stay_close_across_panels() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let (m, n, k) = (7, 5, 103);
+        let a = filled(m * k, &mut rng);
+        let b = filled(n * k, &mut rng);
+        let mut want = vec![0.0; m * n];
+        let mut got = vec![0.0; m * n];
+        nt_naive(&a, &b, &mut want, m, n, k);
+        // A tiny panel forces many panel boundaries (the reordering case).
+        nt_tiled(&a, &b, &mut got, m, n, k, 8);
+        for (w, g) in want.iter().zip(&got) {
+            let err = (w - g).abs() / w.abs().max(1.0);
+            assert!(err < 1e-12, "tiled drifted: {w} vs {g}");
+        }
+
+        let a = filled(k * m, &mut rng);
+        let b = filled(k * n, &mut rng);
+        tn_naive(&a, &b, &mut want, k, m, n);
+        tn_tiled(&a, &b, &mut got, k, m, n, 8);
+        for (w, g) in want.iter().zip(&got) {
+            let err = (w - g).abs() / w.abs().max(1.0);
+            assert!(err < 1e-12, "tn tiled drifted: {w} vs {g}");
+        }
+
+        let a = filled(m * k, &mut rng);
+        let b = filled(k * n, &mut rng);
+        nn_naive(&a, &b, &mut want, m, k, n);
+        nn_tiled(&a, &b, &mut got, m, k, n, 8);
+        for (w, g) in want.iter().zip(&got) {
+            let err = (w - g).abs() / w.abs().max(1.0);
+            assert!(err < 1e-12, "nn tiled drifted: {w} vs {g}");
+        }
+    }
+
+    #[test]
+    fn kernels_overwrite_stale_output() {
+        // k = 0 must still clear the output buffer in every implementation.
+        for f in [nt_naive, nt_blocked] {
+            let mut c = vec![7.0; 6];
+            f(&[], &[], &mut c, 2, 3, 0);
+            assert_eq!(c, vec![0.0; 6]);
+        }
+        let mut c = vec![7.0; 6];
+        nt_tiled(&[], &[], &mut c, 2, 3, 0, K_PANEL);
+        assert_eq!(c, vec![0.0; 6]);
+        let mut c = vec![7.0; 6];
+        tn_tiled(&[], &[], &mut c, 0, 2, 3, K_PANEL);
+        assert_eq!(c, vec![0.0; 6]);
+        let mut c = vec![7.0; 6];
+        nn_tiled(&[], &[], &mut c, 2, 0, 3, K_PANEL);
+        assert_eq!(c, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn mode_reorders_fp_only_for_tiled() {
+        assert!(!GemmMode::Blocked.reorders_fp());
+        assert!(!GemmMode::Naive.reorders_fp());
+        assert!(GemmMode::Tiled.reorders_fp());
+    }
+
+    fn assert_bits(want: &[f64], got: &[f64], kernel: &str, m: usize, n: usize, k: usize) {
+        assert_eq!(want.len(), got.len());
+        for (idx, (w, g)) in want.iter().zip(got).enumerate() {
+            assert_eq!(
+                w.to_bits(),
+                g.to_bits(),
+                "{kernel} {m}x{n} (reduction {k}) diverged at flat index {idx}: {w} vs {g}"
+            );
+        }
+    }
+}

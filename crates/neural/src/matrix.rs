@@ -1,5 +1,13 @@
 //! Minimal row-major matrix type for the MLP's forward/backward passes.
+//!
+//! All three products dispatch to the shared micro-kernel layer in
+//! [`crate::gemm`]: register-blocked by default (bit-identical to the naive
+//! reference loops), cache-tiled under [`crate::gemm::GemmMode::Tiled`]
+//! (reorders FP accumulation). None of the kernels takes a sparsity
+//! shortcut, so non-finite inputs propagate exactly as IEEE-754 dictates —
+//! `0.0 × NaN` is NaN, never silently dropped.
 
+use crate::gemm;
 use serde::{Deserialize, Serialize};
 
 /// A dense row-major `f64` matrix.
@@ -10,13 +18,25 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+/// `rows × cols` with an explicit panic on `usize` overflow: a hostile or
+/// corrupted shape must fail loudly here, in release builds too, instead of
+/// wrapping into a small allocation that later indexes out of bounds.
+fn shape_len(rows: usize, cols: usize) -> usize {
+    rows.checked_mul(cols)
+        .unwrap_or_else(|| panic!("matrix shape {rows}x{cols} overflows usize"))
+}
+
 impl Matrix {
     /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![0.0; shape_len(rows, cols)],
         }
     }
 
@@ -24,9 +44,10 @@ impl Matrix {
     ///
     /// # Panics
     ///
-    /// Panics if `data.len() != rows * cols`.
+    /// Panics if `data.len() != rows * cols`, or if that product overflows
+    /// `usize`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        assert_eq!(data.len(), shape_len(rows, cols), "shape mismatch");
         Matrix { rows, cols, data }
     }
 
@@ -73,10 +94,15 @@ impl Matrix {
     /// Reshapes in place, reusing the backing allocation. Contents are
     /// unspecified afterwards (the GEMM kernels overwrite every element);
     /// grows the buffer only when the new shape needs more room.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
     pub fn reshape(&mut self, rows: usize, cols: usize) {
+        let len = shape_len(rows, cols);
         self.rows = rows;
         self.cols = cols;
-        self.data.resize(rows * cols, 0.0);
+        self.data.resize(len, 0.0);
     }
 
     /// Overwrites `self` with `other`'s shape and contents, reusing the
@@ -100,26 +126,26 @@ impl Matrix {
     /// `self × other` into a caller-held output matrix (reshaped and
     /// overwritten; the backing allocation is reused).
     ///
+    /// Every output element accumulates its contributions strictly in
+    /// ascending inner-index order, with no zero-skip: results are
+    /// bit-identical across [`gemm::GemmMode::Blocked`] and
+    /// [`gemm::GemmMode::Naive`], and non-finite inputs propagate
+    /// (`0.0 × NaN = NaN`).
+    ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         out.reshape(self.rows, other.cols);
-        out.data.fill(0.0);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (j, &b) in orow.iter().enumerate() {
-                    out_row[j] += a * b;
-                }
-            }
-        }
+        gemm::nn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
     }
 
     /// `selfᵀ × other` (used for weight gradients).
@@ -130,8 +156,10 @@ impl Matrix {
     }
 
     /// `selfᵀ × other` into a caller-held output matrix (reshaped and
-    /// overwritten). The accumulation order is identical to [`Matrix::t_matmul`],
-    /// so results are bit-identical.
+    /// overwritten). The accumulation order is identical to
+    /// [`Matrix::t_matmul`], so results are bit-identical; like every
+    /// kernel in [`gemm`], no zero-skip is taken, so NaN and ±∞ gradients
+    /// propagate instead of being laundered into finite values.
     ///
     /// # Panics
     ///
@@ -139,20 +167,14 @@ impl Matrix {
     pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         out.reshape(self.cols, other.cols);
-        out.data.fill(0.0);
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let brow = other.row(r);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (j, &b) in brow.iter().enumerate() {
-                    out_row[j] += a * b;
-                }
-            }
-        }
+        gemm::tn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
     }
 
     /// `self × otherᵀ` (used to backpropagate through weights).
@@ -163,19 +185,15 @@ impl Matrix {
     }
 
     /// `self × otherᵀ` into a caller-held output matrix (reshaped and
-    /// overwritten). Each output element is one ordered dot product, so
-    /// results are bit-identical to [`Matrix::matmul_t`].
+    /// overwritten). Each output element is one strictly index-ordered dot
+    /// product, so results are bit-identical to [`Matrix::matmul_t`] in
+    /// every non-reordering [`gemm::GemmMode`].
     ///
-    /// This is the batched-inference kernel, and its speed over repeated
-    /// per-row dots comes from instruction-level parallelism rather than
-    /// reassociation: a single dot product is a serial chain of FP adds
-    /// (each ~4 cycles of latency), but the dots of *different* batch rows
-    /// are independent, so processing four rows of `self` against one row
-    /// of `other` keeps four accumulator chains in flight and hides the
-    /// add latency. Each accumulator still sums its row strictly in index
-    /// order, so every output bit matches the naive loop; the blocking
-    /// also loads each element of `other` once per four rows instead of
-    /// once per row.
+    /// This is the training-forward / batched-inference kernel: the default
+    /// register-blocked implementation keeps a 4×4 tile of independent
+    /// accumulator chains in flight (instruction-level parallelism hides
+    /// the FP-add latency) without reassociating any single chain — see
+    /// [`gemm::nt_blocked`].
     ///
     /// # Panics
     ///
@@ -183,33 +201,14 @@ impl Matrix {
     pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         out.reshape(self.rows, other.rows);
-        for j in 0..other.rows {
-            let brow = other.row(j);
-            let mut i = 0;
-            while i + 4 <= self.rows {
-                let a0 = self.row(i);
-                let a1 = self.row(i + 1);
-                let a2 = self.row(i + 2);
-                let a3 = self.row(i + 3);
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-                for ((((&b, &x0), &x1), &x2), &x3) in brow.iter().zip(a0).zip(a1).zip(a2).zip(a3) {
-                    s0 += x0 * b;
-                    s1 += x1 * b;
-                    s2 += x2 * b;
-                    s3 += x3 * b;
-                }
-                out.set(i, j, s0);
-                out.set(i + 1, j, s1);
-                out.set(i + 2, j, s2);
-                out.set(i + 3, j, s3);
-                i += 4;
-            }
-            while i < self.rows {
-                let arow = self.row(i);
-                out.set(i, j, arow.iter().zip(brow).map(|(a, b)| a * b).sum());
-                i += 1;
-            }
-        }
+        gemm::nt(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            other.rows,
+            self.cols,
+        );
     }
 }
 
@@ -271,6 +270,82 @@ mod tests {
         let d = Matrix::from_vec(2, 3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
         a().matmul_t_into(&d, &mut out);
         assert_eq!(out, a().matmul_t(&d));
+    }
+
+    /// Regression for the non-IEEE sparsity shortcut: the old kernels
+    /// skipped `a == 0.0` rows, so `0.0 × NaN` and `0.0 × ∞` contributions
+    /// vanished instead of producing NaN. A NaN entering the backward pass
+    /// must reach the output.
+    #[test]
+    fn zero_times_nonfinite_propagates_nan() {
+        // matmul (nn): [0, 1] × [[NaN], [5]] — the 0·NaN term poisons the dot.
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Matrix::from_vec(2, 1, vec![f64::NAN, 5.0]);
+        assert!(a.matmul(&b).get(0, 0).is_nan(), "matmul laundered 0*NaN");
+
+        let binf = Matrix::from_vec(2, 1, vec![f64::INFINITY, 5.0]);
+        assert!(a.matmul(&binf).get(0, 0).is_nan(), "matmul laundered 0*inf");
+
+        // t_matmul (tn): zero row in the left operand against a NaN row.
+        let d = Matrix::from_vec(2, 1, vec![0.0, 1.0]);
+        let x = Matrix::from_vec(2, 2, vec![f64::NAN, f64::INFINITY, 2.0, 3.0]);
+        let g = d.t_matmul(&x);
+        assert!(g.get(0, 0).is_nan(), "t_matmul laundered 0*NaN");
+        assert!(g.get(0, 1).is_nan(), "t_matmul laundered 0*inf");
+
+        // matmul_t (nt) was already a plain ordered dot; keep it pinned.
+        let e = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let w = Matrix::from_vec(1, 2, vec![f64::NAN, 1.0]);
+        assert!(e.matmul_t(&w).get(0, 0).is_nan(), "matmul_t laundered NaN");
+    }
+
+    /// Signed zeros follow IEEE-754 addition exactly: a `+0.0` accumulator
+    /// plus a `-0.0` contribution is `+0.0`, and a negative-product zero row
+    /// yields the same bits as the scalar expression would.
+    #[test]
+    fn signed_zero_contributions_follow_ieee() {
+        let a = Matrix::from_vec(1, 1, vec![-0.0]);
+        let b = Matrix::from_vec(1, 1, vec![5.0]);
+        // 0.0 (start) + (-0.0 × 5.0) = +0.0 under round-to-nearest.
+        let got = a.matmul(&b).get(0, 0);
+        assert_eq!(got.to_bits(), (0.0f64 + (-0.0f64 * 5.0)).to_bits());
+
+        let c = Matrix::from_vec(1, 2, vec![0.0, -0.0]);
+        let d = Matrix::from_vec(1, 2, vec![-3.0, 4.0]);
+        let got = c.matmul_t(&d).get(0, 0);
+        let want = 0.0f64 + 0.0 * -3.0 + -0.0 * 4.0;
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn zeros_overflowing_shape_panics() {
+        let _ = Matrix::zeros(usize::MAX, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn from_vec_overflowing_shape_panics() {
+        // Without the checked multiply this wraps to a tiny length in release
+        // builds and "succeeds" with a catastrophically wrong shape.
+        let _ = Matrix::from_vec(usize::MAX / 2 + 1, 4, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn reshape_overflowing_shape_panics() {
+        let mut m = Matrix::zeros(1, 1);
+        m.reshape(usize::MAX, usize::MAX);
+    }
+
+    #[test]
+    fn zero_dimension_shapes_are_fine() {
+        let m = Matrix::zeros(0, 5);
+        assert_eq!((m.rows(), m.cols()), (0, 5));
+        let n = Matrix::from_vec(3, 0, Vec::new());
+        assert_eq!(n.as_slice().len(), 0);
+        let p = m.matmul(&Matrix::zeros(5, 0));
+        assert_eq!((p.rows(), p.cols()), (0, 0));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The feed-forward network: dense layers + ReLU + dropout.
 
+use crate::gemm::layer_forward_t;
 use crate::matrix::Matrix;
 use av_simkit::rng as simrng;
 use rand::Rng;
@@ -174,9 +175,10 @@ impl Mlp {
     /// Bit-identity with the per-example path: the kernel accumulates each
     /// output element as the same ordered dot product that [`Mlp::forward`]
     /// uses, and adding the bias after the dot (`Σ + b` instead of `b + Σ`)
-    /// is exact because IEEE-754 addition is commutative. (A k-outer GEMM
-    /// with zero-skip like [`Matrix::matmul_into`] would not qualify: it
-    /// changes the accumulation order.)
+    /// is exact because IEEE-754 addition is commutative. The lane kernel
+    /// ([`crate::gemm::layer_forward_t`]) is deliberately independent of the
+    /// process-wide [`crate::gemm::GemmMode`], so batched inference stays
+    /// bit-identical to [`Mlp::forward`] even when training runs tiled.
     ///
     /// The speed over per-example forwards comes from keeping activations
     /// *transposed* (feature-major, one column per batch row): the same
@@ -440,60 +442,6 @@ impl Mlp {
         for (layer, (dw, db)) in self.layers.iter_mut().zip(grads) {
             f(layer.w.as_mut_slice(), dw.as_slice());
             f(&mut layer.b, db);
-        }
-    }
-}
-
-/// One dense layer over transposed activations: `x_t` is (in × N), `out_t`
-/// becomes (out × N), both feature-major.
-///
-/// For each output unit `j`, the kernel runs a register block of 8 batch
-/// lanes: 8 accumulators, each summing its own lane's products strictly in
-/// `k` order — the independent lanes vectorize while every lane's sum keeps
-/// the exact accumulation order of [`Mlp::forward`]. Bias is added once per
-/// element after the full dot, then ReLU, matching the per-example path.
-fn layer_forward_t(w: &Matrix, bias: &[f64], relu: bool, x_t: &Matrix, out_t: &mut Matrix) {
-    let n = x_t.cols();
-    debug_assert_eq!(x_t.rows(), w.cols());
-    out_t.reshape(w.rows(), n);
-    // Lane-block widths: enough independent 8-wide vector chains to hide FMA
-    // latency on wide SIMD hosts, with narrower blocks mopping up.
-    macro_rules! lane_block {
-        ($width:literal, $i:ident, $wrow:ident, $xflat:ident, $orow:ident, $b:ident) => {
-            while $i + $width <= n {
-                let mut acc = [0.0f64; $width];
-                for (&wk, xrow) in $wrow.iter().zip($xflat.chunks_exact(n)) {
-                    let lanes = &xrow[$i..$i + $width];
-                    for (a, &x) in acc.iter_mut().zip(lanes) {
-                        *a += x * wk;
-                    }
-                }
-                for (o, a) in $orow[$i..$i + $width].iter_mut().zip(acc) {
-                    let v = a + $b;
-                    *o = if relu && v < 0.0 { 0.0 } else { v };
-                }
-                $i += $width;
-            }
-        };
-    }
-    debug_assert_eq!(bias.len(), w.rows());
-    let xflat = x_t.as_slice();
-    for (j, &b) in bias.iter().enumerate() {
-        let wrow = w.row(j);
-        let orow = out_t.row_mut(j);
-        let mut i = 0;
-        lane_block!(32, i, wrow, xflat, orow, b);
-        lane_block!(16, i, wrow, xflat, orow, b);
-        lane_block!(8, i, wrow, xflat, orow, b);
-        lane_block!(4, i, wrow, xflat, orow, b);
-        while i < n {
-            let mut s = 0.0;
-            for (&wk, xrow) in wrow.iter().zip(xflat.chunks_exact(n)) {
-                s += xrow[i] * wk;
-            }
-            let v = s + b;
-            orow[i] = if relu && v < 0.0 { 0.0 } else { v };
-            i += 1;
         }
     }
 }

@@ -37,11 +37,16 @@ impl Adam {
     /// order** across steps.
     pub fn step(&mut self) -> AdamStep<'_> {
         self.t += 1;
-        let t = self.t;
+        // Bias corrections depend only on the step clock: compute them once
+        // per step, not once per update call (bit-identical — the divisions
+        // below still happen per parameter).
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         AdamStep {
             adam: self,
             idx: 0,
-            t,
+            bc1,
+            bc2,
         }
     }
 
@@ -56,7 +61,8 @@ impl Adam {
 pub struct AdamStep<'a> {
     adam: &'a mut Adam,
     idx: usize,
-    t: u64,
+    bc1: f64,
+    bc2: f64,
 }
 
 impl AdamStep<'_> {
@@ -75,8 +81,8 @@ impl AdamStep<'_> {
         );
         a.m[i] = a.beta1 * a.m[i] + (1.0 - a.beta1) * grad;
         a.v[i] = a.beta2 * a.v[i] + (1.0 - a.beta2) * grad * grad;
-        let m_hat = a.m[i] / (1.0 - a.beta1.powi(self.t as i32));
-        let v_hat = a.v[i] / (1.0 - a.beta2.powi(self.t as i32));
+        let m_hat = a.m[i] / self.bc1;
+        let v_hat = a.v[i] / self.bc2;
         *param -= a.lr * m_hat / (v_hat.sqrt() + a.eps);
         self.idx += 1;
     }
@@ -98,8 +104,7 @@ impl AdamStep<'_> {
             start + params.len() <= a.m.len(),
             "more parameters than the optimizer was sized for"
         );
-        let bc1 = 1.0 - a.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - a.beta2.powi(self.t as i32);
+        let (bc1, bc2) = (self.bc1, self.bc2);
         let m = &mut a.m[start..start + params.len()];
         let v = &mut a.v[start..start + params.len()];
         for (((param, &grad), mi), vi) in params.iter_mut().zip(grads).zip(m).zip(v) {

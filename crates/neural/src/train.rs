@@ -152,6 +152,11 @@ pub struct TrainReport {
 
 /// Trains `net` on `data` with minibatch Adam under the MSE objective
 /// (Eq. 3 of the paper) and returns a report.
+///
+/// With `epochs == 0` no optimization step is taken and the report is still
+/// well-defined: `final_train_loss` is the network's *current* MSE over
+/// `data` (one dropout-free evaluation pass via [`mse`]), never the
+/// `INFINITY` sentinel the loss accumulator starts from.
 pub fn train<R: Rng + ?Sized>(
     net: &mut Mlp,
     data: &Dataset,
@@ -159,6 +164,13 @@ pub fn train<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> TrainReport {
     assert!(!data.is_empty(), "empty training set");
+    if config.epochs == 0 {
+        return TrainReport {
+            final_train_loss: mse(net, data),
+            examples: data.len(),
+            epochs: 0,
+        };
+    }
     let mut adam = Adam::new(net.param_count(), config.learning_rate);
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut last_loss = f64::INFINITY;
@@ -309,6 +321,32 @@ mod tests {
         assert!(z.iter().all(|v| v.abs() < 1e-9));
         let z2 = norm.apply(&[2.0, 30.0]);
         assert!((z2[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_epochs_reports_current_mse_and_trains_nothing() {
+        let mut r = rng();
+        let data = Dataset::from_rows((0..16).map(|i| (vec![i as f64 / 16.0], vec![1.0])));
+        let mut net = Mlp::new(&[1, 8, 1], 0.1, &mut r);
+        let params_before = net.flatten_params();
+        let report = train(
+            &mut net,
+            &data,
+            &TrainConfig {
+                epochs: 0,
+                ..Default::default()
+            },
+            &mut r,
+        );
+        assert_eq!(report.epochs, 0);
+        assert_eq!(report.examples, 16);
+        assert!(
+            report.final_train_loss.is_finite(),
+            "zero-epoch loss must be well-defined, got {}",
+            report.final_train_loss
+        );
+        assert_eq!(report.final_train_loss, mse(&net, &data));
+        assert_eq!(net.flatten_params(), params_before, "no step may be taken");
     }
 
     #[test]

@@ -28,6 +28,11 @@ const SHAPES: &[(&str, usize, usize, usize)] = &[
     ("b32_64x64", 32, 64, 64),
     ("b32_64x1", 32, 1, 64),
     ("b16_100x100", 16, 100, 100),
+    // The paper net's first (5→100) and last (50→1) layers at batch 16:
+    // tiny reduction and single-column output, the shapes dominated by the
+    // remainder bands rather than the 4×8 tile interior.
+    ("b16_100x5", 16, 100, 5),
+    ("b16_1x50", 16, 1, 50),
 ];
 
 fn bench_nt(c: &mut Criterion) {

@@ -184,14 +184,16 @@ pub fn train_oracle_on(data: &Dataset) -> Option<TrainedOracle> {
         return None;
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x0011_ACED);
-    let (train_set, val_set) = data.split(0.6, &mut rng);
-    let normalizer = Normalizer::fit(&train_set);
-    let normalize = |set: &Dataset| Dataset {
-        inputs: set.inputs.iter().map(|x| normalizer.apply(x)).collect(),
-        targets: set.targets.clone(),
-    };
-    let train_n = normalize(&train_set);
-    let val_n = normalize(&val_set);
+    // One clone total: split_owned moves the cloned rows into the two sets,
+    // and normalization rewrites each input row in place (same bits as
+    // Normalizer::apply).
+    let (mut train_n, mut val_n) = data.clone().split_owned(0.6, &mut rng);
+    let normalizer = Normalizer::fit(&train_n);
+    for set in [&mut train_n, &mut val_n] {
+        for x in &mut set.inputs {
+            normalizer.apply_in_place(x);
+        }
+    }
 
     let mut net = Mlp::paper_architecture(train_n.inputs[0].len(), &mut rng);
     train(

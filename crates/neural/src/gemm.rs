@@ -26,20 +26,28 @@
 //!   its contributions strictly in ascending reduction-index order from a
 //!   `+0.0` start. This is the bit-level ground truth the other kernels
 //!   are pinned against (and what `AV_GEMM_MODE=naive` routes through).
-//! - **blocked** (default) — register-blocked 4×4 micro-kernels: a 4×4
-//!   tile of outputs is held in 16 register accumulators while the
-//!   reduction loop streams over both operands once. Every accumulator
-//!   still sums *its* contributions strictly in ascending index order, so
-//!   the speedup comes purely from instruction-level parallelism (16
-//!   independent FP-add chains hide the ~4-cycle add latency) and from
-//!   loading each operand element once per 4 outputs instead of once per
-//!   output — **bit-identical** to naive on every non-NaN output (finite
-//!   values, signed zeros, and infinities), with NaNs appearing in exactly
-//!   the same places for non-finite inputs. NaN *payloads* are the one
-//!   thing left unpinned: IEEE-754 leaves payload propagation
+//! - **blocked** (default) — register-blocked micro-kernels built from one
+//!   const-generic `R×C` tile (up to 4×4): an `R×C` block of outputs is
+//!   held in `R·C` register accumulators while the reduction loop streams
+//!   over both operands once. Every accumulator still sums *its*
+//!   contributions strictly in ascending index order, so the speedup comes
+//!   purely from instruction-level parallelism (up to 16 independent
+//!   FP-add chains hide the ~4-cycle add latency) and from loading each
+//!   operand element once per tile edge instead of once per output —
+//!   **bit-identical** to naive on every non-NaN output (finite values,
+//!   signed zeros, and infinities), with NaNs appearing in exactly the
+//!   same places for non-finite inputs. NaN *payloads* are the one thing
+//!   left unpinned: IEEE-754 leaves payload propagation
 //!   implementation-defined and LLVM may commute add/mul operands, so two
 //!   codegens of the same chain can surface different payload bits.
-//!   (Pinned by unit tests and `tests/gemm_props.rs`.)
+//!   Remainder rows/columns (shapes that are not multiples of 4 — which
+//!   the paper's 5/100/50/1 layer sizes hit on every layer) run as
+//!   narrower `R×C` tiles of the *same* generic micro-kernel, so even the
+//!   edge outputs keep several independent chains in flight instead of
+//!   finishing one dot product at a time. The `nt` family additionally
+//!   transposes `B` into a thread-local scratch on large shapes so the
+//!   inner loop vectorizes. (Pinned by unit tests and
+//!   `tests/gemm_props.rs`.)
 //! - **tiled** — the `TiledGemm` configuration ([`GemmMode::Tiled`]):
 //!   additionally blocks the reduction dimension into [`K_PANEL`]-wide
 //!   cache panels so each operand panel stays L1-resident across the whole
@@ -51,6 +59,22 @@
 //!   pattern, `av-experiments` keys tiled-mode artifacts separately; the
 //!   default mode is untiled exactly so that golden fixtures and cache
 //!   keys stay valid.
+//!
+//! # Fused epilogues
+//!
+//! The training pipeline historically ran the per-layer bias add, ReLU,
+//! inverted-dropout mask apply, and the output layer's MSE diff as
+//! separate full-matrix passes after each GEMM. Those are pure
+//! *per-element* transforms of a completed output, so they can run inside
+//! the kernel's store path — after an output element's strict-order
+//! accumulator chain completes, before the register result is written back
+//! — without reassociating a single FP add. [`nt_fused`] takes an
+//! [`Epilogue`] and applies it exactly there in blocked mode; under the
+//! naive (and tiled) modes it runs the plain kernel followed by a separate
+//! row-major [`epilogue_pass`], which computes the identical per-element
+//! expression — so `AV_GEMM_MODE=naive` stays the end-to-end bit-level
+//! reference for the *fused* pipeline too, and CI's kernel-equivalence
+//! smoke keeps proving the claim without modification.
 //!
 //! # No sparsity shortcut
 //!
@@ -80,7 +104,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// Which GEMM implementation the [`Matrix`] product methods dispatch to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GemmMode {
-    /// Register-blocked 4×4 micro-kernels (the default). Bit-identical to
+    /// Register-blocked micro-kernels (the default). Bit-identical to
     /// [`GemmMode::Naive`] for every input.
     Blocked,
     /// The `TiledGemm` configuration: register blocking plus
@@ -165,6 +189,194 @@ pub fn set_mode(mode: GemmMode) {
 }
 
 // ---------------------------------------------------------------------------
+// Epilogues: per-element transforms fused into the kernel store path.
+// ---------------------------------------------------------------------------
+
+/// A per-element transform applied to output element `(i, j)` *after* its
+/// strict-order accumulator chain completes, as the register result is
+/// stored. Because an epilogue sees only one finished element at a time, a
+/// fused kernel and "plain kernel + separate [`epilogue_pass`]" compute
+/// the identical per-element expression — fusion changes memory traffic,
+/// never bits.
+///
+/// `apply` takes `&mut self` so an epilogue may carry *state* — the fused
+/// training step's optimizer epilogue updates weights and Adam moments as
+/// each gradient element completes. A stateful epilogue is visited exactly
+/// once per output element, but in an implementation-defined *order*
+/// (tile order under the blocked kernels, row-major under
+/// [`epilogue_pass`]); state mutations must therefore be per-element
+/// independent for the fused/unfused equivalence to hold.
+pub trait Epilogue {
+    /// Transforms the completed accumulator `s` of output element `(i, j)`.
+    fn apply(&mut self, i: usize, j: usize, s: f64) -> f64;
+
+    /// Transforms a contiguous run of completed elements in row `i`,
+    /// starting at column `j` — the granularity the kernels actually store
+    /// at (one tile row at a time, the full matrix row under
+    /// [`epilogue_pass`]). The default forwards to [`Epilogue::apply`] per
+    /// element; stateful epilogues whose per-element work is
+    /// division-heavy (the fused optimizer) override it so the run
+    /// vectorizes instead of issuing one scalar divide per element.
+    /// Overrides must stay per-element equivalent to `apply` — the
+    /// fused/unfused equivalence contract is defined element-wise.
+    #[inline(always)]
+    fn apply_row(&mut self, i: usize, j: usize, vals: &mut [f64]) {
+        for (jj, v) in vals.iter_mut().enumerate() {
+            *v = self.apply(i, j + jj, *v);
+        }
+    }
+}
+
+/// The identity epilogue: a plain GEMM store.
+#[derive(Debug, Clone, Copy)]
+pub struct NoEpilogue;
+
+impl Epilogue for NoEpilogue {
+    #[inline(always)]
+    fn apply(&mut self, _i: usize, _j: usize, s: f64) -> f64 {
+        s
+    }
+
+    #[inline(always)]
+    fn apply_row(&mut self, _i: usize, _j: usize, _vals: &mut [f64]) {}
+}
+
+/// The dense-layer epilogue: bias add, then optional ReLU, then optional
+/// inverted-dropout mask apply — the exact per-element op chain the
+/// historical separate full-matrix passes ran, in the same order.
+///
+/// The mask (row-major `m×n`, same shape as the output) holds `1/keep` for
+/// kept units and `0.0` for dropped ones; dropped units are *assigned*
+/// zero (not multiplied), so a NaN activation that dropout silences stays
+/// silenced exactly as the unfused pipeline left it.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerEpilogue<'a> {
+    bias: &'a [f64],
+    relu: bool,
+    mask: Option<&'a [f64]>,
+    n: usize,
+}
+
+impl<'a> LayerEpilogue<'a> {
+    /// Builds the epilogue for an `m×n` layer output: `bias` has length
+    /// `n`; `mask`, when present, is the row-major `m×n` scaled keep-mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != n`.
+    pub fn new(bias: &'a [f64], relu: bool, mask: Option<&'a [f64]>, n: usize) -> Self {
+        assert_eq!(bias.len(), n, "bias length must match output columns");
+        LayerEpilogue {
+            bias,
+            relu,
+            mask,
+            n,
+        }
+    }
+}
+
+impl Epilogue for LayerEpilogue<'_> {
+    #[inline(always)]
+    fn apply(&mut self, i: usize, j: usize, s: f64) -> f64 {
+        let mut v = s + self.bias[j];
+        if self.relu && v < 0.0 {
+            v = 0.0;
+        }
+        if let Some(mask) = self.mask {
+            let m = mask[i * self.n + j];
+            v = if m == 0.0 { 0.0 } else { v * m };
+        }
+        v
+    }
+}
+
+/// The output-layer MSE epilogue: bias add, then subtract the target —
+/// producing `diff = (Σ + b) − y` directly, the quantity the training
+/// loop's loss and delta computations both start from.
+#[derive(Debug, Clone, Copy)]
+pub struct BiasDiffEpilogue<'a> {
+    bias: &'a [f64],
+    targets: &'a [f64],
+    n: usize,
+}
+
+impl<'a> BiasDiffEpilogue<'a> {
+    /// Builds the epilogue for an `m×n` output layer: `bias` has length
+    /// `n`, `targets` is the row-major `m×n` target batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != n`.
+    pub fn new(bias: &'a [f64], targets: &'a [f64], n: usize) -> Self {
+        assert_eq!(bias.len(), n, "bias length must match output columns");
+        BiasDiffEpilogue { bias, targets, n }
+    }
+}
+
+impl Epilogue for BiasDiffEpilogue<'_> {
+    #[inline(always)]
+    fn apply(&mut self, i: usize, j: usize, s: f64) -> f64 {
+        (s + self.bias[j]) - self.targets[i * self.n + j]
+    }
+}
+
+/// Applies `epi` to every element of a fully-accumulated `m×n` output, in
+/// row-major order — the unfused reference the naive and tiled modes use
+/// (per-element, so application order cannot change any result bit).
+pub fn epilogue_pass<E: Epilogue>(c: &mut [f64], m: usize, n: usize, epi: &mut E) {
+    if n == 0 {
+        return;
+    }
+    for (i, crow) in c[..m * n].chunks_exact_mut(n).enumerate() {
+        epi.apply_row(i, 0, crow);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The generic R×C register tile (R, C ≤ 4) all three families build on.
+// ---------------------------------------------------------------------------
+
+/// Writes a finished `R×C` accumulator tile into `c` at `(i, j)`. `store`
+/// overwrites through the epilogue (the single-panel / final-result path);
+/// otherwise panel partial sums accumulate and the epilogue is *not*
+/// applied (multi-panel tiled callers run [`epilogue_pass`] afterwards).
+#[inline(always)]
+fn store_tile<const R: usize, const C: usize, E: Epilogue>(
+    s: &[[f64; C]; R],
+    c: &mut [f64],
+    n: usize,
+    i: usize,
+    j: usize,
+    store: bool,
+    epi: &mut E,
+) {
+    for (ii, srow) in s.iter().enumerate() {
+        let crow = &mut c[(i + ii) * n + j..(i + ii) * n + j + C];
+        if store {
+            crow.copy_from_slice(srow);
+            epi.apply_row(i + ii, j, crow);
+        } else {
+            for (cv, &sv) in crow.iter_mut().zip(srow) {
+                *cv += sv;
+            }
+        }
+    }
+}
+
+/// Dispatches a remainder width (1..=3) to the matching const-width call.
+/// `$tile` is invoked as `$tile!(W)` with the literal width.
+macro_rules! remainder {
+    ($rem:expr, $tile:ident) => {
+        match $rem {
+            1 => $tile!(1),
+            2 => $tile!(2),
+            3 => $tile!(3),
+            _ => {}
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
 // nt: C (m×n) = A (m×k) × B (n×k)ᵀ — reduction over columns of both operands.
 // ---------------------------------------------------------------------------
 
@@ -189,8 +401,8 @@ pub fn nt_naive(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usiz
     }
 }
 
-/// Register-blocked `C = A × Bᵀ`; bit-identical to [`nt_naive`] (each of
-/// the 16 accumulators of a 4×4 output tile is a single strict-`k`-order
+/// Register-blocked `C = A × Bᵀ`; bit-identical to [`nt_naive`] (each
+/// accumulator of an `R×C` output tile is a single strict-`k`-order
 /// chain). Overwrites every element of `c`.
 ///
 /// Large shapes first transpose `B` into a thread-local scratch and run
@@ -201,10 +413,129 @@ pub fn nt_naive(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usiz
 /// operand layout changes, the accumulation chain does not — so the fast
 /// path stays bit-identical.
 pub fn nt_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usize) {
-    if m >= 4 && n >= 4 && k >= 8 {
-        with_transposed(b, n, k, |bt| nn_panel(a, bt, c, m, k, n, 0, k, true));
+    if m >= 4 && n >= 4 && k >= 1 {
+        with_transposed(b, n, k, |bt| {
+            nn_panel(a, bt, c, m, k, n, 0, k, true, &mut NoEpilogue)
+        });
     } else {
-        nt_panel(a, b, c, m, n, k, 0, k, true);
+        nt_panel(a, b, c, m, n, k, 0, k, true, &mut NoEpilogue);
+    }
+}
+
+/// Fused `C = A × Bᵀ` + per-element epilogue — the training-forward entry
+/// point ([`crate::mlp`] routes every layer of the fused pipeline here).
+///
+/// Dispatches on the process-wide [`mode`]: **blocked** applies `epi` in
+/// the micro-kernel store path, after each output element's strict-order
+/// chain completes (no separate pass, no FP reassociation); **naive** and
+/// **tiled** run the plain kernel followed by a row-major
+/// [`epilogue_pass`]. Both routes compute the identical per-element
+/// expression, so blocked stays bit-identical to naive end-to-end and the
+/// CI kernel-equivalence smoke covers the fused pipeline unmodified.
+pub fn nt_fused<E: Epilogue>(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    epi: &mut E,
+) {
+    nt_fused_bt(a, b, None, c, m, n, k, epi);
+}
+
+/// [`nt_fused`] with an optional caller-provided transposed copy of `B`
+/// (`bt`, `k×n` row-major, bit-equal to `Bᵀ`). In blocked mode the kernel
+/// runs directly over `bt`, skipping the per-call transpose into the
+/// thread-local scratch — this is how the fused training step reuses the
+/// persistent `Wᵀ` shadow its optimizer epilogue maintains. The naive and
+/// tiled modes ignore `bt` and read `b`, so the mode-equivalence contract
+/// is unchanged provided `bt` matches `Bᵀ` bit-for-bit (per-element
+/// operand *values* are what the accumulation order is defined over, not
+/// which buffer they stream from).
+#[allow(clippy::too_many_arguments)]
+pub fn nt_fused_bt<E: Epilogue>(
+    a: &[f64],
+    b: &[f64],
+    bt: Option<&[f64]>,
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    epi: &mut E,
+) {
+    match mode() {
+        GemmMode::Blocked => match bt {
+            Some(bt) => {
+                debug_assert_eq!(bt.len(), n * k);
+                nn_panel(a, bt, c, m, k, n, 0, k, true, epi);
+            }
+            None if m >= 4 && n >= 4 && k >= 1 => {
+                with_transposed(b, n, k, |bt| nn_panel(a, bt, c, m, k, n, 0, k, true, epi));
+            }
+            None => nt_panel(a, b, c, m, n, k, 0, k, true, epi),
+        },
+        GemmMode::Tiled => {
+            nt_tiled(a, b, c, m, n, k, K_PANEL);
+            epilogue_pass(c, m, n, epi);
+        }
+        GemmMode::Naive => {
+            nt_naive(a, b, c, m, n, k);
+            epilogue_pass(c, m, n, epi);
+        }
+    }
+}
+
+/// Fused `C = Aᵀ × B` + per-element epilogue — the weight-gradient entry
+/// point of the fused training step (the optimizer epilogue rides here:
+/// each completed `dW` element's Adam divisions issue while the next
+/// tile's multiply/add stream keeps the FP ports busy). Mode dispatch
+/// mirrors [`nt_fused`]: blocked applies `epi` in the store path, naive
+/// and tiled run the plain kernel plus a row-major [`epilogue_pass`].
+pub fn tn_fused<E: Epilogue>(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    r: usize,
+    m: usize,
+    n: usize,
+    epi: &mut E,
+) {
+    match mode() {
+        GemmMode::Blocked => tn_panel(a, b, c, m, n, 0, r, true, epi),
+        GemmMode::Tiled => {
+            tn_tiled(a, b, c, r, m, n, K_PANEL);
+            epilogue_pass(c, m, n, epi);
+        }
+        GemmMode::Naive => {
+            tn_naive(a, b, c, r, m, n);
+            epilogue_pass(c, m, n, epi);
+        }
+    }
+}
+
+/// Fused `C = A × B` + per-element epilogue — the backpropagated-delta
+/// entry point of the fused training step (the ReLU/dropout backward pass
+/// rides here). Mode dispatch mirrors [`nt_fused`].
+pub fn nn_fused<E: Epilogue>(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    epi: &mut E,
+) {
+    match mode() {
+        GemmMode::Blocked => nn_panel(a, b, c, m, k, n, 0, k, true, epi),
+        GemmMode::Tiled => {
+            nn_tiled(a, b, c, m, k, n, K_PANEL);
+            epilogue_pass(c, m, n, epi);
+        }
+        GemmMode::Naive => {
+            nn_naive(a, b, c, m, k, n);
+            epilogue_pass(c, m, n, epi);
+        }
     }
 }
 
@@ -219,12 +550,12 @@ pub fn nt_tiled(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usiz
         c[..m * n].fill(0.0);
         return;
     }
-    if m >= 4 && n >= 4 && k >= 8 {
+    if m >= 4 && n >= 4 {
         with_transposed(b, n, k, |bt| {
             let mut k0 = 0;
             while k0 < k {
                 let kw = (k - k0).min(k_panel);
-                nn_panel(a, bt, c, m, k, n, k0, kw, k0 == 0);
+                nn_panel(a, bt, c, m, k, n, k0, kw, k0 == 0, &mut NoEpilogue);
                 k0 += kw;
             }
         });
@@ -233,7 +564,7 @@ pub fn nt_tiled(a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, k: usiz
     let mut k0 = 0;
     while k0 < k {
         let kw = (k - k0).min(k_panel);
-        nt_panel(a, b, c, m, n, k, k0, kw, k0 == 0);
+        nt_panel(a, b, c, m, n, k, k0, kw, k0 == 0, &mut NoEpilogue);
         k0 += kw;
     }
 }
@@ -255,20 +586,103 @@ fn with_transposed(b: &[f64], rows: usize, cols: usize, f: impl FnOnce(&[f64])) 
             buf.resize(rows * cols, 0.0);
         }
         let bt = &mut buf[..rows * cols];
-        for (j, brow) in b.chunks_exact(cols).enumerate() {
-            for (t, &v) in brow.iter().enumerate() {
-                bt[t * rows + j] = v;
+        // Cache-blocked transpose: 32×32 element blocks keep both the
+        // strided reads and the contiguous writes L1-resident (a naive
+        // row-by-row scatter costs as much as the GEMM it feeds on the
+        // paper's 100×100 layers).
+        const TB: usize = 32;
+        let mut t0 = 0;
+        while t0 < cols {
+            let te = (t0 + TB).min(cols);
+            let mut j0 = 0;
+            while j0 < rows {
+                let je = (j0 + TB).min(rows);
+                for t in t0..te {
+                    let btrow = &mut bt[t * rows + j0..t * rows + je];
+                    for (dst, src) in btrow.iter_mut().zip(j0..je) {
+                        *dst = b[src * cols + t];
+                    }
+                }
+                j0 = je;
             }
+            t0 = te;
         }
         f(bt);
     });
 }
 
-/// One reduction panel of the blocked `nt` kernel: columns `k0..k0+kw` of
-/// both operands. `store` overwrites `c` (first panel), otherwise panel
-/// sums accumulate into it.
+/// One `R×C` tile of the `nt` kernel: both operand tiles are row-major
+/// with `k`-contiguous rows, so the reduction streams `R + C` rows in
+/// lockstep. Each of the `R·C` accumulators is one strict-`t`-order chain.
 #[allow(clippy::too_many_arguments)] // private micro-kernel; the dims are the signature
-fn nt_panel(
+#[inline(always)]
+fn nt_tile<const R: usize, const C: usize, E: Epilogue>(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    n: usize,
+    k: usize,
+    i: usize,
+    j: usize,
+    k0: usize,
+    kw: usize,
+    store: bool,
+    epi: &mut E,
+) {
+    let ar: [&[f64]; R] = std::array::from_fn(|rr| &a[(i + rr) * k + k0..(i + rr) * k + k0 + kw]);
+    let br: [&[f64]; C] = std::array::from_fn(|cc| &b[(j + cc) * k + k0..(j + cc) * k + k0 + kw]);
+    let mut s = [[0.0f64; C]; R];
+    for t in 0..kw {
+        let y: [f64; C] = std::array::from_fn(|cc| br[cc][t]);
+        for (srow, arow) in s.iter_mut().zip(&ar) {
+            let x = arow[t];
+            for (sv, &yv) in srow.iter_mut().zip(&y) {
+                *sv += x * yv;
+            }
+        }
+    }
+    store_tile(&s, c, n, i, j, store, epi);
+}
+
+/// One `R`-row band of the `nt` kernel: full-width 4-column tiles, then
+/// one narrower remainder tile covering the trailing `n % 4` outputs
+/// together (independent chains — never one dot product at a time).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn nt_band<const R: usize, E: Epilogue>(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    n: usize,
+    k: usize,
+    i: usize,
+    k0: usize,
+    kw: usize,
+    store: bool,
+    epi: &mut E,
+) {
+    let mut j = 0;
+    while j + 8 <= n {
+        nt_tile::<R, 8, E>(a, b, c, n, k, i, j, k0, kw, store, epi);
+        j += 8;
+    }
+    if j + 4 <= n {
+        nt_tile::<R, 4, E>(a, b, c, n, k, i, j, k0, kw, store, epi);
+        j += 4;
+    }
+    macro_rules! tail {
+        ($w:literal) => {
+            nt_tile::<R, $w, E>(a, b, c, n, k, i, j, k0, kw, store, epi)
+        };
+    }
+    remainder!(n - j, tail);
+}
+
+/// One reduction panel of the blocked `nt` kernel: columns `k0..k0+kw` of
+/// both operands. `store` overwrites `c` through the epilogue (first and
+/// only panel of the fused path), otherwise panel sums accumulate into it.
+#[allow(clippy::too_many_arguments)]
+fn nt_panel<E: Epilogue>(
     a: &[f64],
     b: &[f64],
     c: &mut [f64],
@@ -278,103 +692,19 @@ fn nt_panel(
     k0: usize,
     kw: usize,
     store: bool,
+    epi: &mut E,
 ) {
     let mut i = 0;
     while i + 4 <= m {
-        let a0 = &a[i * k + k0..i * k + k0 + kw];
-        let a1 = &a[(i + 1) * k + k0..(i + 1) * k + k0 + kw];
-        let a2 = &a[(i + 2) * k + k0..(i + 2) * k + k0 + kw];
-        let a3 = &a[(i + 3) * k + k0..(i + 3) * k + k0 + kw];
-        let mut j = 0;
-        while j + 4 <= n {
-            let b0 = &b[j * k + k0..j * k + k0 + kw];
-            let b1 = &b[(j + 1) * k + k0..(j + 1) * k + k0 + kw];
-            let b2 = &b[(j + 2) * k + k0..(j + 2) * k + k0 + kw];
-            let b3 = &b[(j + 3) * k + k0..(j + 3) * k + k0 + kw];
-            let mut s = [[0.0f64; 4]; 4];
-            for t in 0..kw {
-                let x = [a0[t], a1[t], a2[t], a3[t]];
-                let y = [b0[t], b1[t], b2[t], b3[t]];
-                for (si, &xi) in s.iter_mut().zip(&x) {
-                    for (sij, &yj) in si.iter_mut().zip(&y) {
-                        *sij += xi * yj;
-                    }
-                }
-            }
-            for (ii, si) in s.iter().enumerate() {
-                let crow = &mut c[(i + ii) * n + j..(i + ii) * n + j + 4];
-                if store {
-                    crow.copy_from_slice(si);
-                } else {
-                    for (cv, &sv) in crow.iter_mut().zip(si) {
-                        *cv += sv;
-                    }
-                }
-            }
-            j += 4;
-        }
-        while j < n {
-            let bj = &b[j * k + k0..j * k + k0 + kw];
-            let mut s = [0.0f64; 4];
-            for (t, &y) in bj.iter().enumerate() {
-                s[0] += a0[t] * y;
-                s[1] += a1[t] * y;
-                s[2] += a2[t] * y;
-                s[3] += a3[t] * y;
-            }
-            for (ii, &sv) in s.iter().enumerate() {
-                let cv = &mut c[(i + ii) * n + j];
-                if store {
-                    *cv = sv;
-                } else {
-                    *cv += sv;
-                }
-            }
-            j += 1;
-        }
+        nt_band::<4, E>(a, b, c, n, k, i, k0, kw, store, epi);
         i += 4;
     }
-    while i < m {
-        let ai = &a[i * k + k0..i * k + k0 + kw];
-        let mut j = 0;
-        while j + 4 <= n {
-            let b0 = &b[j * k + k0..j * k + k0 + kw];
-            let b1 = &b[(j + 1) * k + k0..(j + 1) * k + k0 + kw];
-            let b2 = &b[(j + 2) * k + k0..(j + 2) * k + k0 + kw];
-            let b3 = &b[(j + 3) * k + k0..(j + 3) * k + k0 + kw];
-            let mut s = [0.0f64; 4];
-            for (t, &x) in ai.iter().enumerate() {
-                s[0] += x * b0[t];
-                s[1] += x * b1[t];
-                s[2] += x * b2[t];
-                s[3] += x * b3[t];
-            }
-            let crow = &mut c[i * n + j..i * n + j + 4];
-            if store {
-                crow.copy_from_slice(&s);
-            } else {
-                for (cv, &sv) in crow.iter_mut().zip(&s) {
-                    *cv += sv;
-                }
-            }
-            j += 4;
-        }
-        while j < n {
-            let bj = &b[j * k + k0..j * k + k0 + kw];
-            let mut s = 0.0;
-            for (x, y) in ai.iter().zip(bj) {
-                s += x * y;
-            }
-            let cv = &mut c[i * n + j];
-            if store {
-                *cv = s;
-            } else {
-                *cv += s;
-            }
-            j += 1;
-        }
-        i += 1;
+    macro_rules! tail {
+        ($r:literal) => {
+            nt_band::<$r, E>(a, b, c, n, k, i, k0, kw, store, epi)
+        };
     }
+    remainder!(m - i, tail);
 }
 
 // ---------------------------------------------------------------------------
@@ -402,11 +732,11 @@ pub fn tn_naive(a: &[f64], b: &[f64], c: &mut [f64], r: usize, m: usize, n: usiz
     }
 }
 
-/// Register-blocked `C = Aᵀ × B`; bit-identical to [`tn_naive`] (each 4×4
-/// output tile holds 16 strict-row-order accumulator chains). Overwrites
-/// every element of `c`.
+/// Register-blocked `C = Aᵀ × B`; bit-identical to [`tn_naive`] (each
+/// `R×C` output tile holds `R·C` strict-row-order accumulator chains).
+/// Overwrites every element of `c`.
 pub fn tn_blocked(a: &[f64], b: &[f64], c: &mut [f64], r: usize, m: usize, n: usize) {
-    tn_panel(a, b, c, r, m, n, 0, r, true);
+    tn_panel(a, b, c, m, n, 0, r, true, &mut NoEpilogue);
 }
 
 /// Cache-tiled `C = Aᵀ × B` with `r_panel`-row reduction panels; reorders
@@ -421,107 +751,98 @@ pub fn tn_tiled(a: &[f64], b: &[f64], c: &mut [f64], r: usize, m: usize, n: usiz
     let mut r0 = 0;
     while r0 < r {
         let rw = (r - r0).min(r_panel);
-        tn_panel(a, b, c, r, m, n, r0, rw, r0 == 0);
+        tn_panel(a, b, c, m, n, r0, rw, r0 == 0, &mut NoEpilogue);
         r0 += rw;
     }
 }
 
-/// One reduction panel of the blocked `tn` kernel: rows `r0..r0+rw`.
-#[allow(clippy::too_many_arguments)] // private micro-kernel; the dims are the signature
-fn tn_panel(
+/// One `R×C` tile of the `tn` kernel: the reduction walks rows of both
+/// operands (strides `m` and `n`), loading `R + C` contiguous elements per
+/// step.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn tn_tile<const R: usize, const C: usize, E: Epilogue>(
     a: &[f64],
     b: &[f64],
     c: &mut [f64],
-    _r: usize,
+    m: usize,
+    n: usize,
+    i: usize,
+    j: usize,
+    r0: usize,
+    rw: usize,
+    store: bool,
+    epi: &mut E,
+) {
+    let mut s = [[0.0f64; C]; R];
+    for t in r0..r0 + rw {
+        let arow = &a[t * m + i..t * m + i + R];
+        let brow = &b[t * n + j..t * n + j + C];
+        for (srow, &x) in s.iter_mut().zip(arow) {
+            for (sv, &y) in srow.iter_mut().zip(brow) {
+                *sv += x * y;
+            }
+        }
+    }
+    store_tile(&s, c, n, i, j, store, epi);
+}
+
+/// One `R`-row band of the `tn` kernel (see [`nt_band`]).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn tn_band<const R: usize, E: Epilogue>(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    i: usize,
+    r0: usize,
+    rw: usize,
+    store: bool,
+    epi: &mut E,
+) {
+    let mut j = 0;
+    while j + 8 <= n {
+        tn_tile::<R, 8, E>(a, b, c, m, n, i, j, r0, rw, store, epi);
+        j += 8;
+    }
+    if j + 4 <= n {
+        tn_tile::<R, 4, E>(a, b, c, m, n, i, j, r0, rw, store, epi);
+        j += 4;
+    }
+    macro_rules! tail {
+        ($w:literal) => {
+            tn_tile::<R, $w, E>(a, b, c, m, n, i, j, r0, rw, store, epi)
+        };
+    }
+    remainder!(n - j, tail);
+}
+
+/// One reduction panel of the blocked `tn` kernel: rows `r0..r0+rw`.
+#[allow(clippy::too_many_arguments)]
+fn tn_panel<E: Epilogue>(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
     m: usize,
     n: usize,
     r0: usize,
     rw: usize,
     store: bool,
+    epi: &mut E,
 ) {
     let mut i = 0;
     while i + 4 <= m {
-        let mut j = 0;
-        while j + 4 <= n {
-            let mut s = [[0.0f64; 4]; 4];
-            for t in r0..r0 + rw {
-                let arow = &a[t * m + i..t * m + i + 4];
-                let brow = &b[t * n + j..t * n + j + 4];
-                for (si, &xi) in s.iter_mut().zip(arow) {
-                    for (sij, &yj) in si.iter_mut().zip(brow) {
-                        *sij += xi * yj;
-                    }
-                }
-            }
-            for (ii, si) in s.iter().enumerate() {
-                let crow = &mut c[(i + ii) * n + j..(i + ii) * n + j + 4];
-                if store {
-                    crow.copy_from_slice(si);
-                } else {
-                    for (cv, &sv) in crow.iter_mut().zip(si) {
-                        *cv += sv;
-                    }
-                }
-            }
-            j += 4;
-        }
-        while j < n {
-            let mut s = [0.0f64; 4];
-            for t in r0..r0 + rw {
-                let arow = &a[t * m + i..t * m + i + 4];
-                let y = b[t * n + j];
-                for (sv, &xi) in s.iter_mut().zip(arow) {
-                    *sv += xi * y;
-                }
-            }
-            for (ii, &sv) in s.iter().enumerate() {
-                let cv = &mut c[(i + ii) * n + j];
-                if store {
-                    *cv = sv;
-                } else {
-                    *cv += sv;
-                }
-            }
-            j += 1;
-        }
+        tn_band::<4, E>(a, b, c, m, n, i, r0, rw, store, epi);
         i += 4;
     }
-    while i < m {
-        let mut j = 0;
-        while j + 4 <= n {
-            let mut s = [0.0f64; 4];
-            for t in r0..r0 + rw {
-                let x = a[t * m + i];
-                let brow = &b[t * n + j..t * n + j + 4];
-                for (sv, &yj) in s.iter_mut().zip(brow) {
-                    *sv += x * yj;
-                }
-            }
-            let crow = &mut c[i * n + j..i * n + j + 4];
-            if store {
-                crow.copy_from_slice(&s);
-            } else {
-                for (cv, &sv) in crow.iter_mut().zip(&s) {
-                    *cv += sv;
-                }
-            }
-            j += 4;
-        }
-        while j < n {
-            let mut s = 0.0;
-            for t in r0..r0 + rw {
-                s += a[t * m + i] * b[t * n + j];
-            }
-            let cv = &mut c[i * n + j];
-            if store {
-                *cv = s;
-            } else {
-                *cv += s;
-            }
-            j += 1;
-        }
-        i += 1;
+    macro_rules! tail {
+        ($r:literal) => {
+            tn_band::<$r, E>(a, b, c, m, n, i, r0, rw, store, epi)
+        };
     }
+    remainder!(m - i, tail);
 }
 
 // ---------------------------------------------------------------------------
@@ -548,11 +869,11 @@ pub fn nn_naive(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usiz
     }
 }
 
-/// Register-blocked `C = A × B`; bit-identical to [`nn_naive`] (each 4×4
-/// output tile holds 16 strict-`k`-order accumulator chains). Overwrites
-/// every element of `c`.
+/// Register-blocked `C = A × B`; bit-identical to [`nn_naive`] (each `R×C`
+/// output tile holds `R·C` strict-`k`-order accumulator chains).
+/// Overwrites every element of `c`.
 pub fn nn_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
-    nn_panel(a, b, c, m, k, n, 0, k, true);
+    nn_panel(a, b, c, m, k, n, 0, k, true, &mut NoEpilogue);
 }
 
 /// Cache-tiled `C = A × B` with `k_panel`-wide reduction panels; reorders
@@ -567,15 +888,79 @@ pub fn nn_tiled(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usiz
     let mut k0 = 0;
     while k0 < k {
         let kw = (k - k0).min(k_panel);
-        nn_panel(a, b, c, m, k, n, k0, kw, k0 == 0);
+        nn_panel(a, b, c, m, k, n, k0, kw, k0 == 0, &mut NoEpilogue);
         k0 += kw;
     }
 }
 
+/// One `R×C` tile of the `nn` kernel: `A` rows are `k`-contiguous, `B`
+/// contributes `C` contiguous elements per reduction step.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn nn_tile<const R: usize, const C: usize, E: Epilogue>(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    k: usize,
+    n: usize,
+    i: usize,
+    j: usize,
+    k0: usize,
+    kw: usize,
+    store: bool,
+    epi: &mut E,
+) {
+    let ar: [&[f64]; R] = std::array::from_fn(|rr| &a[(i + rr) * k + k0..(i + rr) * k + k0 + kw]);
+    let mut s = [[0.0f64; C]; R];
+    for t in 0..kw {
+        let brow = &b[(k0 + t) * n + j..(k0 + t) * n + j + C];
+        for (srow, arow) in s.iter_mut().zip(&ar) {
+            let x = arow[t];
+            for (sv, &y) in srow.iter_mut().zip(brow) {
+                *sv += x * y;
+            }
+        }
+    }
+    store_tile(&s, c, n, i, j, store, epi);
+}
+
+/// One `R`-row band of the `nn` kernel (see [`nt_band`]).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn nn_band<const R: usize, E: Epilogue>(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    k: usize,
+    n: usize,
+    i: usize,
+    k0: usize,
+    kw: usize,
+    store: bool,
+    epi: &mut E,
+) {
+    let mut j = 0;
+    while j + 8 <= n {
+        nn_tile::<R, 8, E>(a, b, c, k, n, i, j, k0, kw, store, epi);
+        j += 8;
+    }
+    if j + 4 <= n {
+        nn_tile::<R, 4, E>(a, b, c, k, n, i, j, k0, kw, store, epi);
+        j += 4;
+    }
+    macro_rules! tail {
+        ($w:literal) => {
+            nn_tile::<R, $w, E>(a, b, c, k, n, i, j, k0, kw, store, epi)
+        };
+    }
+    remainder!(n - j, tail);
+}
+
 /// One reduction panel of the blocked `nn` kernel: inner indices
-/// `k0..k0+kw`.
-#[allow(clippy::too_many_arguments)] // private micro-kernel; the dims are the signature
-fn nn_panel(
+/// `k0..k0+kw`. This panel also backs the `nt` fast path (over a
+/// transposed `B`) and therefore the fused forward-layer store.
+#[allow(clippy::too_many_arguments)]
+fn nn_panel<E: Epilogue>(
     a: &[f64],
     b: &[f64],
     c: &mut [f64],
@@ -585,94 +970,19 @@ fn nn_panel(
     k0: usize,
     kw: usize,
     store: bool,
+    epi: &mut E,
 ) {
     let mut i = 0;
     while i + 4 <= m {
-        let a0 = &a[i * k + k0..i * k + k0 + kw];
-        let a1 = &a[(i + 1) * k + k0..(i + 1) * k + k0 + kw];
-        let a2 = &a[(i + 2) * k + k0..(i + 2) * k + k0 + kw];
-        let a3 = &a[(i + 3) * k + k0..(i + 3) * k + k0 + kw];
-        let mut j = 0;
-        while j + 4 <= n {
-            let mut s = [[0.0f64; 4]; 4];
-            for t in 0..kw {
-                let x = [a0[t], a1[t], a2[t], a3[t]];
-                let brow = &b[(k0 + t) * n + j..(k0 + t) * n + j + 4];
-                for (si, &xi) in s.iter_mut().zip(&x) {
-                    for (sij, &yj) in si.iter_mut().zip(brow) {
-                        *sij += xi * yj;
-                    }
-                }
-            }
-            for (ii, si) in s.iter().enumerate() {
-                let crow = &mut c[(i + ii) * n + j..(i + ii) * n + j + 4];
-                if store {
-                    crow.copy_from_slice(si);
-                } else {
-                    for (cv, &sv) in crow.iter_mut().zip(si) {
-                        *cv += sv;
-                    }
-                }
-            }
-            j += 4;
-        }
-        while j < n {
-            let mut s = [0.0f64; 4];
-            for t in 0..kw {
-                let y = b[(k0 + t) * n + j];
-                s[0] += a0[t] * y;
-                s[1] += a1[t] * y;
-                s[2] += a2[t] * y;
-                s[3] += a3[t] * y;
-            }
-            for (ii, &sv) in s.iter().enumerate() {
-                let cv = &mut c[(i + ii) * n + j];
-                if store {
-                    *cv = sv;
-                } else {
-                    *cv += sv;
-                }
-            }
-            j += 1;
-        }
+        nn_band::<4, E>(a, b, c, k, n, i, k0, kw, store, epi);
         i += 4;
     }
-    while i < m {
-        let ai = &a[i * k + k0..i * k + k0 + kw];
-        let mut j = 0;
-        while j + 4 <= n {
-            let mut s = [0.0f64; 4];
-            for (t, &x) in ai.iter().enumerate() {
-                let brow = &b[(k0 + t) * n + j..(k0 + t) * n + j + 4];
-                for (sv, &yj) in s.iter_mut().zip(brow) {
-                    *sv += x * yj;
-                }
-            }
-            let crow = &mut c[i * n + j..i * n + j + 4];
-            if store {
-                crow.copy_from_slice(&s);
-            } else {
-                for (cv, &sv) in crow.iter_mut().zip(&s) {
-                    *cv += sv;
-                }
-            }
-            j += 4;
-        }
-        while j < n {
-            let mut s = 0.0;
-            for (t, &x) in ai.iter().enumerate() {
-                s += x * b[(k0 + t) * n + j];
-            }
-            let cv = &mut c[i * n + j];
-            if store {
-                *cv = s;
-            } else {
-                *cv += s;
-            }
-            j += 1;
-        }
-        i += 1;
+    macro_rules! tail {
+        ($r:literal) => {
+            nn_band::<$r, E>(a, b, c, k, n, i, k0, kw, store, epi)
+        };
     }
+    remainder!(m - i, tail);
 }
 
 // ---------------------------------------------------------------------------
@@ -715,7 +1025,9 @@ pub(crate) fn nn(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usi
 /// products strictly in `k` order — the independent lanes vectorize while
 /// every lane's sum keeps the exact accumulation order of `Mlp::forward`.
 /// Bias is added once per element after the full dot, then ReLU, matching
-/// the per-example path.
+/// the per-example path. Remainder lanes step down through 16/8/4/2-wide
+/// blocks before the final scalar lane, so even ragged batch widths keep
+/// several chains in flight.
 ///
 /// This kernel is deliberately **mode-independent**: every [`GemmMode`]
 /// leaves batched inference bit-identical to the scalar forward pass, so
@@ -754,6 +1066,7 @@ pub fn layer_forward_t(w: &Matrix, bias: &[f64], relu: bool, x_t: &Matrix, out_t
         lane_block!(16, i, wrow, xflat, orow, b);
         lane_block!(8, i, wrow, xflat, orow, b);
         lane_block!(4, i, wrow, xflat, orow, b);
+        lane_block!(2, i, wrow, xflat, orow, b);
         while i < n {
             let mut s = 0.0;
             for (&wk, xrow) in wrow.iter().zip(xflat.chunks_exact(n)) {
@@ -824,6 +1137,35 @@ mod tests {
     }
 
     #[test]
+    fn fused_epilogue_matches_kernel_plus_pass() {
+        // Fused store-path application ≡ plain kernel + separate row-major
+        // pass, bit-for-bit, on shapes exercising every remainder tile.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        for (m, n, k) in shapes() {
+            let a = filled(m * k, &mut rng);
+            let b = filled(n * k, &mut rng);
+            let bias = filled(n, &mut rng);
+            let mask: Vec<f64> = (0..m * n)
+                .map(|_| if rng.random::<f64>() < 0.8 { 1.25 } else { 0.0 })
+                .collect();
+            let mut epi = LayerEpilogue::new(&bias, true, Some(&mask), n);
+            let mut want = vec![9e9; m * n];
+            let mut got = vec![-9e9; m * n];
+            nt_naive(&a, &b, &mut want, m, n, k);
+            epilogue_pass(&mut want, m, n, &mut epi);
+            nt_fused(&a, &b, &mut got, m, n, k, &mut epi);
+            assert_bits(&want, &got, "nt fused layer", m, n, k);
+
+            let targets = filled(m * n, &mut rng);
+            let mut diff_epi = BiasDiffEpilogue::new(&bias, &targets, n);
+            nt_naive(&a, &b, &mut want, m, n, k);
+            epilogue_pass(&mut want, m, n, &mut diff_epi);
+            nt_fused(&a, &b, &mut got, m, n, k, &mut diff_epi);
+            assert_bits(&want, &got, "nt fused bias-diff", m, n, k);
+        }
+    }
+
+    #[test]
     fn tiled_kernels_are_bit_identical_within_one_panel() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let (m, n, k) = (9, 6, 31);
@@ -888,6 +1230,17 @@ mod tests {
         let mut c = vec![7.0; 6];
         nn_tiled(&[], &[], &mut c, 2, 0, 3, K_PANEL);
         assert_eq!(c, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn fused_zero_reduction_still_applies_epilogue() {
+        // k = 0: every accumulator chain is the empty sum (+0.0) and the
+        // epilogue still runs on it — matching naive + pass.
+        let bias = vec![1.0, -2.0, 3.0];
+        let mut epi = LayerEpilogue::new(&bias, true, None, 3);
+        let mut c = vec![7.0; 6];
+        nt_fused(&[], &[], &mut c, 2, 3, 0, &mut epi);
+        assert_eq!(c, vec![1.0, 0.0, 3.0, 1.0, 0.0, 3.0]);
     }
 
     #[test]

@@ -112,6 +112,58 @@ impl Matrix {
         self.data.copy_from_slice(&other.data);
     }
 
+    /// Writes this matrix's transpose into `dst` (reshaped to
+    /// `cols × rows`, backing allocation reused). Values are copied
+    /// bit-for-bit — this is how the training scratch seeds its persistent
+    /// `Wᵀ` shadow. Cache-blocked so the strided reads and contiguous
+    /// writes both stay L1-resident on the paper's 100×100 layers.
+    pub fn transpose_into(&self, dst: &mut Matrix) {
+        dst.reshape(self.cols, self.rows);
+        let (rows, cols) = (self.rows, self.cols);
+        const TB: usize = 32;
+        let mut c0 = 0;
+        while c0 < cols {
+            let ce = (c0 + TB).min(cols);
+            let mut r0 = 0;
+            while r0 < rows {
+                let re = (r0 + TB).min(rows);
+                for c in c0..ce {
+                    let drow = &mut dst.data[c * rows + r0..c * rows + re];
+                    for (dv, r) in drow.iter_mut().zip(r0..re) {
+                        *dv = self.data[r * cols + c];
+                    }
+                }
+                r0 = re;
+            }
+            c0 = ce;
+        }
+    }
+
+    /// Stages the selected rows of a row collection into `self` (reshaped
+    /// to `idx.len() × cols`, backing allocation reused): row `r` of the
+    /// result is `rows[idx[r]]`. This is the minibatch-gather primitive the
+    /// training loop uses — one pass over the index list instead of
+    /// per-row slicing at each call site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds or a selected row's length is
+    /// not `cols`.
+    pub fn gather_rows(&mut self, cols: usize, rows: &[Vec<f64>], idx: &[usize]) {
+        self.reshape(idx.len(), cols);
+        if cols == 0 {
+            for &i in idx {
+                assert_eq!(rows[i].len(), 0, "gathered row {i} has the wrong width");
+            }
+            return;
+        }
+        for (dst, &i) in self.data.chunks_exact_mut(cols).zip(idx) {
+            let src = &rows[i];
+            assert_eq!(src.len(), cols, "gathered row {i} has the wrong width");
+            dst.copy_from_slice(src);
+        }
+    }
+
     /// `self × other`.
     ///
     /// # Panics
@@ -356,6 +408,41 @@ mod tests {
         let src = a();
         m.copy_from(&src);
         assert_eq!(m, src);
+    }
+
+    #[test]
+    fn gather_rows_stages_selected_rows() {
+        let rows = vec![
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 8.0],
+        ];
+        let mut m = Matrix::from_vec(1, 1, vec![9e9]); // stale shape + garbage
+        m.gather_rows(2, &rows, &[3, 1, 1]);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert_eq!(m.row(0), &[7.0, 8.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.row(2), &[3.0, 4.0]);
+
+        m.gather_rows(2, &rows, &[]);
+        assert_eq!((m.rows(), m.cols()), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong width")]
+    fn gather_rows_rejects_ragged_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0]];
+        let mut m = Matrix::zeros(0, 0);
+        m.gather_rows(2, &rows, &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_rows_rejects_out_of_bounds_index() {
+        let rows = vec![vec![1.0, 2.0]];
+        let mut m = Matrix::zeros(0, 0);
+        m.gather_rows(2, &rows, &[1]);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The feed-forward network: dense layers + ReLU + dropout.
 
-use crate::gemm::layer_forward_t;
+use crate::gemm::{self, layer_forward_t, BiasDiffEpilogue, Epilogue, LayerEpilogue};
 use crate::matrix::Matrix;
+use crate::optim::{AdamLane, AdamStep};
 use av_simkit::rng as simrng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -55,6 +56,14 @@ pub struct TrainScratch {
     delta: Matrix,
     delta_prev: Matrix,
     grads: Vec<(Matrix, Vec<f64>)>,
+    /// Persistent transposed-weight shadow: `wt[l]` is `Wₗᵀ` (in × out),
+    /// built on the first [`Mlp::backward_adam_into`] call and kept
+    /// current by its optimizer epilogue (which writes each updated weight
+    /// to both buffers). While non-empty, the fused forward reads it
+    /// directly instead of re-transposing every weight matrix on every
+    /// minibatch. Empty until the fused step runs, so scratches used with
+    /// the split backward/optimizer path never consult a stale shadow.
+    wt: Vec<Matrix>,
 }
 
 impl TrainScratch {
@@ -65,6 +74,7 @@ impl TrainScratch {
             delta: Matrix::zeros(0, 0),
             delta_prev: Matrix::zeros(0, 0),
             grads: Vec::new(),
+            wt: Vec::new(),
         }
     }
 
@@ -77,8 +87,8 @@ impl TrainScratch {
         self.cache.output()
     }
 
-    /// Per-layer gradients from the most recent [`Mlp::backward_into`],
-    /// aligned with [`Mlp::apply_grads`].
+    /// Per-layer gradients from the most recent [`Mlp::backward_into`] or
+    /// [`Mlp::backward_adam_into`], aligned with [`Mlp::apply_grads`].
     pub fn grads(&self) -> &[(Matrix, Vec<f64>)] {
         &self.grads
     }
@@ -223,7 +233,7 @@ impl Mlp {
         rng: &mut R,
     ) -> (Matrix, ForwardCache) {
         let mut cache = ForwardCache::new();
-        self.forward_train_cache(batch, rng, &mut cache);
+        self.forward_train_cache(batch, rng, &mut cache, None, None);
         (cache.output().clone(), cache)
     }
 
@@ -237,57 +247,121 @@ impl Mlp {
         rng: &mut R,
         scratch: &mut TrainScratch,
     ) {
-        self.forward_train_cache(batch, rng, &mut scratch.cache);
+        self.forward_train_cache(batch, rng, &mut scratch.cache, None, None);
     }
 
+    /// Batched training forward pass with the output layer's MSE diff fused
+    /// into its GEMM epilogue: the last cached activation holds
+    /// `diff = (x·Wᵀ + b) − targets` instead of the raw output, so the
+    /// training loop reads loss and delta from one buffer without a
+    /// separate output-sized subtraction pass.
+    ///
+    /// Bit-identical to running [`Mlp::forward_train_into`] followed by a
+    /// per-element `out − target`: the epilogue computes the same two
+    /// rounded ops (`Σ + b`, then `− y`) in the same order. The backward
+    /// pass is unaffected — it never reads the output layer's activation
+    /// (no ReLU there), only the delta derived from `diff`.
+    pub fn forward_train_diff_into<R: Rng + ?Sized>(
+        &self,
+        batch: &Matrix,
+        targets: &Matrix,
+        rng: &mut R,
+        scratch: &mut TrainScratch,
+    ) {
+        debug_assert_eq!(targets.rows(), batch.rows());
+        debug_assert_eq!(targets.cols(), self.output_dim());
+        let TrainScratch { cache, wt, .. } = scratch;
+        // Use the persistent Wᵀ shadow only once the fused optimizer step
+        // has built (and is maintaining) it.
+        let wt = if wt.len() == self.layers.len() {
+            Some(&wt[..])
+        } else {
+            None
+        };
+        self.forward_train_cache(batch, rng, cache, Some(targets), wt);
+    }
+
+    /// The shared fused forward: every layer runs one [`gemm::nt_fused`]
+    /// call whose epilogue applies bias + ReLU + dropout mask as each
+    /// output element's strict-order accumulator chain completes — no
+    /// separate full-matrix passes. With `diff_targets`, the output layer's
+    /// epilogue additionally subtracts the target batch.
+    ///
+    /// Dropout masks are drawn row-major *before* the layer's GEMM; the
+    /// draws are data-independent (one `rng.random()` per element,
+    /// unconditionally), so the RNG stream is identical to the historical
+    /// draw-after-GEMM pass and cached masks match bit-for-bit.
+    /// `wt`, when present, holds every layer's transposed weights
+    /// (`wt[l]` = `Wₗᵀ`, bit-equal) and the blocked kernel streams it
+    /// directly — skipping the per-layer transpose. See
+    /// [`TrainScratch::wt`].
     fn forward_train_cache<R: Rng + ?Sized>(
         &self,
         batch: &Matrix,
         rng: &mut R,
         cache: &mut ForwardCache,
+        diff_targets: Option<&Matrix>,
+        wt: Option<&[Matrix]>,
     ) {
         let n_layers = self.layers.len();
-        cache
-            .activations
-            .resize_with(n_layers + 1, || Matrix::zeros(0, 0));
-        cache.masks.resize_with(n_layers, || None);
-        cache.activations[0].copy_from(batch);
+        let ForwardCache { activations, masks } = cache;
+        activations.resize_with(n_layers + 1, || Matrix::zeros(0, 0));
+        masks.resize_with(n_layers, || None);
+        activations[0].copy_from(batch);
+        let rows = batch.rows();
         for (li, layer) in self.layers.iter().enumerate() {
-            let (done, rest) = cache.activations.split_at_mut(li + 1);
+            let out_dim = layer.b.len();
+            let mask: Option<&[f64]> = if layer.relu && self.dropout > 0.0 {
+                let keep = 1.0 - self.dropout;
+                let mask = masks[li].get_or_insert_with(|| Matrix::zeros(0, 0));
+                mask.reshape(rows, out_dim);
+                for m in mask.as_mut_slice() {
+                    *m = if rng.random::<f64>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    };
+                }
+                Some(mask.as_slice())
+            } else {
+                masks[li] = None;
+                None
+            };
+            let (done, rest) = activations.split_at_mut(li + 1);
             let x = &done[li];
             let y = &mut rest[0];
-            // y = x · Wᵀ + b: one ordered dot per element, bias added after —
-            // the same accumulation order as the historical per-row loop.
-            x.matmul_t_into(&layer.w, y);
-            for r in 0..y.rows() {
-                for (v, &bias) in y.row_mut(r).iter_mut().zip(&layer.b) {
-                    *v += bias;
-                }
-            }
-            if layer.relu {
-                for v in y.as_mut_slice() {
-                    if *v < 0.0 {
-                        *v = 0.0;
-                    }
-                }
-                if self.dropout > 0.0 {
-                    let keep = 1.0 - self.dropout;
-                    let mask = cache.masks[li].get_or_insert_with(|| Matrix::zeros(0, 0));
-                    mask.reshape(y.rows(), y.cols());
-                    for (m, v) in mask.as_mut_slice().iter_mut().zip(y.as_mut_slice()) {
-                        if rng.random::<f64>() < keep {
-                            *m = 1.0 / keep;
-                            *v *= *m;
-                        } else {
-                            *m = 0.0;
-                            *v = 0.0;
-                        }
-                    }
-                } else {
-                    cache.masks[li] = None;
-                }
+            y.reshape(rows, out_dim);
+            let k = layer.w.cols();
+            debug_assert_eq!(x.cols(), k);
+            let wt_l = wt.map(|wt| {
+                debug_assert_eq!(wt[li].rows(), k);
+                debug_assert_eq!(wt[li].cols(), out_dim);
+                wt[li].as_slice()
+            });
+            if let Some(targets) = diff_targets.filter(|_| li + 1 == n_layers) {
+                let mut epi = BiasDiffEpilogue::new(&layer.b, targets.as_slice(), out_dim);
+                gemm::nt_fused_bt(
+                    x.as_slice(),
+                    layer.w.as_slice(),
+                    wt_l,
+                    y.as_mut_slice(),
+                    rows,
+                    out_dim,
+                    k,
+                    &mut epi,
+                );
             } else {
-                cache.masks[li] = None;
+                let mut epi = LayerEpilogue::new(&layer.b, layer.relu, mask, out_dim);
+                gemm::nt_fused_bt(
+                    x.as_slice(),
+                    layer.w.as_slice(),
+                    wt_l,
+                    y.as_mut_slice(),
+                    rows,
+                    out_dim,
+                    k,
+                    &mut epi,
+                );
             }
         }
     }
@@ -313,6 +387,7 @@ impl Mlp {
             delta,
             delta_prev,
             grads,
+            ..
         } = scratch;
         self.backward_cache(cache, dl_dout, delta, delta_prev, grads);
     }
@@ -356,6 +431,156 @@ impl Mlp {
             // delta for previous layer = delta × W
             if li > 0 {
                 delta.matmul_into(&layer.w, delta_prev);
+                std::mem::swap(delta, delta_prev);
+            }
+        }
+    }
+
+    /// The fused backward + optimizer step: backpropagates `dl_dout`
+    /// through the forward pass cached in `scratch` **and** applies one
+    /// Adam update to every parameter inside the same sweep. Bit-identical
+    /// to [`Mlp::backward_into`] followed by a cursor-order
+    /// [`crate::optim::AdamStep::update_slice`] pass (pinned by a unit
+    /// test here and end-to-end by the CI kernel-equivalence smoke).
+    ///
+    /// Three per-element fusions ride the backward GEMMs' store paths:
+    ///
+    /// - **ReLU/dropout backward** runs in the epilogue of the `nn` GEMM
+    ///   that produces each hidden layer's delta (same two ops, same
+    ///   order as the historical separate pass over `delta`).
+    /// - **Adam on weights** runs in the epilogue of the `tn` GEMM that
+    ///   produces each weight gradient: the moment the last contribution
+    ///   of a `dW` element lands, that parameter's three divisions and
+    ///   square root issue — so the divider unit (which bounds the Adam
+    ///   pass on its own: ~9 cycles per parameter) churns *in parallel*
+    ///   with the next tile's multiply/add stream instead of serializing
+    ///   into a separate memory-bound pass over all parameters after
+    ///   backward finishes. Gradients are still stored to
+    ///   [`TrainScratch::grads`].
+    /// - The same epilogue mirrors each updated weight into the scratch's
+    ///   persistent `Wᵀ` shadow, which the next fused forward streams
+    ///   directly ([`TrainScratch::wt`]).
+    ///
+    /// Update order across parameters is tile order rather than cursor
+    /// order; each parameter keeps its fixed moment slot and its exact
+    /// update expression, and parameters are independent, so the final
+    /// state is bit-identical. Within one layer the backpropagated delta
+    /// is computed *before* that layer's weights move, exactly as the
+    /// split pipeline orders it.
+    ///
+    /// `step` must come from an [`crate::optim::Adam`] sized for this
+    /// net's [`Mlp::param_count`], freshly obtained from
+    /// [`crate::optim::Adam::step`] once per minibatch, with its
+    /// sequential cursor unused. Callers must not mutate weights between
+    /// fused steps that share a `scratch` — the shadow would go stale
+    /// (it is rebuilt whenever its shape disagrees with the net, but a
+    /// same-shape parameter swap is undetectable).
+    pub fn backward_adam_into(
+        &mut self,
+        dl_dout: &Matrix,
+        scratch: &mut TrainScratch,
+        step: &mut AdamStep<'_>,
+    ) {
+        let n_layers = self.layers.len();
+        let TrainScratch {
+            cache,
+            delta,
+            delta_prev,
+            grads,
+            wt,
+        } = scratch;
+        grads.resize_with(n_layers, || (Matrix::zeros(0, 0), Vec::new()));
+        // (Re)build the transposed-weight shadow if absent or mis-shaped.
+        let stale = wt.len() != n_layers
+            || self
+                .layers
+                .iter()
+                .zip(wt.iter())
+                .any(|(l, t)| t.rows() != l.w.cols() || t.cols() != l.w.rows());
+        if stale {
+            wt.resize_with(n_layers, || Matrix::zeros(0, 0));
+            for (l, t) in self.layers.iter().zip(wt.iter_mut()) {
+                l.w.transpose_into(t);
+            }
+        }
+        delta.copy_from(dl_dout);
+        // Start past the last layer; each iteration steps back to the start
+        // of layer `li`'s parameters in the flat `flatten_params` order —
+        // the moment-slot indexing the cursor-order optimizer pass uses.
+        let mut offset: usize = self.param_count();
+        for li in (0..n_layers).rev() {
+            let n_out = self.layers[li].w.rows();
+            let n_in = self.layers[li].w.cols();
+            offset -= n_out * n_in + self.layers[li].b.len();
+            let rows = delta.rows();
+            debug_assert_eq!(delta.cols(), n_out);
+            // Bias gradients: column sums of the (already masked) delta.
+            let (dw, db) = &mut grads[li];
+            db.clear();
+            db.resize(n_out, 0.0);
+            for r in 0..rows {
+                for (o, dbo) in db.iter_mut().enumerate() {
+                    *dbo += delta.get(r, o);
+                }
+            }
+            // Backpropagated delta for the layer below — computed *before*
+            // this layer's weights move, with the layer-below ReLU/dropout
+            // backward fused into the store.
+            if li > 0 {
+                delta_prev.reshape(rows, n_in);
+                let w = self.layers[li].w.as_slice();
+                if self.layers[li - 1].relu {
+                    let mut epi = ReluMaskEpilogue {
+                        mask: cache.masks[li - 1].as_ref().map(|m| m.as_slice()),
+                        out: cache.activations[li].as_slice(),
+                        n: n_in,
+                    };
+                    gemm::nn_fused(
+                        delta.as_slice(),
+                        w,
+                        delta_prev.as_mut_slice(),
+                        rows,
+                        n_out,
+                        n_in,
+                        &mut epi,
+                    );
+                } else {
+                    gemm::nn_fused(
+                        delta.as_slice(),
+                        w,
+                        delta_prev.as_mut_slice(),
+                        rows,
+                        n_out,
+                        n_in,
+                        &mut gemm::NoEpilogue,
+                    );
+                }
+            }
+            // Weight gradients with the Adam update (and Wᵀ-shadow
+            // refresh) fused into the store path.
+            {
+                let layer = &mut self.layers[li];
+                let input = &cache.activations[li];
+                dw.reshape(n_out, n_in);
+                let mut epi = AdamWEpilogue {
+                    lane: step.lane(offset, n_out * n_in),
+                    w: layer.w.as_mut_slice(),
+                    wt: wt[li].as_mut_slice(),
+                    n_in,
+                    n_out,
+                };
+                gemm::tn_fused(
+                    delta.as_slice(),
+                    input.as_slice(),
+                    dw.as_mut_slice(),
+                    rows,
+                    n_out,
+                    n_in,
+                    &mut epi,
+                );
+            }
+            step.update_slice_at(offset + n_out * n_in, &mut self.layers[li].b, db);
+            if li > 0 {
                 std::mem::swap(delta, delta_prev);
             }
         }
@@ -442,6 +667,97 @@ impl Mlp {
         for (layer, (dw, db)) in self.layers.iter_mut().zip(grads) {
             f(layer.w.as_mut_slice(), dw.as_slice());
             f(&mut layer.b, db);
+        }
+    }
+}
+
+/// Backward ReLU/dropout epilogue for [`Mlp::backward_adam_into`]: applies
+/// the layer-below mask multiply and ReLU zeroing to each backpropagated
+/// delta element as it stores — the same two per-element ops, in the same
+/// order, as the historical separate pass over `delta`.
+struct ReluMaskEpilogue<'a> {
+    /// Scaled keep-mask of the layer below (row-major `m×n`), if dropout.
+    mask: Option<&'a [f64]>,
+    /// Post-activation output of the layer below (row-major `m×n`).
+    out: &'a [f64],
+    n: usize,
+}
+
+impl Epilogue for ReluMaskEpilogue<'_> {
+    #[inline(always)]
+    fn apply(&mut self, i: usize, j: usize, s: f64) -> f64 {
+        let idx = i * self.n + j;
+        let mut v = s;
+        if let Some(mask) = self.mask {
+            v *= mask[idx];
+        }
+        if self.out[idx] <= 0.0 {
+            v = 0.0;
+        }
+        v
+    }
+
+    #[inline(always)]
+    fn apply_row(&mut self, i: usize, j: usize, vals: &mut [f64]) {
+        // Per-element identical to `apply` over the run (mask multiply and
+        // ReLU zeroing are independent per element), split into two slice
+        // passes so each vectorizes.
+        let idx0 = i * self.n + j;
+        let len = vals.len();
+        if let Some(mask) = self.mask {
+            for (v, &m) in vals.iter_mut().zip(&mask[idx0..idx0 + len]) {
+                *v *= m;
+            }
+        }
+        for (v, &o) in vals.iter_mut().zip(&self.out[idx0..idx0 + len]) {
+            if o <= 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+/// Weight-update epilogue for [`Mlp::backward_adam_into`]: as each element
+/// of a layer's `dW` completes its strict-order chain, run that
+/// parameter's Adam update (fixed moment slot = its `flatten_params`
+/// index) and mirror the new weight into the `Wᵀ` shadow. Stores the
+/// untouched gradient, so [`TrainScratch::grads`] stays valid.
+struct AdamWEpilogue<'a> {
+    lane: AdamLane<'a>,
+    /// The layer's weights, row-major (out × in).
+    w: &'a mut [f64],
+    /// The layer's transposed-weight shadow, row-major (in × out).
+    wt: &'a mut [f64],
+    n_in: usize,
+    n_out: usize,
+}
+
+impl Epilogue for AdamWEpilogue<'_> {
+    #[inline(always)]
+    fn apply(&mut self, i: usize, j: usize, s: f64) -> f64 {
+        let idx = i * self.n_in + j;
+        let p = &mut self.w[idx];
+        self.lane.update(idx, p, s);
+        self.wt[j * self.n_out + i] = *p;
+        s
+    }
+
+    // `inline(never)`: inlined into the GEMM tile loop this body loses its
+    // slices' noalias guarantees and the `update_run` divide chain
+    // scalarizes (~2× the whole kernel's cost); as an out-of-line call the
+    // argument attributes survive and the run vectorizes.
+    #[inline(never)]
+    fn apply_row(&mut self, i: usize, j: usize, vals: &mut [f64]) {
+        // A tile row of `dW` is a contiguous parameter run (`dW` and `W`
+        // share row-major out×in layout), so the whole run updates through
+        // one vectorizable `update_run` pass instead of per-element scalar
+        // divides; per-element identical to `apply`. `vals` (the stored
+        // gradients) are left untouched.
+        let idx0 = i * self.n_in + j;
+        let w = &mut self.w[idx0..idx0 + vals.len()];
+        self.lane.update_run(idx0, w, vals);
+        for (jj, &wv) in w.iter().enumerate() {
+            self.wt[(j + jj) * self.n_out + i] = wv;
         }
     }
 }
@@ -595,5 +911,93 @@ mod tests {
         assert_eq!(net.input_dim(), 5);
         assert_eq!(net.output_dim(), 1);
         assert_eq!(net.dropout, 0.1);
+    }
+
+    #[test]
+    fn fused_backward_adam_matches_split_reference() {
+        use crate::optim::Adam;
+        // Several full optimization steps through the fused path (epilogue
+        // Adam in tile order, persistent Wᵀ shadow) must leave parameters,
+        // gradients, and optimizer state bit-identical to the split
+        // reference: backward_into + cursor-order update_slice.
+        let mut r = rng();
+        let sizes = [5, 13, 7, 2];
+        let mut net_split = Mlp::new(&sizes, 0.25, &mut r);
+        let mut net_fused = net_split.clone();
+        let mut adam_split = Adam::new(net_split.param_count(), 1e-3);
+        let mut adam_fused = Adam::new(net_fused.param_count(), 1e-3);
+        let mut scratch_split = TrainScratch::new();
+        let mut scratch_fused = TrainScratch::new();
+        // Two RNGs with identical streams so both paths draw the same
+        // dropout masks.
+        let mut rng_split = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng_fused = rand::rngs::StdRng::seed_from_u64(99);
+        for step_i in 0..5 {
+            // Ragged batch sizes exercise remainder tiles.
+            let rows = [16, 7, 1, 13, 4][step_i];
+            let mut x = Matrix::zeros(rows, 5);
+            for v in x.as_mut_slice() {
+                *v = simrng::normal(&mut r, 0.0, 1.5);
+            }
+            let mut y = Matrix::zeros(rows, 2);
+            for v in y.as_mut_slice() {
+                *v = simrng::normal(&mut r, 0.0, 1.0);
+            }
+            let n = (rows * 2) as f64;
+
+            net_split.forward_train_diff_into(&x, &y, &mut rng_split, &mut scratch_split);
+            let mut dl = Matrix::zeros(rows, 2);
+            for rr in 0..rows {
+                for cc in 0..2 {
+                    dl.set(rr, cc, 2.0 * scratch_split.output().get(rr, cc) / n);
+                }
+            }
+            net_split.backward_into(&dl, &mut scratch_split);
+            let mut step = adam_split.step();
+            net_split.apply_grads_slices(scratch_split.grads(), |p, g| step.update_slice(p, g));
+
+            net_fused.forward_train_diff_into(&x, &y, &mut rng_fused, &mut scratch_fused);
+            let mut dl2 = Matrix::zeros(rows, 2);
+            for rr in 0..rows {
+                for cc in 0..2 {
+                    dl2.set(rr, cc, 2.0 * scratch_fused.output().get(rr, cc) / n);
+                }
+            }
+            let mut step = adam_fused.step();
+            net_fused.backward_adam_into(&dl2, &mut scratch_fused, &mut step);
+
+            let (ps, pf) = (net_split.flatten_params(), net_fused.flatten_params());
+            for (i, (a, b)) in ps.iter().zip(&pf).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "step {step_i}: param {i} diverged: {a} vs {b}"
+                );
+            }
+            for (li, ((dw_s, db_s), (dw_f, db_f))) in scratch_split
+                .grads()
+                .iter()
+                .zip(scratch_fused.grads())
+                .enumerate()
+            {
+                for (a, b) in dw_s.as_slice().iter().zip(dw_f.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "step {step_i} layer {li} dW");
+                }
+                for (a, b) in db_s.iter().zip(db_f) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "step {step_i} layer {li} db");
+                }
+            }
+        }
+        assert_eq!(adam_split, adam_fused, "optimizer state diverged");
+        // The Wᵀ shadow must mirror the final weights bit-for-bit.
+        let mut t = Matrix::zeros(0, 0);
+        for (li, (layer, shadow)) in net_fused.layers.iter().zip(&scratch_fused.wt).enumerate() {
+            layer.w.transpose_into(&mut t);
+            assert_eq!(
+                t.as_slice(),
+                shadow.as_slice(),
+                "layer {li} Wᵀ shadow went stale"
+            );
+        }
     }
 }

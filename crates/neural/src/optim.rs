@@ -1,4 +1,19 @@
 //! Adam optimizer (the paper trains the safety hijacker with Adam, §IV-B).
+//!
+//! Moment state is stored **interleaved**: one `mv` vector of `[m_i, v_i]`
+//! pairs instead of separate `m` and `v` vectors. The Adam update reads
+//! and writes both moments of a parameter together, so the interleaved
+//! layout streams one cache line per parameter pair where the split layout
+//! touched three independent streams (`m`, `v`, and the params) — the
+//! update is memory-bound (ROADMAP: ~25 % of a training epoch), and
+//! halving the moment traffic is the point. The per-element op *order* is
+//! unchanged, so results stay bit-identical to the split layout (pinned by
+//! a proptest over hostile gradients in `tests/props.rs`).
+//!
+//! Persistence keeps the historical split `m`/`v` shape via [`AdamRepr`]:
+//! any consumer that externalizes optimizer state converts through the
+//! repr (`From` in both directions), so the interleaved in-memory layout
+//! never leaks into a stored artifact.
 
 use serde::{Deserialize, Serialize};
 
@@ -14,8 +29,65 @@ pub struct Adam {
     /// Numerical-stability epsilon.
     pub eps: f64,
     t: u64,
-    m: Vec<f64>,
-    v: Vec<f64>,
+    /// Interleaved moment pairs: `mv[2i]` is `m_i`, `mv[2i + 1]` is `v_i`.
+    mv: Vec<f64>,
+}
+
+/// The externalized shape of [`Adam`]: the historical split `m`/`v`
+/// vectors. Consumers persisting optimizer state go through this repr
+/// (via the `From` conversions), keeping the interleaved in-memory layout
+/// invisible to every stored artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdamRepr {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    /// Steps taken.
+    pub t: u64,
+    /// First moments, one per parameter.
+    pub m: Vec<f64>,
+    /// Second moments, one per parameter.
+    pub v: Vec<f64>,
+}
+
+impl From<AdamRepr> for Adam {
+    fn from(r: AdamRepr) -> Self {
+        assert_eq!(r.m.len(), r.v.len(), "corrupt Adam state: m/v length skew");
+        let mut mv = Vec::with_capacity(r.m.len() * 2);
+        for (&m, &v) in r.m.iter().zip(&r.v) {
+            mv.push(m);
+            mv.push(v);
+        }
+        Adam {
+            lr: r.lr,
+            beta1: r.beta1,
+            beta2: r.beta2,
+            eps: r.eps,
+            t: r.t,
+            mv,
+        }
+    }
+}
+
+impl From<Adam> for AdamRepr {
+    fn from(a: Adam) -> Self {
+        let m = a.mv.chunks_exact(2).map(|p| p[0]).collect();
+        let v = a.mv.chunks_exact(2).map(|p| p[1]).collect();
+        AdamRepr {
+            lr: a.lr,
+            beta1: a.beta1,
+            beta2: a.beta2,
+            eps: a.eps,
+            t: a.t,
+            m,
+            v,
+        }
+    }
 }
 
 impl Adam {
@@ -27,8 +99,7 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             t: 0,
-            m: vec![0.0; param_count],
-            v: vec![0.0; param_count],
+            mv: vec![0.0; param_count * 2],
         }
     }
 
@@ -54,6 +125,10 @@ impl Adam {
     pub fn steps_taken(&self) -> u64 {
         self.t
     }
+
+    fn param_count(&self) -> usize {
+        self.mv.len() / 2
+    }
 }
 
 /// Per-step cursor over the parameter vector.
@@ -76,21 +151,23 @@ impl AdamStep<'_> {
         let a = &mut *self.adam;
         let i = self.idx;
         assert!(
-            i < a.m.len(),
+            i < a.param_count(),
             "more parameters than the optimizer was sized for"
         );
-        a.m[i] = a.beta1 * a.m[i] + (1.0 - a.beta1) * grad;
-        a.v[i] = a.beta2 * a.v[i] + (1.0 - a.beta2) * grad * grad;
-        let m_hat = a.m[i] / self.bc1;
-        let v_hat = a.v[i] / self.bc2;
+        let pair = &mut a.mv[2 * i..2 * i + 2];
+        pair[0] = a.beta1 * pair[0] + (1.0 - a.beta1) * grad;
+        pair[1] = a.beta2 * pair[1] + (1.0 - a.beta2) * grad * grad;
+        let m_hat = pair[0] / self.bc1;
+        let v_hat = pair[1] / self.bc2;
         *param -= a.lr * m_hat / (v_hat.sqrt() + a.eps);
         self.idx += 1;
     }
 
     /// Updates a contiguous run of parameters with their gradients. Exactly
     /// equivalent to calling [`AdamStep::update`] once per element in order
-    /// (bit-identical math), but amortizes the cursor bookkeeping and lets
-    /// the per-element loop work on plain slices.
+    /// (bit-identical math), but a single pass over the interleaved moment
+    /// pairs: each parameter's `[m, v]` pair is read, updated, and written
+    /// through one streaming cursor instead of three.
     ///
     /// # Panics
     ///
@@ -101,20 +178,133 @@ impl AdamStep<'_> {
         let a = &mut *self.adam;
         let start = self.idx;
         assert!(
-            start + params.len() <= a.m.len(),
+            start + params.len() <= a.param_count(),
             "more parameters than the optimizer was sized for"
         );
         let (bc1, bc2) = (self.bc1, self.bc2);
-        let m = &mut a.m[start..start + params.len()];
-        let v = &mut a.v[start..start + params.len()];
-        for (((param, &grad), mi), vi) in params.iter_mut().zip(grads).zip(m).zip(v) {
-            *mi = a.beta1 * *mi + (1.0 - a.beta1) * grad;
-            *vi = a.beta2 * *vi + (1.0 - a.beta2) * grad * grad;
-            let m_hat = *mi / bc1;
-            let v_hat = *vi / bc2;
+        let mv = &mut a.mv[2 * start..2 * (start + params.len())];
+        for ((param, &grad), pair) in params.iter_mut().zip(grads).zip(mv.chunks_exact_mut(2)) {
+            let m = a.beta1 * pair[0] + (1.0 - a.beta1) * grad;
+            let v = a.beta2 * pair[1] + (1.0 - a.beta2) * grad * grad;
+            pair[0] = m;
+            pair[1] = v;
+            let m_hat = m / bc1;
+            let v_hat = v / bc2;
             *param -= a.lr * m_hat / (v_hat.sqrt() + a.eps);
         }
         self.idx += params.len();
+    }
+
+    /// Borrows the moment window for parameters `offset..offset + len` in
+    /// the flat parameter order, independent of the sequential cursor. The
+    /// fused training step hands each backward GEMM a lane over its layer's
+    /// weights so the optimizer update runs *inside* the gradient kernel's
+    /// store path (tile order, not cursor order) — every parameter keeps
+    /// its fixed moment slot and its exact update expression, and
+    /// parameters are independent, so the final state is bit-identical to
+    /// cursor-order stepping.
+    ///
+    /// The caller is responsible for covering each parameter exactly once
+    /// per step across lanes and cursor calls combined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window passes the end of the parameter vector.
+    pub fn lane(&mut self, offset: usize, len: usize) -> AdamLane<'_> {
+        let a = &mut *self.adam;
+        assert!(
+            offset + len <= a.param_count(),
+            "more parameters than the optimizer was sized for"
+        );
+        AdamLane {
+            mv: &mut a.mv[2 * offset..2 * (offset + len)],
+            lr: a.lr,
+            beta1: a.beta1,
+            beta2: a.beta2,
+            eps: a.eps,
+            bc1: self.bc1,
+            bc2: self.bc2,
+        }
+    }
+
+    /// Updates a contiguous run of parameters at an absolute offset in the
+    /// flat parameter order, leaving the sequential cursor untouched.
+    /// Bit-identical to covering the same window with cursor-order
+    /// [`AdamStep::update_slice`] calls (same per-element expression, same
+    /// moment slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length or the window passes
+    /// the end of the parameter vector.
+    pub fn update_slice_at(&mut self, offset: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        let mut lane = self.lane(offset, params.len());
+        lane.update_run(0, params, grads);
+    }
+}
+
+/// A borrowed window of one step's Adam state for out-of-order updates —
+/// see [`AdamStep::lane`]. Holds the interleaved `[m, v]` pairs of its
+/// window plus the step's hyperparameters and bias corrections.
+#[derive(Debug)]
+pub struct AdamLane<'a> {
+    mv: &'a mut [f64],
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    bc1: f64,
+    bc2: f64,
+}
+
+impl AdamLane<'_> {
+    /// Updates the parameter at index `i` *within this lane's window*
+    /// (global flat index `offset + i`). Must be called exactly once per
+    /// parameter per step; calls may arrive in any order across the window.
+    /// The update is the exact expression [`AdamStep::update_slice`]
+    /// computes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the window.
+    #[inline(always)]
+    pub fn update(&mut self, i: usize, param: &mut f64, grad: f64) {
+        let pair = &mut self.mv[2 * i..2 * i + 2];
+        let m = self.beta1 * pair[0] + (1.0 - self.beta1) * grad;
+        let v = self.beta2 * pair[1] + (1.0 - self.beta2) * grad * grad;
+        pair[0] = m;
+        pair[1] = v;
+        let m_hat = m / self.bc1;
+        let v_hat = v / self.bc2;
+        *param -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+    }
+
+    /// Updates the contiguous run of parameters starting at lane index
+    /// `start` with `grads`. Per-element identical to calling
+    /// [`AdamLane::update`] for `start..start + params.len()` in order, but
+    /// a single streaming pass over the `[m, v]` pairs that the compiler
+    /// can vectorize — the fused backward's epilogue calls this once per
+    /// tile row so the divide/sqrt chain runs packed, not one scalar
+    /// divide per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length or the run passes
+    /// the end of the window.
+    #[inline(always)]
+    pub fn update_run(&mut self, start: usize, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        let mv = &mut self.mv[2 * start..2 * (start + params.len())];
+        for ((param, &grad), pair) in params.iter_mut().zip(grads).zip(mv.chunks_exact_mut(2)) {
+            let m = self.beta1 * pair[0] + (1.0 - self.beta1) * grad;
+            let v = self.beta2 * pair[1] + (1.0 - self.beta2) * grad * grad;
+            pair[0] = m;
+            pair[1] = v;
+            let m_hat = m / self.bc1;
+            let v_hat = v / self.bc2;
+            *param -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
     }
 }
 
@@ -193,5 +383,37 @@ mod tests {
         let mut x = 0.0;
         adam.step().update(&mut x, 1.0);
         assert_eq!(adam.steps_taken(), 1);
+    }
+
+    #[test]
+    fn wire_repr_keeps_split_m_v_format() {
+        // Serde routes through `AdamRepr` (`#[serde(from/into)]`), so the
+        // wire shape is whatever the repr holds: the historical separate
+        // `m`/`v` vectors. Pin the repr round trip de-/re-interleaving every
+        // state bit.
+        let mut adam = Adam::new(3, 0.1);
+        let mut p = [1.0, -2.0, 0.5];
+        for step in 0..5 {
+            let g = [0.3 + step as f64, -0.7, 1.1];
+            let mut s = adam.step();
+            s.update_slice(&mut p, &g);
+        }
+        let repr = AdamRepr::from(adam.clone());
+        assert_eq!(repr.m.len(), 3, "repr must expose a split m vector");
+        assert_eq!(repr.v.len(), 3, "repr must expose a split v vector");
+        for (i, (&m, &v)) in repr.m.iter().zip(&repr.v).enumerate() {
+            assert_eq!(m.to_bits(), adam.mv[2 * i].to_bits());
+            assert_eq!(v.to_bits(), adam.mv[2 * i + 1].to_bits());
+        }
+        let back = Adam::from(repr);
+        assert_eq!(adam, back, "round trip must preserve every state bit");
+    }
+
+    #[test]
+    #[should_panic(expected = "m/v length skew")]
+    fn corrupt_wire_state_is_rejected() {
+        let mut repr = AdamRepr::from(Adam::new(2, 0.1));
+        repr.v.pop();
+        let _ = Adam::from(repr);
     }
 }

@@ -44,15 +44,40 @@ impl Dataset {
 
     /// Splits into (train, validation) with `train_fraction` of the examples
     /// in the training set, shuffled with `rng`. The paper uses 60/40.
+    ///
+    /// Allocating convenience wrapper around [`Dataset::split_owned`] (same
+    /// RNG draws, same partition).
     pub fn split<R: Rng + ?Sized>(&self, train_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+        self.clone().split_owned(train_fraction, rng)
+    }
+
+    /// Consuming split: **moves** each example row into its destination set
+    /// instead of cloning it, so splitting a dataset the caller no longer
+    /// needs performs no per-row allocation. Identical partition and RNG
+    /// draws as [`Dataset::split`].
+    pub fn split_owned<R: Rng + ?Sized>(
+        mut self,
+        train_fraction: f64,
+        rng: &mut R,
+    ) -> (Dataset, Dataset) {
         let mut order: Vec<usize> = (0..self.len()).collect();
         order.shuffle(rng);
         let n_train = ((self.len() as f64) * train_fraction).round() as usize;
-        let mut train = Dataset::default();
-        let mut val = Dataset::default();
+        let cap_train = n_train.min(self.len());
+        let mut train = Dataset {
+            inputs: Vec::with_capacity(cap_train),
+            targets: Vec::with_capacity(cap_train),
+        };
+        let mut val = Dataset {
+            inputs: Vec::with_capacity(self.len() - cap_train),
+            targets: Vec::with_capacity(self.len() - cap_train),
+        };
         for (i, &idx) in order.iter().enumerate() {
             let dst = if i < n_train { &mut train } else { &mut val };
-            dst.push(self.inputs[idx].clone(), self.targets[idx].clone());
+            dst.push(
+                std::mem::take(&mut self.inputs[idx]),
+                std::mem::take(&mut self.targets[idx]),
+            );
         }
         (train, val)
     }
@@ -114,6 +139,15 @@ impl Normalizer {
             .zip(&self.std)
         {
             *o = (x - m) / s;
+        }
+    }
+
+    /// Normalizes one input row in place (element-wise, so aliasing input
+    /// and output is fine — same bits as [`Normalizer::apply`], no
+    /// allocation and no second buffer).
+    pub fn apply_in_place(&self, row: &mut [f64]) {
+        for ((x, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *x = (*x - m) / s;
         }
     }
 }
@@ -187,27 +221,31 @@ pub fn train<R: Rng + ?Sized>(
         let mut epoch_loss = 0.0;
         for chunk in order.chunks(config.batch_size.max(1)) {
             let rows = chunk.len();
-            x.reshape(rows, in_dim);
-            y.reshape(rows, out_dim);
-            for (r, &idx) in chunk.iter().enumerate() {
-                x.row_mut(r).copy_from_slice(&data.inputs[idx]);
-                y.row_mut(r).copy_from_slice(&data.targets[idx]);
-            }
-            net.forward_train_into(&x, rng, &mut scratch);
-            // MSE: L = mean‖y − ŷ‖²; dL/dŷ = 2(ŷ − y)/n.
+            x.gather_rows(in_dim, &data.inputs, chunk);
+            y.gather_rows(out_dim, &data.targets, chunk);
+            // Fused forward: the output layer's epilogue already subtracted
+            // the targets, so the last activation holds diff = ŷ − y.
+            net.forward_train_diff_into(&x, &y, rng, &mut scratch);
+            // MSE: L = mean‖y − ŷ‖²; dL/dŷ = 2(ŷ − y)/n. The loss sum stays
+            // a row-major pass out here — folding it into the (tile-ordered)
+            // epilogue would reassociate the epoch-loss accumulation.
             let n = (rows * out_dim) as f64;
             dl.reshape(rows, out_dim);
-            let out = scratch.output();
+            let diff = scratch.output();
             for r in 0..rows {
                 for c in 0..out_dim {
-                    let diff = out.get(r, c) - y.get(r, c);
-                    epoch_loss += diff * diff / data.len() as f64;
-                    dl.set(r, c, 2.0 * diff / n);
+                    let d = diff.get(r, c);
+                    epoch_loss += d * d / data.len() as f64;
+                    dl.set(r, c, 2.0 * d / n);
                 }
             }
-            net.backward_into(&dl, &mut scratch);
+            // Fused backward + optimizer: the gradients, the ReLU/dropout
+            // backward, the Adam update, and the Wᵀ-shadow refresh all ride
+            // the backward GEMMs' epilogues — bit-identical to the split
+            // backward-then-cursor-order-Adam reference (see
+            // `Mlp::backward_adam_into`).
             let mut step = adam.step();
-            net.apply_grads_slices(scratch.grads(), |p, g| step.update_slice(p, g));
+            net.backward_adam_into(&dl, &mut scratch, &mut step);
         }
         last_loss = epoch_loss;
     }
@@ -219,14 +257,26 @@ pub fn train<R: Rng + ?Sized>(
 }
 
 /// Mean squared error of `net` over a dataset (validation metric).
+///
+/// Runs one batched forward pass over the whole dataset instead of an
+/// allocating per-row [`Mlp::forward`]. Bit-identical to the per-row loop:
+/// every row of [`Mlp::forward_batch_into`] is pinned equal to the scalar
+/// path, and both the per-row squared-error sums and the cross-row total
+/// accumulate in the same order as before.
 pub fn mse(net: &Mlp, data: &Dataset) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
+    let idx: Vec<usize> = (0..data.len()).collect();
+    let mut x = Matrix::zeros(0, 0);
+    x.gather_rows(net.input_dim(), &data.inputs, &idx);
+    let mut scratch = Matrix::zeros(0, 0);
+    let mut out = Matrix::zeros(0, 0);
+    net.forward_batch_into(&x, &mut scratch, &mut out);
     let mut total = 0.0;
-    for (x, y) in data.inputs.iter().zip(&data.targets) {
-        let out = net.forward(x);
+    for (r, y) in data.targets.iter().enumerate() {
         total += out
+            .row(r)
             .iter()
             .zip(y)
             .map(|(a, b)| (a - b) * (a - b))
@@ -307,6 +357,43 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn split_owned_matches_split() {
+        let data = Dataset::from_rows(
+            (0..53).map(|i| (vec![i as f64, -(i as f64)], vec![i as f64 * 0.5])),
+        );
+        let (t1, v1) = data.split(0.6, &mut rng());
+        let (t2, v2) = data.clone().split_owned(0.6, &mut rng());
+        assert_eq!(t1.inputs, t2.inputs, "same partition, same order");
+        assert_eq!(t1.targets, t2.targets);
+        assert_eq!(v1.inputs, v2.inputs);
+        assert_eq!(v1.targets, v2.targets);
+    }
+
+    #[test]
+    fn mse_matches_per_row_forward_reference() {
+        // The batched route must reproduce the historical per-row loop to
+        // the bit (forward_batch rows are pinned equal to forward; the sum
+        // orders are unchanged).
+        let mut r = rng();
+        let net = Mlp::new(&[3, 17, 2], 0.1, &mut r);
+        let data = Dataset::from_rows((0..29).map(|i| {
+            let x = i as f64 / 29.0;
+            (vec![x, -x, x * x], vec![x, 1.0 - x])
+        }));
+        let mut reference = 0.0;
+        for (x, y) in data.inputs.iter().zip(&data.targets) {
+            let out = net.forward(x);
+            reference += out
+                .iter()
+                .zip(y)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>();
+        }
+        reference /= data.len() as f64;
+        assert_eq!(mse(&net, &data).to_bits(), reference.to_bits());
     }
 
     #[test]

@@ -139,6 +139,91 @@ fn check_families(
     Ok(())
 }
 
+/// A per-element-pure epilogue shaped like the production bias/mask ones
+/// (column scale + per-element shift), used to pin the fused kernels
+/// against `naive + epilogue_pass`. Relies on the trait's default
+/// `apply_row`, so both per-element and row-granular call paths are
+/// exercised through the same expressions.
+struct AffineEpi<'a> {
+    scale: &'a [f64],
+    shift: &'a [f64],
+    n: usize,
+}
+
+impl gemm::Epilogue for AffineEpi<'_> {
+    fn apply(&mut self, i: usize, j: usize, s: f64) -> f64 {
+        s * self.scale[j] + self.shift[i * self.n + j]
+    }
+}
+
+/// Counts visits per element — pins the stateful-epilogue contract that
+/// every fused kernel applies the epilogue exactly once per output.
+struct CountEpi {
+    counts: Vec<u32>,
+    n: usize,
+}
+
+impl gemm::Epilogue for CountEpi {
+    fn apply(&mut self, i: usize, j: usize, s: f64) -> f64 {
+        self.counts[i * self.n + j] += 1;
+        s
+    }
+}
+
+/// Shared body for the fused-entry properties: every fused kernel (in the
+/// process-wide default mode) must agree with `naive + epilogue_pass` on
+/// every IEEE-specified bit, including `nt_fused_bt` fed an explicit
+/// transposed operand (the forward pass's `Wᵀ`-shadow route).
+fn check_fused(
+    m: usize,
+    n: usize,
+    k: usize,
+    a_pool: &[f64],
+    b_pool: &[f64],
+    e_pool: &[f64],
+    cmp: Comparator,
+) -> Result<(), TestCaseError> {
+    let mut epi = AffineEpi {
+        scale: &e_pool[..24],
+        shift: e_pool,
+        n,
+    };
+    let mut want = vec![7.5; m * n];
+    let mut got = vec![-7.5; m * n];
+
+    let (a, b) = (&a_pool[..m * k], &b_pool[..n * k]);
+    gemm::nt_naive(a, b, &mut want, m, n, k);
+    gemm::epilogue_pass(&mut want, m, n, &mut epi);
+    gemm::nt_fused(a, b, &mut got, m, n, k, &mut epi);
+    cmp(&want, &got, "nt fused")?;
+    // The same product with the transposed operand precomputed (bt is k×n
+    // row-major, bt[kk·n + j] = b[j·k + kk]) — the persistent-shadow path.
+    let mut bt = vec![0.0; n * k];
+    for j in 0..n {
+        for kk in 0..k {
+            bt[kk * n + j] = b[j * k + kk];
+        }
+    }
+    got.fill(-7.5);
+    gemm::nt_fused_bt(a, b, Some(&bt), &mut got, m, n, k, &mut epi);
+    cmp(&want, &got, "nt fused (bt shadow)")?;
+
+    let (a, b) = (&a_pool[..k * m], &b_pool[..k * n]);
+    gemm::tn_naive(a, b, &mut want, k, m, n);
+    gemm::epilogue_pass(&mut want, m, n, &mut epi);
+    got.fill(-7.5);
+    gemm::tn_fused(a, b, &mut got, k, m, n, &mut epi);
+    cmp(&want, &got, "tn fused")?;
+
+    let (a, b) = (&a_pool[..m * k], &b_pool[..k * n]);
+    gemm::nn_naive(a, b, &mut want, m, k, n);
+    gemm::epilogue_pass(&mut want, m, n, &mut epi);
+    got.fill(-7.5);
+    gemm::nn_fused(a, b, &mut got, m, k, n, &mut epi);
+    cmp(&want, &got, "nn fused")?;
+    Ok(())
+}
+
 proptest! {
     /// Blocked ≡ naive to the bit on finite data, any shape.
     #[test]
@@ -238,5 +323,63 @@ proptest! {
         d2.matmul_into(&w2, &mut out);
         gemm::nn_naive(&a_pool[..m * k], &b_pool[..k * n], &mut want, m, k, n);
         assert_ieee_equiv(&want, out.as_slice(), "matmul_into")?;
+    }
+
+    /// Fused-epilogue entries ≡ naive + row-major `epilogue_pass` to the
+    /// bit on finite data, any shape — the fused training step's
+    /// equivalence contract.
+    #[test]
+    fn fused_matches_pass_bits_finite(
+        m in dim(), n in dim(), k in dim(),
+        a_pool in prop::collection::vec(finite(), POOL),
+        b_pool in prop::collection::vec(finite(), POOL),
+        e_pool in prop::collection::vec(finite(), POOL),
+    ) {
+        check_fused(m, n, k, &a_pool, &b_pool, &e_pool, assert_bits)?;
+    }
+
+    /// The same with NaN/±∞/±0.0 through operands *and* epilogue inputs:
+    /// non-NaN outputs identical, NaN placement identical.
+    #[test]
+    fn fused_matches_pass_hostile(
+        m in dim(), n in dim(), k in dim(),
+        a_pool in prop::collection::vec(hostile(), POOL),
+        b_pool in prop::collection::vec(hostile(), POOL),
+        e_pool in prop::collection::vec(hostile(), POOL),
+    ) {
+        check_fused(m, n, k, &a_pool, &b_pool, &e_pool, assert_ieee_equiv)?;
+    }
+
+    /// Every fused entry applies a stateful epilogue exactly once per
+    /// output element, whatever shape/path (tile interior, remainder
+    /// bands, shadow operand) the dispatch lands on.
+    #[test]
+    fn fused_visits_each_element_once(
+        m in dim(), n in dim(), k in dim(),
+        a_pool in prop::collection::vec(finite(), POOL),
+        b_pool in prop::collection::vec(finite(), POOL),
+    ) {
+        let mut c = vec![0.0; m * n];
+        let mut epi = CountEpi { counts: vec![0; m * n], n };
+        gemm::nt_fused(&a_pool[..m * k], &b_pool[..n * k], &mut c, m, n, k, &mut epi);
+        prop_assert!(epi.counts.iter().all(|&v| v == 1), "nt fused visit counts: {:?}", epi.counts);
+
+        let mut bt = vec![0.0; n * k];
+        for j in 0..n {
+            for kk in 0..k {
+                bt[kk * n + j] = b_pool[j * k + kk];
+            }
+        }
+        epi.counts.fill(0);
+        gemm::nt_fused_bt(&a_pool[..m * k], &b_pool[..n * k], Some(&bt), &mut c, m, n, k, &mut epi);
+        prop_assert!(epi.counts.iter().all(|&v| v == 1), "nt fused bt visit counts: {:?}", epi.counts);
+
+        epi.counts.fill(0);
+        gemm::tn_fused(&a_pool[..k * m], &b_pool[..k * n], &mut c, k, m, n, &mut epi);
+        prop_assert!(epi.counts.iter().all(|&v| v == 1), "tn fused visit counts: {:?}", epi.counts);
+
+        epi.counts.fill(0);
+        gemm::nn_fused(&a_pool[..m * k], &b_pool[..k * n], &mut c, m, k, n, &mut epi);
+        prop_assert!(epi.counts.iter().all(|&v| v == 1), "nn fused visit counts: {:?}", epi.counts);
     }
 }

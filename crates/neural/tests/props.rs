@@ -12,6 +12,42 @@ fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
+/// Hostile gradient entries: ordinary magnitudes plus signed zeros, NaN,
+/// and both infinities — once any of these enters a moment pair it must
+/// propagate identically on every update path.
+fn hostile_grad() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -100.0..100.0f64,
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+/// IEEE-value equivalence on parameter vectors: non-NaN entries must match
+/// bit-for-bit (signed zeros and infinities included), NaN placement must
+/// agree (payloads are implementation-defined).
+fn assert_params_ieee_equiv(want: &[f64], got: &[f64], what: &str) -> Result<(), TestCaseError> {
+    for (idx, (w, g)) in want.iter().zip(got).enumerate() {
+        if w.is_nan() {
+            prop_assert!(g.is_nan(), "{} diverged at {}: NaN vs {}", what, idx, g);
+        } else {
+            prop_assert_eq!(
+                w.to_bits(),
+                g.to_bits(),
+                "{} diverged at {}: {} vs {}",
+                what,
+                idx,
+                w,
+                g
+            );
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     /// (A·B)·C = A·(B·C) for the matmul implementation.
     #[test]
@@ -62,6 +98,44 @@ proptest! {
             adam.step().update(&mut x, g);
         }
         prop_assert!((x - target).abs() < 0.1, "x {x} target {target}");
+    }
+
+    /// The interleaved single-pass Adam is batch- and order-invariant to
+    /// the IEEE bit: per-element cursor updates, one `update_slice` pass,
+    /// and out-of-order `update_slice_at` windows (second half updated
+    /// first) must agree on every parameter after every step — including
+    /// once NaN/±∞/±0.0 gradients have poisoned the moment state. This is
+    /// the foundation the fused backward's in-kernel optimizer epilogue
+    /// rests on.
+    #[test]
+    fn interleaved_adam_is_order_and_batch_invariant(
+        n in 1usize..40,
+        split_frac in 0.0..1.0f64,
+        steps_grads in prop::collection::vec(prop::collection::vec(hostile_grad(), 40), 3),
+    ) {
+        let init: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let (mut pa, mut pb, mut pc) = (init.clone(), init.clone(), init);
+        let mut a1 = Adam::new(n, 1e-3);
+        let mut a2 = Adam::new(n, 1e-3);
+        let mut a3 = Adam::new(n, 1e-3);
+        let split = ((n as f64) * split_frac) as usize;
+        for grads in &steps_grads {
+            let grads = &grads[..n];
+            // A: per-element cursor order.
+            let mut step = a1.step();
+            for (p, &g) in pa.iter_mut().zip(grads) {
+                step.update(p, g);
+            }
+            // B: one interleaved single-pass slice update.
+            a2.step().update_slice(&mut pb, grads);
+            // C: windowed updates applied back-to-front.
+            let mut step = a3.step();
+            step.update_slice_at(split, &mut pc[split..], &grads[split..]);
+            step.update_slice_at(0, &mut pc[..split], &grads[..split]);
+
+            assert_params_ieee_equiv(&pa, &pb, "update_slice vs per-element")?;
+            assert_params_ieee_equiv(&pa, &pc, "windowed out-of-order vs per-element")?;
+        }
     }
 
     /// The normalizer z-scores its own training inputs to mean≈0, std≈1.

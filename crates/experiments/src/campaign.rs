@@ -39,6 +39,10 @@ pub struct Campaign {
     pub name: String,
     /// Scenario to run.
     pub scenario: ScenarioId,
+    /// For generated scenarios: the spec every run samples its world from
+    /// (at `base_seed + index`, the same stream the fixed recipes draw
+    /// from). `None` for the fixed DS-1..5 scenarios.
+    pub spec: Option<Arc<av_scenarios::ScenarioSpec>>,
     /// Attacker riding along.
     pub attacker: AttackerSpec,
     /// Number of seeded runs.
@@ -65,12 +69,28 @@ impl Campaign {
         Campaign {
             name: name.into(),
             scenario,
+            spec: None,
             attacker,
             runs,
             base_seed,
             faults: FaultPlan::none(),
             collect_metrics: false,
         }
+    }
+
+    /// A campaign over a generated scenario: every run samples its world
+    /// from `spec`, and [`Campaign::scenario`] is the spec's content-hash
+    /// id ([`av_scenarios::ScenarioSpec::scenario_id`]).
+    pub fn generated(
+        name: impl Into<String>,
+        spec: Arc<av_scenarios::ScenarioSpec>,
+        attacker: AttackerSpec,
+        runs: u64,
+        base_seed: u64,
+    ) -> Self {
+        let mut campaign = Campaign::new(name, spec.scenario_id(), attacker, runs, base_seed);
+        campaign.spec = Some(spec);
+        campaign
     }
 
     /// The same campaign with a fault plan applied to every run.
@@ -439,8 +459,12 @@ fn run_campaign_batched(
 
 /// Builds the session for run `index` of the campaign.
 fn session_for(campaign: &Campaign, index: u64, telemetry: &Telemetry) -> SimSession {
-    let config = RunConfig::new(campaign.scenario, campaign.base_seed + index)
-        .with_faults(campaign.faults.clone());
+    let seed = campaign.base_seed + index;
+    let mut config = match &campaign.spec {
+        Some(spec) => RunConfig::generated(spec.clone(), seed),
+        None => RunConfig::new(campaign.scenario, seed),
+    };
+    config = config.with_faults(campaign.faults.clone());
     SimSession::builder(campaign.scenario)
         .config(config)
         .attacker(campaign.attacker.clone())

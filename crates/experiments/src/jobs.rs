@@ -15,6 +15,7 @@
 //! dataset:⟨scenario⟩:⟨vector⟩   (6 jobs: collect the δ_inject × k sweep)
 //!    └─ oracle:⟨scenario⟩:⟨vector⟩   (6 jobs: train + snapshot the NN oracle)
 //!          └─ table2, fig6, fig7, fig8, ablations, defense, resilience
+//!          └─ search:⟨vector⟩   (3 jobs: coverage-guided boundary search)
 //! fig5   (independent: detector characterization, no oracle)
 //! ```
 //!
@@ -822,6 +823,14 @@ pub fn resilience(args: &Args, cache: &OracleCache) -> String {
     out
 }
 
+/// The coverage-guided boundary search for one attack vector
+/// ([`crate::search`]): renders the deterministic frontier report. The
+/// suite's `search:⟨vector⟩` jobs and the `search` binary both run this.
+pub fn search_report(vector: AttackVector, args: &Args, cache: &OracleCache) -> String {
+    let config = crate::search::SearchConfig::for_args(vector, args);
+    crate::search::run_search(&config, &args.sweep(), cache).render()
+}
+
 /// The six 〈scenario, vector〉 oracle arms the report jobs share — exactly
 /// the Table II matrix.
 fn oracle_arms() -> [(ScenarioId, AttackVector); 6] {
@@ -841,6 +850,10 @@ fn dataset_job_id(scenario: ScenarioId, vector: AttackVector) -> String {
 
 fn oracle_job_id(scenario: ScenarioId, vector: AttackVector) -> String {
     format!("oracle:{}:{}", scenario.name(), vector.name())
+}
+
+fn search_job_id(vector: AttackVector) -> String {
+    format!("search:{}", vector.name())
 }
 
 fn oracle_deps(arms: &[(ScenarioId, AttackVector)]) -> Vec<String> {
@@ -991,6 +1004,41 @@ pub fn paper_dag(args: &Args, store: &Arc<ArtifactStore>) -> Result<Dag, DagErro
             .output("report:resilience"),
     );
 
+    // Boundary search, one job per vector. A search uses the trained NN
+    // oracle only for the Table II arms under its vector (off-matrix roots
+    // fall back to the kinematic oracle), so those oracle jobs are its
+    // preparation dependencies.
+    for vector in AttackVector::ALL {
+        let search_arms: Vec<(ScenarioId, AttackVector)> = oracle_arms()
+            .iter()
+            .copied()
+            .filter(|&(_, v)| v == vector)
+            .collect();
+        let id = search_job_id(vector);
+        let args_ = args.clone();
+        let store_ = store.clone();
+        jobs.push(
+            Job::new(id.clone(), move || {
+                let cache = OracleCache::over(store_.clone());
+                let config = crate::search::SearchConfig::for_args(vector, &args_);
+                let report = crate::search::run_search(&config, &args_.sweep(), &cache);
+                // The scorecard counts the search's evaluation-summary
+                // lookups alongside the oracle/dataset ones: a warm store
+                // replays the whole search as artifact hits.
+                let (artifact_hits, artifact_misses) = cache.artifact_totals();
+                JobOutcome {
+                    stdout: report.render(),
+                    artifact_hits: artifact_hits + report.eval_hits,
+                    artifact_misses: artifact_misses + report.eval_misses,
+                    artifacts: Vec::new(),
+                }
+            })
+            .emits_stdout()
+            .deps(oracle_deps(&search_arms))
+            .output(format!("report:{id}")),
+        );
+    }
+
     Dag::new(jobs)
 }
 
@@ -1086,7 +1134,7 @@ mod tests {
         };
         let store = Arc::new(ArtifactStore::disabled());
         let dag = paper_dag(&args, &store).expect("valid DAG");
-        assert_eq!(dag.len(), 6 + 6 + 8);
+        assert_eq!(dag.len(), 6 + 6 + 8 + 3);
 
         let stdout_jobs: Vec<&str> = dag
             .jobs()
@@ -1104,9 +1152,12 @@ mod tests {
                 "fig8",
                 "ablations",
                 "defense",
-                "resilience"
+                "resilience",
+                "search:Move_Out",
+                "search:Move_In",
+                "search:Disappear"
             ],
-            "report order is the paper's artifact order"
+            "report order is the paper's artifact order, then the searches"
         );
 
         // Every oracle job depends on its dataset job.
@@ -1126,6 +1177,14 @@ mod tests {
         assert!(dag.jobs()[i].dep_ids().is_empty());
         let i = dag.position("table2").expect("table2 exists");
         assert_eq!(dag.jobs()[i].dep_ids().len(), 6);
+
+        // Each search depends on exactly its vector's Table II oracles.
+        let i = dag.position("search:Move_Out").expect("search exists");
+        assert_eq!(
+            dag.jobs()[i].dep_ids(),
+            ["oracle:DS-1:Move_Out", "oracle:DS-2:Move_Out"],
+            "search preparation is the vector's oracle arms"
+        );
     }
 
     #[test]
@@ -1183,7 +1242,19 @@ mod tests {
         let full = service
             .dag_for(&EvalRequest::default())
             .expect("full DAG for an unrestricted request");
-        assert_eq!(full.len(), 6 + 6 + 8);
+        assert_eq!(full.len(), 6 + 6 + 8 + 3);
+
+        let search = service
+            .dag_for(&EvalRequest {
+                only: vec!["search:Move_In".into()],
+                ..EvalRequest::default()
+            })
+            .expect("search subgraph");
+        assert_eq!(
+            search.len(),
+            5,
+            "2 datasets + 2 oracles + the Move_In search"
+        );
 
         let table2 = service
             .dag_for(&EvalRequest {

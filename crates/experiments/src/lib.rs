@@ -24,6 +24,12 @@
 //!   stdout report, plus the full evaluation as an `av-suite` job DAG over
 //!   one shared artifact store (the `suite` binary runs it; the per-figure
 //!   binaries are thin wrappers over the same functions).
+//! - [`search`]: coverage-guided boundary search over generated scenarios
+//!   (`av-scenarios` specs): a seeded MAP-elites loop that mutates spec
+//!   parameters toward the attack-success / safety-violation boundary,
+//!   evaluating candidates as batched campaigns with store-cached
+//!   evaluation summaries. Surfaced as the suite's `search:*` jobs and the
+//!   `search` binary.
 //! - [`stats`]: distribution fitting (exponential / normal, as in Fig. 5),
 //!   percentiles and box-plot summaries.
 //! - [`report`]: plain-text renderers that print each table/figure in the
@@ -45,6 +51,7 @@ pub mod oracle_cache;
 pub mod prelude;
 pub mod report;
 pub mod runner;
+pub mod search;
 pub mod session;
 pub mod stats;
 pub mod suite;
@@ -54,5 +61,6 @@ pub use batch::LanePool;
 pub use campaign::{Campaign, CampaignError, CampaignResult};
 pub use oracle_cache::{cache_key, OracleCache};
 pub use runner::{AttackerSpec, RunConfig, RunOutcome};
+pub use search::{run_search, SearchConfig, SearchReport};
 pub use session::{SessionWorker, SimSession, SimSessionBuilder};
 pub use train_sh::{train_oracle, TrainedOracle};

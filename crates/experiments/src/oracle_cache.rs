@@ -79,7 +79,13 @@ pub fn cache_key(scenario: ScenarioId, vector: AttackVector, sweep: &SweepConfig
     if av_neural::gemm::mode().reorders_fp() {
         h.write(b"gemm:tiled");
     }
+    // Generated scenarios fold their content hash after the shared "GEN"
+    // name, so every spec gets its own address; the fixed DS-1..5 keys
+    // write exactly the bytes they always did (pinned by regression test).
     h.write(scenario.name().as_bytes());
+    if let Some(gen_hash) = scenario.gen_hash() {
+        h.write_u64(gen_hash);
+    }
     h.write(vector.name().as_bytes());
     h.write_u64(sweep.delta_injects.len() as u64);
     for &d in &sweep.delta_injects {
@@ -650,6 +656,66 @@ mod tests {
             k0,
             cache_key(ScenarioId::Ds1, AttackVector::MoveOut, &base.clone())
         );
+    }
+
+    /// Satellite regression pin: generalizing the key schema to generated
+    /// scenarios must not move a single fixed-scenario cache address. These
+    /// literals are the exact DS-1..5 keys the pre-generalization code
+    /// produced for a frozen sweep — if any of them changes, every warm
+    /// store in existence silently goes cold.
+    #[test]
+    fn fixed_scenario_cache_keys_are_pinned() {
+        let sweep = SweepConfig {
+            delta_injects: vec![8.0, 16.0, 24.0, 32.0],
+            ks: vec![10, 30, 50, 70],
+            seeds_per_cell: 1,
+            base_seed: 9000,
+        };
+        let pinned: [(ScenarioId, AttackVector, u64); 6] = [
+            (ScenarioId::Ds1, AttackVector::Disappear, PIN_DS1_DISAPPEAR),
+            (ScenarioId::Ds2, AttackVector::Disappear, PIN_DS2_DISAPPEAR),
+            (ScenarioId::Ds1, AttackVector::MoveOut, PIN_DS1_MOVE_OUT),
+            (ScenarioId::Ds2, AttackVector::MoveOut, PIN_DS2_MOVE_OUT),
+            (ScenarioId::Ds3, AttackVector::MoveIn, PIN_DS3_MOVE_IN),
+            (ScenarioId::Ds4, AttackVector::MoveIn, PIN_DS4_MOVE_IN),
+        ];
+        for (scenario, vector, expected) in pinned {
+            assert_eq!(
+                cache_key(scenario, vector, &sweep),
+                expected,
+                "{scenario:?}/{vector:?}: fixed-scenario cache key drifted"
+            );
+        }
+    }
+
+    const PIN_DS1_DISAPPEAR: u64 = 0xa10d_35e6_aa2f_52c0;
+    const PIN_DS2_DISAPPEAR: u64 = 0xb8b3_cf40_52a3_8067;
+    const PIN_DS1_MOVE_OUT: u64 = 0x28ca_ea16_0699_ae65;
+    const PIN_DS2_MOVE_OUT: u64 = 0xfca9_ed94_af05_84ac;
+    const PIN_DS3_MOVE_IN: u64 = 0x48f6_9faf_22af_b956;
+    const PIN_DS4_MOVE_IN: u64 = 0x0a00_5190_4b61_6001;
+
+    /// Generated scenarios key on their content hash: distinct specs get
+    /// distinct addresses (no collision on the shared "GEN" name), and the
+    /// same spec keys stably.
+    #[test]
+    fn generated_scenario_keys_depend_on_the_content_hash() {
+        let sweep = SweepConfig::tiny();
+        let a = cache_key(ScenarioId::Gen(1), AttackVector::MoveOut, &sweep);
+        let b = cache_key(ScenarioId::Gen(2), AttackVector::MoveOut, &sweep);
+        assert_ne!(a, b, "distinct spec hashes must not collide");
+        assert_eq!(
+            a,
+            cache_key(ScenarioId::Gen(1), AttackVector::MoveOut, &sweep),
+            "generated keys are stable"
+        );
+        for scenario in ScenarioId::ALL {
+            assert_ne!(
+                a,
+                cache_key(scenario, AttackVector::MoveOut, &sweep),
+                "generated keys never collide with fixed-scenario keys"
+            );
+        }
     }
 
     #[test]

@@ -76,6 +76,13 @@ pub enum AttackerSpec {
 pub struct RunConfig {
     /// The driving scenario.
     pub scenario: ScenarioId,
+    /// For generated scenarios ([`ScenarioId::Gen`]): the spec the world is
+    /// sampled from, carried out of band because a `Gen` id is a content
+    /// hash, not a build recipe. `None` for the fixed DS-1..5 scenarios,
+    /// whose recipes live in [`Scenario::build`]. Sampling draws from the
+    /// same seeded RNG stream `build` uses, so fixed scenarios expressed as
+    /// specs replay bit-identically either way.
+    pub spec: Option<Arc<av_scenarios::ScenarioSpec>>,
     /// Run seed (world jitter, every noise source, attacker sampling).
     pub seed: u64,
     /// Detector noise calibration for both the ADS and the malware replica.
@@ -99,6 +106,7 @@ impl RunConfig {
     pub fn new(scenario: ScenarioId, seed: u64) -> Self {
         RunConfig {
             scenario,
+            spec: None,
             seed,
             calibration: DetectorCalibration::paper(),
             safety: SafetyConfig::default(),
@@ -106,6 +114,24 @@ impl RunConfig {
             sigma_fraction: 1.0,
             sh: robotack::safety_hijacker::SafetyHijackerConfig::default(),
             faults: FaultPlan::none(),
+        }
+    }
+
+    /// Standard configuration for a generated scenario: the run carries the
+    /// spec and is identified by [`av_scenarios::ScenarioSpec::scenario_id`]
+    /// (the spec's content hash).
+    pub fn generated(spec: Arc<av_scenarios::ScenarioSpec>, seed: u64) -> Self {
+        let mut config = RunConfig::new(spec.scenario_id(), seed);
+        config.spec = Some(spec);
+        config
+    }
+
+    /// Builds the run's scenario world: sampled from the carried spec when
+    /// one is present, otherwise via the fixed recipe in [`Scenario::build`].
+    pub fn build_scenario(&self) -> Scenario {
+        match &self.spec {
+            Some(spec) => spec.sample(self.seed),
+            None => Scenario::build(self.scenario, self.seed),
         }
     }
 

@@ -85,6 +85,17 @@ impl SimSessionBuilder {
         self
     }
 
+    /// Runs a generated scenario: the world is sampled from `spec` at the
+    /// run seed (same RNG stream the fixed recipes draw from) and the run
+    /// is identified by the spec's content hash
+    /// ([`av_scenarios::ScenarioSpec::scenario_id`]).
+    #[must_use]
+    pub fn spec(mut self, spec: std::sync::Arc<av_scenarios::ScenarioSpec>) -> Self {
+        self.config.scenario = spec.scenario_id();
+        self.config.spec = Some(spec);
+        self
+    }
+
     /// Overrides the detector noise calibration (both the ADS and the
     /// malware replica use it).
     #[must_use]
@@ -247,7 +258,7 @@ impl RunState {
         let config = session.config.clone();
         let tele = session.telemetry.clone();
 
-        let scenario = Scenario::build(config.scenario, config.seed);
+        let scenario = config.build_scenario();
         let mut rng = run_rng(config.seed, 0xA77ACC);
         let mut attacker = session.attacker.build(&scenario, &config, &mut rng);
         attacker.set_telemetry(tele.clone());

@@ -19,6 +19,8 @@ use av_experiments::prelude::*;
 use av_experiments::train_sh::train_oracle_on;
 use av_faults::{FaultKind, FaultPlan, FaultSpec};
 use av_neural::train::Dataset;
+use av_scenarios::{ds, mutate, MutateConfig, ScenarioSpec};
+use av_simkit::rng::run_rng;
 use std::sync::Arc;
 
 /// The committed golden fixtures (kept in sync with `golden_traces.rs`): if
@@ -233,6 +235,46 @@ fn malware_runs_are_batch_equivalent() {
     for batch_size in BATCH_SIZES {
         let bat = batched(&sessions, batch_size);
         assert_outcomes_equivalent(&seq, &bat, &format!("malware, batch {batch_size}"));
+    }
+}
+
+#[test]
+fn generated_scenarios_are_batch_equivalent() {
+    // The same population the boundary search explores: each DS root
+    // pushed through a few seeded mutation steps, then run as a
+    // spec-carrying session (ScenarioId::Gen + out-of-band spec).
+    let mut rng = run_rng(0xB47C, 0x7E57);
+    let cfg = MutateConfig::default();
+    let mut sessions = Vec::new();
+    for root in ds::all() {
+        let mut spec = root;
+        for _ in 0..3 {
+            spec = mutate(&spec, &mut rng, &cfg);
+        }
+        assert!(spec.validate().is_ok(), "mutant stays spec-valid");
+        let spec: Arc<ScenarioSpec> = Arc::new(spec);
+        for seed in [7, 8] {
+            sessions.push(
+                SimSession::builder(spec.scenario_id())
+                    .spec(spec.clone())
+                    .seed(seed)
+                    .attacker(AttackerSpec::RoboTack {
+                        vector: Some(AttackVector::MoveOut),
+                        oracle: OracleSpec::Kinematic,
+                    })
+                    .build(),
+            );
+        }
+    }
+
+    let seq = sequential(&sessions);
+    assert!(
+        seq.iter().any(|o| o.attack.launched_at.is_some()),
+        "at least one attack must launch on a generated world"
+    );
+    for batch_size in BATCH_SIZES {
+        let bat = batched(&sessions, batch_size);
+        assert_outcomes_equivalent(&seq, &bat, &format!("generated, batch {batch_size}"));
     }
 }
 

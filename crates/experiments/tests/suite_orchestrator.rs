@@ -67,10 +67,10 @@ fn full_dag_is_deterministic_across_worker_counts() {
     let reference = run_cold(&dir, 1);
     assert_eq!(
         reference.jobs.len(),
-        20,
-        "6 datasets + 6 oracles + 8 reports"
+        23,
+        "6 datasets + 6 oracles + 8 reports + 3 searches"
     );
-    assert_eq!(reference.jobs_run(), 20);
+    assert_eq!(reference.jobs_run(), 23);
     let ref_stdout = suite_stdout(&reference);
     assert!(ref_stdout.contains("Fig. 6"), "reports made it to stdout");
     let ref_digests = artifact_digests(&reference);
@@ -111,14 +111,14 @@ fn killed_run_resumes_from_truncated_manifest() {
 
     let dag = paper_dag(&args, &store).expect("valid DAG");
     let first = execute(&dag, &opts).expect("first run");
-    assert_eq!(first.jobs_run(), 20);
+    assert_eq!(first.jobs_run(), 23);
 
     // Simulate a kill mid-run: keep the header and the first 8 completed
     // entries, then half of the 9th — exactly what a process death between
     // flushes leaves behind.
     let contents = std::fs::read_to_string(&manifest).expect("manifest");
     let lines: Vec<&str> = contents.lines().collect();
-    assert_eq!(lines.len(), 21, "header + one entry per job");
+    assert_eq!(lines.len(), 24, "header + one entry per job");
     let half = lines[9];
     std::fs::write(
         &manifest,
@@ -131,7 +131,7 @@ fn killed_run_resumes_from_truncated_manifest() {
     assert_eq!(second.jobs_skipped(), 8, "recovered entries are skipped");
     assert_eq!(
         second.jobs_run(),
-        12,
+        15,
         "the garbled entry and the rest rerun"
     );
     assert_eq!(
@@ -149,7 +149,7 @@ fn killed_run_resumes_from_truncated_manifest() {
     let dag = paper_dag(&args, &store).expect("valid DAG");
     let third = execute(&dag, &opts).expect("warm rerun");
     assert_eq!(third.jobs_run(), 0);
-    assert_eq!(third.jobs_skipped(), 20);
+    assert_eq!(third.jobs_skipped(), 23);
     assert_eq!(suite_stdout(&third), suite_stdout(&first));
 
     let _ = std::fs::remove_dir_all(&dir);

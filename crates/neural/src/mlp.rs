@@ -456,10 +456,10 @@ impl Mlp {
     ///   with the next tile's multiply/add stream instead of serializing
     ///   into a separate memory-bound pass over all parameters after
     ///   backward finishes. Gradients are still stored to
-    ///   [`TrainScratch::grads`].
+    ///   the scratch's gradient buffers.
     /// - The same epilogue mirrors each updated weight into the scratch's
     ///   persistent `Wᵀ` shadow, which the next fused forward streams
-    ///   directly ([`TrainScratch::wt`]).
+    ///   directly.
     ///
     /// Update order across parameters is tile order rather than cursor
     /// order; each parameter keeps its fixed moment slot and its exact

@@ -1,0 +1,47 @@
+//! # av-scenarios — procedural scenario generation
+//!
+//! The paper evaluates RoboTack on five fixed driving scenarios (DS-1..5,
+//! §V-C); this crate turns that envelope into a *space*. It provides:
+//!
+//! - [`param`]: sampled scalar parameters ([`Param`]) — fixed values,
+//!   uniform ranges, and base-±-jitter draws — with deterministic,
+//!   guarded sampling.
+//! - [`spec`]: the typed scenario DSL. A [`ScenarioSpec`] describes road
+//!   layout, a list of [`ActorTemplate`]s (lead/oncoming/trailing traffic,
+//!   pedestrian crossings, parked occluders, cut-ins), the scripted target,
+//!   and the run duration. [`ScenarioSpec::sample`] builds a concrete
+//!   [`av_simkit::Scenario`] from a seed through the same simkit RNG stream
+//!   (`0xD5`) the fixed scenarios use; [`ScenarioSpec::content_hash`] is the
+//!   stable FNV-1a identity that keys artifact stores and cache entries, and
+//!   [`world_invariants`] checks the validity contract (no overlapping
+//!   spawns, reachable target geometry) on built worlds.
+//! - [`ds`]: DS-1..5 re-expressed as specs. Their sampled worlds are
+//!   **bit-identical** to [`av_simkit::Scenario::build`] — pinned by this
+//!   crate's tests and by the golden-trace suite in `av-experiments`.
+//! - [`mod@mutate`]: deterministic spec mutation (seeded, bounded, validity
+//!   preserving) — the step operator the coverage-guided boundary search in
+//!   `av-experiments` drives toward the attack-success frontier.
+//!
+//! # Example
+//!
+//! ```
+//! use av_scenarios::{ds, world_invariants};
+//!
+//! let spec = ds::ds2();
+//! let scenario = spec.sample(7);
+//! assert!(world_invariants(&scenario).is_ok());
+//! assert_eq!(scenario.id, spec.scenario_id());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ds;
+pub mod mutate;
+pub mod param;
+pub mod spec;
+
+pub use mutate::{mutate, MutateConfig};
+pub use param::Param;
+pub use spec::{
+    world_fingerprint, world_invariants, ActorTemplate, ScenarioSpec, SpecError, SPEC_VERSION,
+};

@@ -1,0 +1,256 @@
+//! Deterministic, bounded spec mutation — the step operator for
+//! coverage-guided boundary search.
+//!
+//! [`mutate`] nudges a small number of continuous knobs (spawn positions,
+//! speeds, walk speeds, cut-in trigger points, ego cruise speed) by
+//! uniform deltas drawn from the caller's RNG, clamping every knob into a
+//! fixed sane domain via [`Param::shifted`]. Structure (templates, ids,
+//! lanes, counts, road) is never changed, so a mutant of a spec that
+//! passes [`ScenarioSpec::validate`] passes it too; world-level validity
+//! (spawn overlap, reachability) is re-checked by the search driver with
+//! [`crate::world_invariants`].
+//!
+//! Determinism: the mutation consumes exactly `2 × moves` RNG draws (a
+//! knob pick and a delta per move), so a given RNG state always yields
+//! the same mutant.
+
+use crate::param::Param;
+use crate::spec::{ActorTemplate, ScenarioSpec};
+use rand::rngs::StdRng;
+
+/// Knob domains (min, max) mutation clamps into.
+mod domain {
+    /// Forward spawn positions and trigger points (m).
+    pub const X: (f64, f64) = (10.0, 250.0);
+    /// Trailing-car spawn positions (m, behind the ego).
+    pub const X_REAR: (f64, f64) = (-80.0, -5.0);
+    /// Vehicle speeds (kph).
+    pub const SPEED: (f64, f64) = (5.0, 60.0);
+    /// Pedestrian walking speeds (m/s).
+    pub const WALK: (f64, f64) = (0.4, 3.0);
+    /// Ego cruise speed (kph).
+    pub const CRUISE: (f64, f64) = (20.0, 70.0);
+}
+
+/// Tuning for [`mutate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutateConfig {
+    /// Number of knob nudges per mutation.
+    pub moves: usize,
+    /// Maximum |delta| for position knobs (m).
+    pub pos_step: f64,
+    /// Maximum |delta| for speed knobs (kph).
+    pub speed_step: f64,
+    /// Maximum |delta| for walking-speed knobs (m/s).
+    pub walk_step: f64,
+}
+
+impl Default for MutateConfig {
+    fn default() -> Self {
+        MutateConfig {
+            moves: 2,
+            pos_step: 12.0,
+            speed_step: 6.0,
+            walk_step: 0.5,
+        }
+    }
+}
+
+/// A mutable continuous knob of a spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Knob {
+    /// `cruise_kph` on the spec itself (actor index ignored).
+    Cruise,
+    /// A template's spawn/range position parameter.
+    X { actor: usize },
+    /// A trailing template's (rear) position parameter.
+    XRear { actor: usize },
+    /// A template's vehicle speed parameter (kph).
+    Speed { actor: usize },
+    /// A template's walking speed parameter (m/s).
+    Walk { actor: usize },
+    /// A cut-in template's trigger position.
+    CutX { actor: usize },
+}
+
+fn knobs_of(spec: &ScenarioSpec) -> Vec<Knob> {
+    let mut knobs = vec![Knob::Cruise];
+    for (i, t) in spec.actors.iter().enumerate() {
+        match t {
+            ActorTemplate::Lead { .. } => {
+                knobs.push(Knob::X { actor: i });
+                knobs.push(Knob::Speed { actor: i });
+            }
+            ActorTemplate::Crossing { .. } => {
+                knobs.push(Knob::X { actor: i });
+                knobs.push(Knob::Walk { actor: i });
+            }
+            ActorTemplate::Parked { .. } => knobs.push(Knob::X { actor: i }),
+            ActorTemplate::Approaching { .. } => {
+                knobs.push(Knob::X { actor: i });
+                knobs.push(Knob::Walk { actor: i });
+            }
+            ActorTemplate::OncomingStream { .. } => {
+                knobs.push(Knob::X { actor: i });
+                knobs.push(Knob::Speed { actor: i });
+            }
+            ActorTemplate::Trailing { .. } => {
+                knobs.push(Knob::XRear { actor: i });
+                knobs.push(Knob::Speed { actor: i });
+            }
+            ActorTemplate::CutIn { .. } => {
+                knobs.push(Knob::X { actor: i });
+                knobs.push(Knob::Speed { actor: i });
+                knobs.push(Knob::CutX { actor: i });
+            }
+        }
+    }
+    knobs
+}
+
+fn shift(p: &mut Param, delta: f64, (lo, hi): (f64, f64)) {
+    *p = p.shifted(delta, lo, hi);
+}
+
+fn apply(spec: &mut ScenarioSpec, knob: Knob, delta: f64) {
+    match knob {
+        Knob::Cruise => {
+            let (lo, hi) = domain::CRUISE;
+            spec.cruise_kph = (spec.cruise_kph + delta).clamp(lo, hi);
+        }
+        Knob::X { actor } => match &mut spec.actors[actor] {
+            ActorTemplate::Lead { x0, .. }
+            | ActorTemplate::Crossing { x0, .. }
+            | ActorTemplate::Parked { x0, .. }
+            | ActorTemplate::Approaching { x0, .. }
+            | ActorTemplate::CutIn { x0, .. } => shift(x0, delta, domain::X),
+            ActorTemplate::OncomingStream { x, .. } => shift(x, delta, domain::X),
+            ActorTemplate::Trailing { x0, .. } => shift(x0, delta, domain::X_REAR),
+        },
+        Knob::XRear { actor } => {
+            if let ActorTemplate::Trailing { x0, .. } = &mut spec.actors[actor] {
+                shift(x0, delta, domain::X_REAR);
+            }
+        }
+        Knob::Speed { actor } => match &mut spec.actors[actor] {
+            ActorTemplate::Lead { speed_kph, .. }
+            | ActorTemplate::OncomingStream { speed_kph, .. }
+            | ActorTemplate::Trailing { speed_kph, .. }
+            | ActorTemplate::CutIn { speed_kph, .. } => shift(speed_kph, delta, domain::SPEED),
+            _ => {}
+        },
+        Knob::Walk { actor } => match &mut spec.actors[actor] {
+            ActorTemplate::Crossing { walk, .. } | ActorTemplate::Approaching { walk, .. } => {
+                shift(walk, delta, domain::WALK)
+            }
+            _ => {}
+        },
+        Knob::CutX { actor } => {
+            if let ActorTemplate::CutIn { cut_x, .. } = &mut spec.actors[actor] {
+                shift(cut_x, delta, domain::X);
+            }
+        }
+    }
+}
+
+fn step_for(knob: Knob, cfg: &MutateConfig) -> f64 {
+    match knob {
+        Knob::Cruise | Knob::Speed { .. } => cfg.speed_step,
+        Knob::Walk { .. } => cfg.walk_step,
+        Knob::X { .. } | Knob::XRear { .. } | Knob::CutX { .. } => cfg.pos_step,
+    }
+}
+
+/// Returns a bounded mutant of `spec`: `cfg.moves` knobs picked and
+/// nudged with draws from `rng` (see the module docs for the RNG
+/// contract). The mutant keeps the parent's structure and name; its
+/// [`ScenarioSpec::content_hash`] changes whenever any knob moved.
+pub fn mutate(spec: &ScenarioSpec, rng: &mut StdRng, cfg: &MutateConfig) -> ScenarioSpec {
+    let mut out = spec.clone();
+    let knobs = knobs_of(spec);
+    if knobs.is_empty() {
+        return out;
+    }
+    for _ in 0..cfg.moves {
+        let knob = knobs[rng.random_range(0..knobs.len())];
+        let step = step_for(knob, cfg);
+        let delta = if step > 0.0 {
+            rng.random_range(-step..step)
+        } else {
+            0.0
+        };
+        apply(&mut out, knob, delta);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ds;
+    use av_simkit::rng::run_rng;
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let spec = ds::ds2();
+        let cfg = MutateConfig::default();
+        let a = mutate(&spec, &mut run_rng(9, 1), &cfg);
+        let b = mutate(&spec, &mut run_rng(9, 1), &cfg);
+        let c = mutate(&spec, &mut run_rng(9, 2), &cfg);
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Different RNG state -> (almost surely) a different mutant.
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn mutants_of_valid_specs_stay_valid() {
+        let cfg = MutateConfig {
+            moves: 4,
+            ..MutateConfig::default()
+        };
+        for spec in ds::all() {
+            let mut rng = run_rng(3, 0x77);
+            let mut current = spec;
+            for _ in 0..50 {
+                current = mutate(&current, &mut rng, &cfg);
+                current
+                    .validate()
+                    .unwrap_or_else(|e| panic!("mutant of {} became invalid: {e}", current.name));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_changes_the_content_hash_but_not_structure() {
+        let spec = ds::ds5();
+        let mut rng = run_rng(11, 0x77);
+        let m = mutate(&spec, &mut rng, &MutateConfig::default());
+        assert_ne!(spec.content_hash(), m.content_hash());
+        assert_eq!(spec.actors.len(), m.actors.len());
+        assert_eq!(spec.name, m.name);
+        assert_eq!(spec.road, m.road);
+    }
+
+    #[test]
+    fn knob_domains_hold_under_extreme_steps() {
+        let cfg = MutateConfig {
+            moves: 8,
+            pos_step: 500.0,
+            speed_step: 200.0,
+            walk_step: 10.0,
+        };
+        let mut rng = run_rng(1, 0x77);
+        let mut spec = ds::ds5();
+        for _ in 0..30 {
+            spec = mutate(&spec, &mut rng, &cfg);
+        }
+        assert!((20.0..=70.0).contains(&spec.cruise_kph));
+        for t in &spec.actors {
+            if let crate::spec::ActorTemplate::Trailing { x0, .. } = t {
+                let (lo, hi) = x0.bounds();
+                assert!(lo >= -80.0 && hi <= -5.0, "{t:?}");
+            }
+        }
+        spec.validate().unwrap();
+    }
+}

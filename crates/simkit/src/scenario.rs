@@ -14,7 +14,8 @@ use crate::units::kph_to_mps;
 use crate::world::World;
 use serde::{Deserialize, Serialize};
 
-/// Identifier of a driving scenario from the paper (§V-C, Fig. 4).
+/// Identifier of a driving scenario from the paper (§V-C, Fig. 4), or a
+/// procedurally generated scenario identified by its spec content hash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ScenarioId {
     /// DS-1: ego follows a slower target vehicle in its lane.
@@ -27,10 +28,15 @@ pub enum ScenarioId {
     Ds4,
     /// DS-5: DS-1 plus random traffic — the random-attack baseline scenario.
     Ds5,
+    /// A procedurally generated scenario, identified by the content hash of
+    /// its `ScenarioSpec` (see the `av-scenarios` crate). The spec itself is
+    /// carried out of band ([`Scenario::build`] cannot rebuild it); the hash
+    /// is what cache keys, labels, and manifests record.
+    Gen(u64),
 }
 
 impl ScenarioId {
-    /// All five scenarios, in paper order.
+    /// The five fixed paper scenarios, in paper order.
     pub const ALL: [ScenarioId; 5] = [
         ScenarioId::Ds1,
         ScenarioId::Ds2,
@@ -39,7 +45,9 @@ impl ScenarioId {
         ScenarioId::Ds5,
     ];
 
-    /// The paper's name for the scenario.
+    /// The paper's name for the scenario; generated scenarios share the
+    /// static `"GEN"` tag (use [`ScenarioId::label`] or `Display` for the
+    /// hash-qualified form).
     pub fn name(self) -> &'static str {
         match self {
             ScenarioId::Ds1 => "DS-1",
@@ -47,10 +55,30 @@ impl ScenarioId {
             ScenarioId::Ds3 => "DS-3",
             ScenarioId::Ds4 => "DS-4",
             ScenarioId::Ds5 => "DS-5",
+            ScenarioId::Gen(_) => "GEN",
         }
     }
 
-    /// Whether the scenario's target object is a pedestrian.
+    /// A unique label: the paper name for fixed scenarios, the
+    /// hash-qualified `GEN-xxxxxxxxxxxxxxxx` form for generated ones.
+    pub fn label(self) -> String {
+        match self {
+            ScenarioId::Gen(hash) => format!("GEN-{hash:016x}"),
+            fixed => fixed.name().to_string(),
+        }
+    }
+
+    /// The content hash of a generated scenario, if this is one.
+    pub fn gen_hash(self) -> Option<u64> {
+        match self {
+            ScenarioId::Gen(hash) => Some(hash),
+            _ => None,
+        }
+    }
+
+    /// Whether the scenario's target object is a pedestrian. Generated
+    /// scenarios answer `false` here; their built worlds carry the actual
+    /// target kind.
     pub fn target_is_pedestrian(self) -> bool {
         matches!(self, ScenarioId::Ds2 | ScenarioId::Ds4)
     }
@@ -58,7 +86,53 @@ impl ScenarioId {
 
 impl std::fmt::Display for ScenarioId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+        match self {
+            ScenarioId::Gen(hash) => write!(f, "GEN-{hash:016x}"),
+            fixed => f.write_str(fixed.name()),
+        }
+    }
+}
+
+/// The knobs [`Scenario::build`] historically hardcoded: road geometry,
+/// cruise speed, spawn jitter, and the DS-5 traffic population. The default
+/// reproduces the paper setup bit-for-bit (the golden-trace suite pins it);
+/// spec-driven callers can widen any of them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioParams {
+    /// Road layout (lane width, lane count, speed limit).
+    pub road: Road,
+    /// Ego cruise speed (kph). The paper drives Borregas Avenue at 45 kph.
+    pub cruise_kph: f64,
+    /// Half-width of the uniform longitudinal spawn jitter (m); every
+    /// scripted actor's x0 draws from `±jitter_m`.
+    pub jitter_m: f64,
+    /// DS-5: oncoming NPC count range (inclusive).
+    pub oncoming_count: (usize, usize),
+    /// DS-5: oncoming NPC spawn range along x (m, half-open).
+    pub oncoming_x: (f64, f64),
+    /// DS-5: oncoming NPC speed range (kph, half-open).
+    pub oncoming_speed_kph: (f64, f64),
+    /// DS-5: trailing-car speed range (kph, half-open).
+    pub rear_speed_kph: (f64, f64),
+    /// DS-5: actor id of the first oncoming NPC (consecutive ids follow).
+    pub first_npc_id: u32,
+    /// DS-5: actor id of the trailing car.
+    pub rear_id: u32,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        ScenarioParams {
+            road: Road::default(),
+            cruise_kph: 45.0,
+            jitter_m: 2.0,
+            oncoming_count: (2, 4),
+            oncoming_x: (60.0, 240.0),
+            oncoming_speed_kph: (20.0, 40.0),
+            rear_speed_kph: (20.0, 30.0),
+            first_npc_id: 10,
+            rear_id: 20,
+        }
     }
 }
 
@@ -83,15 +157,41 @@ pub const EGO_ID: ActorId = ActorId(0);
 pub const TARGET_ID: ActorId = ActorId(1);
 
 impl Scenario {
-    /// Builds scenario `id`. `seed` randomizes the DS-5 traffic and adds
-    /// small per-run jitter to initial positions (±2 m longitudinal), so
-    /// campaigns explore slightly different interaction timings, like the
-    /// paper's 150–200 runs per campaign do.
+    /// Builds scenario `id` with the paper's parameters. `seed` randomizes
+    /// the DS-5 traffic and adds small per-run jitter to initial positions
+    /// (±2 m longitudinal), so campaigns explore slightly different
+    /// interaction timings, like the paper's 150–200 runs per campaign do.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`ScenarioId::Gen`]: generated scenarios carry their world
+    /// recipe in a `ScenarioSpec` (the `av-scenarios` crate) and are built
+    /// by sampling that spec, not from the id alone.
     pub fn build(id: ScenarioId, seed: u64) -> Scenario {
+        Scenario::build_with(id, seed, &ScenarioParams::default())
+    }
+
+    /// Builds scenario `id` with explicit [`ScenarioParams`]. The default
+    /// parameters reproduce [`Scenario::build`] bit-for-bit; everything the
+    /// five fixed scenarios used to hardcode (road geometry, cruise speed,
+    /// jitter width, the DS-5 traffic population and its actor-id layout)
+    /// is a parameter here.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`ScenarioId::Gen`] (see [`Scenario::build`]).
+    pub fn build_with(id: ScenarioId, seed: u64, params: &ScenarioParams) -> Scenario {
         let mut rng = rng::run_rng(seed, 0xD5);
-        let road = Road::default();
-        let cruise = kph_to_mps(45.0);
-        let jitter = |rng: &mut rand::rngs::StdRng| rng.random_range(-2.0..2.0);
+        let road = params.road.clone();
+        let cruise = kph_to_mps(params.cruise_kph);
+        let jitter_m = params.jitter_m;
+        let jitter = move |rng: &mut rand::rngs::StdRng| {
+            if jitter_m > 0.0 {
+                rng.random_range(-jitter_m..jitter_m)
+            } else {
+                0.0
+            }
+        };
 
         let ego = Actor::new(
             EGO_ID,
@@ -134,10 +234,13 @@ impl Scenario {
             }
             ScenarioId::Ds3 => {
                 let x0 = 90.0 + jitter(&mut rng);
+                // Parked in the right-most (parking) lane, wherever the
+                // road layout puts it (-3.5 m on the paper's road).
+                let y = world.road.lane_center(world.road.min_lane);
                 let tv = Actor::new(
                     TARGET_ID,
                     ActorKind::Car,
-                    Vec2::new(x0, -3.5),
+                    Vec2::new(x0, y),
                     0.0,
                     Behavior::Parked,
                 );
@@ -171,35 +274,62 @@ impl Scenario {
                     Behavior::CruiseStraight { speed: v_tv },
                 );
                 world.add_actor(tv).expect("fresh world");
-                // Oncoming traffic in the adjacent lane plus a trailing car,
-                // with randomized speeds and positions (§V-C: "random
+                // Oncoming traffic in the left-most lane plus a trailing
+                // car, with randomized speeds and positions (§V-C: "random
                 // waypoints and trajectories"). The lead-most oncoming car
                 // (smallest x) gets the highest speed so same-lane NPCs
                 // never drive through each other (no NPC-NPC collision
-                // model in the plan-view world).
-                let n_oncoming = rng.random_range(2..=4usize);
+                // model in the plan-view world). Population size, spawn and
+                // speed ranges, and the actor-id layout all come from
+                // `params` (the historical values are the defaults).
+                let (n_min, n_max) = params.oncoming_count;
+                let n_oncoming = if n_min < n_max {
+                    rng.random_range(n_min..=n_max)
+                } else {
+                    n_min
+                };
+                let (x_lo, x_hi) = params.oncoming_x;
                 let mut xs: Vec<f64> = (0..n_oncoming)
-                    .map(|_| rng.random_range(60.0..240.0))
+                    .map(|_| {
+                        if x_lo < x_hi {
+                            rng.random_range(x_lo..x_hi)
+                        } else {
+                            x_lo
+                        }
+                    })
                     .collect();
+                let (v_lo, v_hi) = params.oncoming_speed_kph;
                 let mut vs: Vec<f64> = (0..n_oncoming)
-                    .map(|_| kph_to_mps(rng.random_range(20.0..40.0)))
+                    .map(|_| {
+                        kph_to_mps(if v_lo < v_hi {
+                            rng.random_range(v_lo..v_hi)
+                        } else {
+                            v_lo
+                        })
+                    })
                     .collect();
                 xs.sort_by(|a, b| a.total_cmp(b));
                 vs.sort_by(|a, b| b.total_cmp(a));
+                let oncoming_y = world.road.lane_center(world.road.max_lane);
                 for (i, (x, v)) in xs.into_iter().zip(vs).enumerate() {
                     let mut npc = Actor::new(
-                        ActorId(10 + i as u32),
+                        ActorId(params.first_npc_id + i as u32),
                         ActorKind::Car,
-                        Vec2::new(x, 3.5),
+                        Vec2::new(x, oncoming_y),
                         v,
                         Behavior::CruiseStraight { speed: v },
                     );
                     npc.pose.heading = std::f64::consts::PI; // oncoming
                     world.add_actor(npc).expect("fresh world");
                 }
-                let v_rear = kph_to_mps(rng.random_range(20.0..30.0));
+                let (r_lo, r_hi) = params.rear_speed_kph;
+                let v_rear = kph_to_mps(if r_lo < r_hi {
+                    rng.random_range(r_lo..r_hi)
+                } else {
+                    r_lo
+                });
                 let rear = Actor::new(
-                    ActorId(20),
+                    ActorId(params.rear_id),
                     ActorKind::Car,
                     Vec2::new(-30.0 + jitter(&mut rng), 0.0),
                     v_rear,
@@ -208,6 +338,10 @@ impl Scenario {
                 world.add_actor(rear).expect("fresh world");
                 (TARGET_ID, 45.0)
             }
+            ScenarioId::Gen(hash) => panic!(
+                "ScenarioId::Gen({hash:#x}) has no standalone build recipe; \
+                 sample its ScenarioSpec (av-scenarios) instead"
+            ),
         };
 
         Scenario {
@@ -286,5 +420,90 @@ mod tests {
         assert_eq!(ScenarioId::Ds5.name(), "DS-5");
         assert!(ScenarioId::Ds2.target_is_pedestrian());
         assert!(!ScenarioId::Ds3.target_is_pedestrian());
+    }
+
+    #[test]
+    fn generated_ids_are_hash_labeled() {
+        let id = ScenarioId::Gen(0xABCD);
+        assert_eq!(id.name(), "GEN");
+        assert_eq!(id.label(), "GEN-000000000000abcd");
+        assert_eq!(id.to_string(), id.label());
+        assert_eq!(id.gen_hash(), Some(0xABCD));
+        assert_eq!(ScenarioId::Ds1.gen_hash(), None);
+        assert!(!id.target_is_pedestrian());
+    }
+
+    /// Default params must reproduce `Scenario::build` bit-for-bit — the
+    /// contract that lets `build` delegate to `build_with`.
+    #[test]
+    fn default_params_are_bit_identical_to_build() {
+        for id in ScenarioId::ALL {
+            for seed in [0, 7, 1234] {
+                let a = Scenario::build(id, seed);
+                let b = Scenario::build_with(id, seed, &ScenarioParams::default());
+                assert_eq!(a.duration, b.duration);
+                assert_eq!(a.world.actors().len(), b.world.actors().len());
+                for (x, y) in a.world.actors().iter().zip(b.world.actors()) {
+                    assert_eq!(x.id, y.id, "{id} seed {seed}");
+                    assert_eq!(
+                        x.pose.position.x.to_bits(),
+                        y.pose.position.x.to_bits(),
+                        "{id} seed {seed} actor {} x",
+                        x.id
+                    );
+                    assert_eq!(x.pose.position.y.to_bits(), y.pose.position.y.to_bits());
+                    assert_eq!(x.speed.to_bits(), y.speed.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn params_widen_the_ds5_population() {
+        let params = ScenarioParams {
+            oncoming_count: (6, 9),
+            first_npc_id: 100,
+            rear_id: 200,
+            ..ScenarioParams::default()
+        };
+        let s = Scenario::build_with(ScenarioId::Ds5, 3, &params);
+        // ego + target + >= 6 oncoming + rear
+        assert!(s.world.actors().len() >= 9);
+        assert!(s.world.actor(ActorId(100)).is_some());
+        assert!(s.world.actor(ActorId(200)).is_some());
+    }
+
+    #[test]
+    fn degenerate_param_ranges_do_not_panic() {
+        let params = ScenarioParams {
+            jitter_m: 0.0,
+            oncoming_count: (3, 3),
+            oncoming_x: (80.0, 80.0),
+            oncoming_speed_kph: (25.0, 25.0),
+            rear_speed_kph: (20.0, 20.0),
+            ..ScenarioParams::default()
+        };
+        let a = Scenario::build_with(ScenarioId::Ds5, 1, &params);
+        let b = Scenario::build_with(ScenarioId::Ds5, 2, &params);
+        // Fully pinned ranges: seeds no longer matter.
+        let xs_a: Vec<u64> = a
+            .world
+            .actors()
+            .iter()
+            .map(|x| x.pose.position.x.to_bits())
+            .collect();
+        let xs_b: Vec<u64> = b
+            .world
+            .actors()
+            .iter()
+            .map(|x| x.pose.position.x.to_bits())
+            .collect();
+        assert_eq!(xs_a, xs_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no standalone build recipe")]
+    fn gen_ids_cannot_build_standalone() {
+        let _ = Scenario::build(ScenarioId::Gen(1), 0);
     }
 }
